@@ -1,0 +1,100 @@
+// Command iochar regenerates the figures and tables of "I/O
+// Characterization of Big Data Workloads in Data Centers" on the simulated
+// testbed.
+//
+// Usage:
+//
+//	iochar -figure 1          # one figure (1-12)
+//	iochar -table 6           # one table (5-7)
+//	iochar -all               # every figure and table
+//	iochar -figure 3 -csv     # CSV instead of terminal rendering
+//	iochar -scale 8192        # smaller/faster testbed (default 4096)
+//
+// Runs are cached within one invocation, so -all executes each experiment
+// cell exactly once even though figures share runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"iochar"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 0, "regenerate paper figure N (1-12)")
+		table   = flag.Int("table", 0, "regenerate paper table N (5-7)")
+		all     = flag.Bool("all", false, "regenerate every figure and table")
+		attr    = flag.Bool("attr", false, "print the per-stage I/O demand breakdown (extension)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of terminal charts")
+		scale   = flag.Int64("scale", 4096, "capacity divisor vs the paper's testbed")
+		slaves  = flag.Int("slaves", 10, "number of slave nodes")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		frac    = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
+		verbose = flag.Bool("v", false, "progress to stderr")
+	)
+	flag.Parse()
+
+	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac}
+	s := iochar.NewSuite(opts)
+
+	var figures, tables []int
+	switch {
+	case *all:
+		figures, tables = iochar.Figures(), iochar.Tables()
+	case *figure != 0:
+		figures = []int{*figure}
+	case *table != 0:
+		tables = []int{*table}
+	case *attr:
+		// handled below
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	for _, n := range figures {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "figure %d...\n", n)
+		}
+		var err error
+		if *csv {
+			err = iochar.RenderFigureCSV(os.Stdout, s, n)
+		} else {
+			err = iochar.RenderFigure(os.Stdout, s, n)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iochar:", err)
+			os.Exit(1)
+		}
+	}
+	for _, n := range tables {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "table %d...\n", n)
+		}
+		var err error
+		if *csv {
+			err = iochar.RenderTableCSV(os.Stdout, s, n)
+		} else {
+			err = iochar.RenderTable(os.Stdout, s, n)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iochar:", err)
+			os.Exit(1)
+		}
+	}
+	if *attr {
+		if err := iochar.RenderAttribution(os.Stdout, s); err != nil {
+			fmt.Fprintln(os.Stderr, "iochar:", err)
+			os.Exit(1)
+		}
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "done in %v (%d experiment cells)\n",
+			time.Since(start).Round(time.Second), s.CachedRuns())
+	}
+}

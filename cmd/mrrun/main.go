@@ -1,0 +1,89 @@
+// Command mrrun executes a single workload on the simulated testbed with
+// explicit configuration knobs and prints the job counters plus a compact
+// iostat view of both disk groups — the "run one benchmark, watch iostat"
+// workflow of the paper.
+//
+// Usage:
+//
+//	mrrun -workload TS -slots 2_16 -mem 16 -compress
+//	mrrun -workload AGG -scale 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iochar"
+	"iochar/internal/disk"
+	"iochar/internal/iostat"
+	"iochar/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "TS", "TS | AGG | KM | PR | JOIN (extension)")
+		slots    = flag.String("slots", "1_8", "task slots config: 1_8 | 2_16")
+		mem      = flag.Int("mem", 32, "node memory in GB (paper used 16 or 32)")
+		compress = flag.Bool("compress", false, "compress intermediate data")
+		scale    = flag.Int64("scale", 4096, "capacity divisor vs the paper's testbed")
+		slaves   = flag.Int("slaves", 10, "number of slave nodes")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		frac     = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
+		traceOut = flag.String("trace", "", "write a block-level I/O trace (CSV) to this file")
+	)
+	flag.Parse()
+
+	var sc iochar.SlotsConfig
+	switch *slots {
+	case "1_8":
+		sc = iochar.Slots1x8
+	case "2_16":
+		sc = iochar.Slots2x16
+	default:
+		fmt.Fprintf(os.Stderr, "mrrun: unknown slots config %q (want 1_8 or 2_16)\n", *slots)
+		os.Exit(2)
+	}
+	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac}
+	var collector *trace.Collector
+	if *traceOut != "" {
+		collector = trace.NewCollector()
+		opts.TraceAttach = func(dev string, d *disk.Disk) { collector.Attach(d, dev) }
+	}
+	rep, err := iochar.Run(*workload, iochar.Factors{
+		Slots: sc, MemoryGB: *mem, Compress: *compress,
+	}, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrrun:", err)
+		os.Exit(1)
+	}
+	if collector != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrrun:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteCSV(f, collector.Records()); err != nil {
+			fmt.Fprintln(os.Stderr, "mrrun:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d trace records to %s\n", collector.Len(), *traceOut)
+	}
+	iochar.Summarize(os.Stdout, rep)
+
+	fmt.Println("\niostat (mean over busy intervals / peak):")
+	fmt.Printf("  %-10s %16s %16s %14s %12s %14s\n",
+		"group", "rMB/s", "wMB/s", "%util", "await(ms)", "avgrq-sz")
+	printGroup := func(name string, r *iostat.Report) {
+		fmt.Printf("  %-10s %7.1f / %6.1f %7.1f / %6.1f %6.1f / %5.1f %5.2f / %4.1f %7.0f / %5.0f\n",
+			name,
+			r.RMBs.MeanNonzero(), r.RMBs.Max(),
+			r.WMBs.MeanNonzero(), r.WMBs.Max(),
+			r.Util.MeanNonzero(), r.Util.Max(),
+			r.AwaitMs.MeanNonzero(), r.AwaitMs.Max(),
+			r.AvgrqSz.MeanNonzero(), r.AvgrqSz.Max())
+	}
+	printGroup("HDFS", rep.HDFS)
+	printGroup("MapReduce", rep.MR)
+}

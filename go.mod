@@ -1,0 +1,3 @@
+module iochar
+
+go 1.23

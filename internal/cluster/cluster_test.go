@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"iochar/internal/sim"
+)
+
+func TestDefaultHardwareMatchesTable1(t *testing.T) {
+	hw := DefaultHardware(1)
+	if hw.Cores != 12 {
+		t.Errorf("Cores = %d, want 12 (2 x E5645)", hw.Cores)
+	}
+	if hw.MemoryBytes != 32<<30 {
+		t.Errorf("Memory = %d, want 32 GB", hw.MemoryBytes)
+	}
+	if hw.HDFSDisks != 3 || hw.MRDisks != 3 {
+		t.Errorf("disks = %d/%d, want 3/3", hw.HDFSDisks, hw.MRDisks)
+	}
+	if hw.DiskParams.RPM != 7200 {
+		t.Errorf("RPM = %d, want 7200", hw.DiskParams.RPM)
+	}
+}
+
+func TestWithMemoryGB(t *testing.T) {
+	hw := DefaultHardware(1).WithMemoryGB(16)
+	if hw.MemoryBytes != 16<<30 {
+		t.Errorf("Memory = %d, want 16 GB", hw.MemoryBytes)
+	}
+}
+
+func TestCachePagesScaleWithMemory(t *testing.T) {
+	small := DefaultHardware(1024).WithMemoryGB(16).CachePagesPerDisk()
+	big := DefaultHardware(1024).WithMemoryGB(32).CachePagesPerDisk()
+	if big != 2*small {
+		t.Errorf("cache pages 16G=%d 32G=%d, want exact doubling", small, big)
+	}
+}
+
+func TestCachePagesFloor(t *testing.T) {
+	hw := DefaultHardware(1 << 40)
+	if got := hw.CachePagesPerDisk(); got != 128 {
+		t.Errorf("CachePagesPerDisk = %d, want floor 128", got)
+	}
+}
+
+func TestClusterLayout(t *testing.T) {
+	env := sim.New(1)
+	c := New(env, DefaultHardware(1024), 10)
+	if len(c.Slaves) != 10 {
+		t.Fatalf("slaves = %d, want 10", len(c.Slaves))
+	}
+	if len(c.Master.HDFSVols) != 0 {
+		t.Error("master should carry no data disks")
+	}
+	if got := len(c.AllHDFSDisks()); got != 30 {
+		t.Errorf("HDFS disks = %d, want 30", got)
+	}
+	if got := len(c.AllMRDisks()); got != 30 {
+		t.Errorf("MR disks = %d, want 30", got)
+	}
+	for _, s := range c.Slaves {
+		if len(s.HDFSVols) != 3 || len(s.MRVols) != 3 {
+			t.Errorf("%s vols = %d/%d, want 3/3", s.Name, len(s.HDFSVols), len(s.MRVols))
+		}
+	}
+}
+
+func TestComputeQueuesBeyondCores(t *testing.T) {
+	env := sim.New(1)
+	hw := DefaultHardware(1024)
+	hw.Cores = 2
+	c := New(env, hw, 1)
+	n := c.Slaves[0]
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		env.Go("task", func(p *sim.Proc) {
+			n.Compute(p, time.Second)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	env.Run(0)
+	if last != 2*time.Second {
+		t.Errorf("4 tasks on 2 cores finished at %v, want 2s", last)
+	}
+}
+
+func TestVolumeRoundRobin(t *testing.T) {
+	env := sim.New(1)
+	c := New(env, DefaultHardware(1024), 1)
+	n := c.Slaves[0]
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		seen[n.NextMRVol().Disk().P.Name]++
+	}
+	if len(seen) != 3 {
+		t.Errorf("round robin covered %d volumes, want 3", len(seen))
+	}
+	for name, count := range seen {
+		if count != 2 {
+			t.Errorf("volume %s used %d times, want 2", name, count)
+		}
+	}
+}
+
+func TestSyncAllFlushesDirtyPages(t *testing.T) {
+	env := sim.New(1)
+	c := New(env, DefaultHardware(1024), 2)
+	env.Go("w", func(p *sim.Proc) {
+		for _, s := range c.Slaves {
+			f := s.NextMRVol().Create("x")
+			f.Append(p, make([]byte, 64<<10))
+		}
+		c.SyncAll(p)
+		for _, s := range c.Slaves {
+			for _, v := range s.MRVols {
+				if v.Cache().DirtyPages() != 0 {
+					t.Errorf("%s still dirty after SyncAll", s.Name)
+				}
+			}
+		}
+	})
+	env.Run(0)
+}
+
+func TestNodesShareNetwork(t *testing.T) {
+	env := sim.New(1)
+	c := New(env, DefaultHardware(1024), 2)
+	env.Go("t", func(p *sim.Proc) {
+		c.Net.Transfer(p, c.Slaves[0].Name, c.Slaves[1].Name, 1<<20)
+	})
+	env.Run(0)
+	if c.Slaves[1].NIC.BytesReceived() != 1<<20 {
+		t.Error("transfer across cluster nodes failed")
+	}
+}
+
+func TestSharedDataDisksPoolSpindles(t *testing.T) {
+	env := sim.New(1)
+	hw := DefaultHardware(8192)
+	hw.SharedDataDisks = true
+	c := New(env, hw, 2)
+	n := c.Slaves[0]
+	if len(n.HDFSVols) != 6 || len(n.MRVols) != 6 {
+		t.Fatalf("vols = %d/%d, want 6/6 pooled", len(n.HDFSVols), len(n.MRVols))
+	}
+	// Both roles must address the same filesystems.
+	for i := range n.HDFSVols {
+		if n.HDFSVols[i] != n.MRVols[i] {
+			t.Errorf("vol %d differs between roles under shared layout", i)
+		}
+	}
+	// A file created through one role is visible through the other.
+	env.Go("w", func(p *sim.Proc) {
+		f := n.NextHDFSVol().Create("shared-file")
+		f.Append(p, make([]byte, 1024))
+	})
+	env.Run(0)
+	found := false
+	for _, v := range n.MRVols {
+		if v.Exists("shared-file") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("file written via HDFS role invisible via MR role")
+	}
+}

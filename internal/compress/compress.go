@@ -1,0 +1,129 @@
+// Package compress provides the intermediate-data codecs for the MapReduce
+// runtime. The paper toggles Hadoop's mapred.compress.map.output; here the
+// equivalent is choosing between the Identity codec and Deflate, a real
+// byte-level codec (stdlib flate at its fastest level, standing in for the
+// Snappy/LZO class) paired with a virtual-CPU cost model calibrated to that
+// class (~250 MB/s compression, ~500 MB/s decompression per 2010s core).
+//
+// Because the codec really compresses the real intermediate bytes, each
+// workload's compression ratio emerges from its own data: sorted text
+// shrinks differently from aggregation partials or graph adjacency — which
+// is exactly why the paper sees per-workload differences in Figure 12.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Codec compresses byte blocks and prices the CPU time the work costs.
+type Codec interface {
+	// Name identifies the codec in configs and reports.
+	Name() string
+	// Compress returns the encoded form of src.
+	Compress(src []byte) []byte
+	// Decompress reverses Compress. It panics on corrupt input — in the
+	// simulation that is a program bug, not an I/O condition.
+	Decompress(enc []byte) []byte
+	// CompressCost returns virtual CPU time to compress n input bytes.
+	CompressCost(n int) time.Duration
+	// DecompressCost returns virtual CPU time to decompress to n output bytes.
+	DecompressCost(n int) time.Duration
+}
+
+// Identity is the no-compression codec (mapred.compress.map.output=false).
+type Identity struct{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "identity" }
+
+// Compress implements Codec; it returns src unchanged.
+func (Identity) Compress(src []byte) []byte { return src }
+
+// Decompress implements Codec; it returns enc unchanged.
+func (Identity) Decompress(enc []byte) []byte { return enc }
+
+// CompressCost implements Codec; identity costs nothing.
+func (Identity) CompressCost(int) time.Duration { return 0 }
+
+// DecompressCost implements Codec; identity costs nothing.
+func (Identity) DecompressCost(int) time.Duration { return 0 }
+
+// Deflate is a real fast-deflate codec with a Snappy-class cost model.
+type Deflate struct {
+	// CompressBps and DecompressBps are the modeled single-core codec
+	// throughputs in bytes/second.
+	CompressBps   int64
+	DecompressBps int64
+}
+
+// NewDeflate returns the codec with default 2010s-era fast-codec costs.
+func NewDeflate() Deflate {
+	return Deflate{CompressBps: 250 << 20, DecompressBps: 500 << 20}
+}
+
+// Name implements Codec.
+func (Deflate) Name() string { return "deflate" }
+
+// Compress implements Codec using flate.BestSpeed.
+func (Deflate) Compress(src []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		panic(fmt.Sprintf("compress: flate writer: %v", err))
+	}
+	if _, err := w.Write(src); err != nil {
+		panic(fmt.Sprintf("compress: flate write: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("compress: flate close: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Decompress implements Codec.
+func (Deflate) Decompress(enc []byte) []byte {
+	r := flate.NewReader(bytes.NewReader(enc))
+	out, err := io.ReadAll(r)
+	if err != nil {
+		panic(fmt.Sprintf("compress: flate read: %v", err))
+	}
+	if err := r.Close(); err != nil {
+		panic(fmt.Sprintf("compress: flate close: %v", err))
+	}
+	return out
+}
+
+// CompressCost implements Codec.
+func (c Deflate) CompressCost(n int) time.Duration {
+	return time.Duration(float64(n) / float64(c.CompressBps) * 1e9)
+}
+
+// DecompressCost implements Codec.
+func (c Deflate) DecompressCost(n int) time.Duration {
+	return time.Duration(float64(n) / float64(c.DecompressBps) * 1e9)
+}
+
+// ByName returns the codec for a config string ("identity"/"none"/"off" or
+// "deflate"/"snappy"/"on").
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "identity", "none", "off", "":
+		return Identity{}, nil
+	case "deflate", "snappy", "on":
+		return NewDeflate(), nil
+	}
+	return nil, fmt.Errorf("compress: unknown codec %q", name)
+}
+
+// Ratio returns compressed/original size for src under c (1.0 for
+// incompressible or empty input).
+func Ratio(c Codec, src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	return float64(len(c.Compress(src))) / float64(len(src))
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"iochar/internal/mapred"
+)
+
+// Attribution breaks one workload's logical I/O volume down by pipeline
+// stage — the paper's stated future work ("combine a low-level description
+// of physical resources and the high-level functional composition of big
+// data workloads to reveal the major source of I/O demand"), implemented.
+//
+// Bytes are logical (as issued by the stage); HDFS writes additionally fan
+// out by the replication factor at the device level.
+type Attribution struct {
+	Workload string
+	Factors  Factors
+
+	HDFSInputRead   int64 // map-task split reads
+	HDFSOutputWrite int64 // reduce output (pre-replication)
+	SpillWrite      int64 // map-side spill writes (post-codec)
+	MergeRead       int64 // map-side merge re-reads
+	MergeWrite      int64 // map-side merged output writes
+	ShuffleRead     int64 // map-output reads serving reducers
+	RunWrite        int64 // reduce-side shuffle-run spills
+	RunRead         int64 // reduce-side run re-reads
+}
+
+// Total returns the summed logical volume.
+func (a *Attribution) Total() int64 {
+	return a.HDFSInputRead + a.HDFSOutputWrite + a.SpillWrite + a.MergeRead +
+		a.MergeWrite + a.ShuffleRead + a.RunWrite + a.RunRead
+}
+
+// MRShare returns the fraction of logical I/O on the intermediate
+// (MapReduce) disks.
+func (a *Attribution) MRShare() float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	mr := a.SpillWrite + a.MergeRead + a.MergeWrite + a.ShuffleRead + a.RunWrite + a.RunRead
+	return float64(mr) / float64(t)
+}
+
+// attribution folds job counters into the breakdown.
+func attribution(wkey string, f Factors, jobs []*mapred.Result) *Attribution {
+	a := &Attribution{Workload: wkey, Factors: f}
+	for _, j := range jobs {
+		a.HDFSInputRead += j.MapInputBytes
+		a.HDFSOutputWrite += j.ReduceOutputBytes
+		a.SpillWrite += j.MapSpillBytes
+		a.MergeRead += j.MapMergeReadBytes
+		a.MergeWrite += j.MapMergeWriteBytes
+		a.ShuffleRead += j.ShuffleBytes
+		a.RunWrite += j.ReduceRunWriteBytes
+		a.RunRead += j.ReduceRunReadBytes
+	}
+	return a
+}
+
+// Attribution runs (or reuses) the workload's baseline cell and returns the
+// per-stage I/O breakdown.
+func (s *Suite) Attribution(wkey string, f Factors) (*Attribution, error) {
+	rep, err := s.Run(wkey, f)
+	if err != nil {
+		return nil, err
+	}
+	return attribution(wkey, f, rep.Jobs), nil
+}
+
+// AttributionTable renders the breakdown of every workload under the
+// baseline slots configuration as a table: rows are stages, columns
+// workloads, cells "MB (share%)".
+func (s *Suite) AttributionTable() (*TableData, error) {
+	type stage struct {
+		name string
+		sel  func(*Attribution) int64
+	}
+	stages := []stage{
+		{"HDFS input read", func(a *Attribution) int64 { return a.HDFSInputRead }},
+		{"HDFS output write", func(a *Attribution) int64 { return a.HDFSOutputWrite }},
+		{"map spill write", func(a *Attribution) int64 { return a.SpillWrite }},
+		{"map merge read", func(a *Attribution) int64 { return a.MergeRead }},
+		{"map merge write", func(a *Attribution) int64 { return a.MergeWrite }},
+		{"shuffle read", func(a *Attribution) int64 { return a.ShuffleRead }},
+		{"reduce run write", func(a *Attribution) int64 { return a.RunWrite }},
+		{"reduce run read", func(a *Attribution) int64 { return a.RunRead }},
+	}
+	t := &TableData{
+		ID:     0,
+		Title:  "Sources of I/O demand (logical MB and share of workload total; extension of the paper's future work)",
+		Header: append([]string{"stage"}, WorkloadOrder...),
+	}
+	atts := map[string]*Attribution{}
+	for _, wkey := range WorkloadOrder {
+		a, err := s.Attribution(wkey, SlotsRuns[0])
+		if err != nil {
+			return nil, err
+		}
+		atts[wkey] = a
+	}
+	for _, st := range stages {
+		row := []string{st.name}
+		for _, wkey := range WorkloadOrder {
+			a := atts[wkey]
+			v := st.sel(a)
+			share := 0.0
+			if a.Total() > 0 {
+				share = float64(v) / float64(a.Total()) * 100
+			}
+			row = append(row, fmt.Sprintf("%.1f (%2.0f%%)", float64(v)/(1<<20), share))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

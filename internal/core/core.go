@@ -1,0 +1,341 @@
+// Package core is the characterization framework — the paper's experimental
+// methodology as code. It assembles the simulated testbed (cluster, HDFS,
+// MapReduce runtime), runs each workload under the paper's three factors
+// (task slots, memory size, intermediate-data compression), samples the two
+// disk groups with the iostat clone, and extracts the data behind every
+// figure and table of the evaluation section.
+//
+// Scaling: experiments run at a capacity divisor (Options.Scale) with all
+// byte ratios preserved. One deliberate deviation is documented here rather
+// than hidden: the paper's 64 MB blocks imply ~16 000 map tasks for the
+// 1 TB TeraSort; the simulated block size is raised so the largest workload
+// runs ~512 map tasks (same multi-wave scheduling regime, tractable event
+// counts), and the sort/shuffle buffers are scaled with the block so the
+// spill behaviour per task matches the paper's configuration.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/compress"
+	"iochar/internal/cpustat"
+	"iochar/internal/disk"
+	"iochar/internal/hdfs"
+	"iochar/internal/iostat"
+	"iochar/internal/mapred"
+	"iochar/internal/sim"
+	"iochar/internal/stats"
+	"iochar/internal/workloads"
+)
+
+// SlotsConfig is one task-slot setting. The paper labels its two settings
+// "1_8" and "2_16"; the text's reading of the pair is ambiguous, so this
+// reproduction adopts the standard Hadoop 1.x sizing for a 12-core node —
+// 8 map slots and 1 reduce slot per node for "1_8", both doubled for
+// "2_16". The paper's finding (slot count leaves the four I/O metrics
+// unchanged) is insensitive to the reading; see DESIGN.md.
+type SlotsConfig struct {
+	Name        string
+	MapSlots    int
+	ReduceSlots int
+}
+
+// The paper's two slot settings.
+var (
+	Slots1x8  = SlotsConfig{Name: "1_8", MapSlots: 8, ReduceSlots: 1}
+	Slots2x16 = SlotsConfig{Name: "2_16", MapSlots: 16, ReduceSlots: 2}
+)
+
+// Factors is one cell of the experiment matrix.
+type Factors struct {
+	Slots    SlotsConfig
+	MemoryGB int  // 16 or 32
+	Compress bool // intermediate-data compression
+}
+
+// Label renders the paper's run naming, e.g. "AGG_1_8".
+func (f Factors) Label(workloadKey string) string {
+	return workloadKey + "_" + f.Slots.Name
+}
+
+func (f Factors) cacheKey(wkey string) string {
+	return fmt.Sprintf("%s/%s/m%d/c%v", wkey, f.Slots.Name, f.MemoryGB, f.Compress)
+}
+
+// Options configures the simulated testbed.
+type Options struct {
+	Scale          int64         // capacity divisor; default 1024
+	Slaves         int           // default 10, as in the paper
+	Seed           int64         // default 1
+	SampleInterval time.Duration // iostat interval; default 1 s of virtual time
+	// MapTaskTarget bounds the map-task count of the largest workload (see
+	// the package comment); default 512.
+	MapTaskTarget int64
+	// InputFraction further shrinks every workload's input relative to
+	// PaperInputBytes()/Scale (benchmarks use < 1 for speed); default 1.
+	InputFraction float64
+	// TraceAttach, when set, is called once per data disk before the run
+	// with a stable device name ("slave-03.mr1") — the hook point for
+	// internal/trace.Collector.Attach and other block-level observers.
+	TraceAttach func(dev string, d *disk.Disk)
+	// FaultSlowDisk, when > 1, injects a degraded drive: the first slave's
+	// first intermediate-data disk services every request this many times
+	// slower — the classic straggler fault, visible end-to-end in job
+	// runtime and in the per-disk %util/await distributions.
+	FaultSlowDisk float64
+	// SharedDataDisks pools HDFS and intermediate data on the same six
+	// spindles instead of the paper's dedicated 3+3 layout — the
+	// counterfactual behind the paper's observation 4 recommendation.
+	SharedDataDisks bool
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1024
+	}
+	if o.Slaves <= 0 {
+		o.Slaves = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SampleInterval <= 0 {
+		// The paper sampled iostat every second over runs of tens of
+		// minutes; scaled runs are proportionally shorter, so the default
+		// interval shrinks with Scale to keep sample counts comparable.
+		o.SampleInterval = time.Duration(int64(time.Second) * 64 / o.Scale)
+		if o.SampleInterval < time.Millisecond {
+			o.SampleInterval = time.Millisecond
+		}
+	}
+	if o.MapTaskTarget <= 0 {
+		o.MapTaskTarget = 512
+	}
+	if o.InputFraction <= 0 || o.InputFraction > 1 {
+		o.InputFraction = 1
+	}
+	return o
+}
+
+// inputBytes returns a workload's scaled input volume.
+func (o Options) inputBytes(w workloads.Workload) int64 {
+	b := int64(float64(w.PaperInputBytes()) / float64(o.Scale) * o.InputFraction)
+	if b < 64<<10 {
+		b = 64 << 10
+	}
+	return b
+}
+
+// blockBytes picks the HDFS block size: the scaled 64 MB default, raised if
+// needed so the largest workload stays near MapTaskTarget map tasks.
+func (o Options) blockBytes() int64 {
+	var maxInput int64
+	for _, w := range workloads.All() {
+		if b := o.inputBytes(w); b > maxInput {
+			maxInput = b
+		}
+	}
+	bs := (64 << 20) / o.Scale
+	if byTasks := maxInput / o.MapTaskTarget; byTasks > bs {
+		bs = byTasks
+	}
+	if bs < 64<<10 {
+		bs = 64 << 10
+	}
+	return bs / 4096 * 4096
+}
+
+// RunReport is the outcome of one workload × factors execution.
+type RunReport struct {
+	Workload string
+	Factors  Factors
+	HDFS     *iostat.Report
+	MR       *iostat.Report
+	// CPUUtil is the cluster-wide mean CPU utilization over time (percent)
+	// — the measurement behind Table 3's CPU-bound/I/O-bound labels.
+	CPUUtil *stats.Series
+	Jobs    []*mapred.Result
+	Wall    time.Duration // virtual time from job submission to completion
+}
+
+// Runtime groups names for the two monitored disk groups.
+const (
+	GroupHDFS = "HDFS"
+	GroupMR   = "MapReduce"
+)
+
+// RunOne builds a fresh testbed and executes one experiment cell.
+func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
+	opts = opts.withDefaults()
+	w, err := workloads.ByKey(wkey)
+	if err != nil {
+		return nil, err
+	}
+	env := sim.New(opts.Seed)
+	hw := cluster.DefaultHardware(opts.Scale).WithMemoryGB(f.MemoryGB)
+	// Scale artifact control: data volumes scale by Options.Scale but block
+	// size only by the task-target factor, so per-stream readahead windows
+	// are proportionally larger than on the real testbed. A full 128 KiB
+	// window per stream would thrash the scaled cache at the high slot
+	// count — a pure artifact. Bounding the window at 64 KiB and giving the
+	// cache a modest floor keeps stream working sets inside the cache at
+	// both slot levels, as they were on the real machines.
+	hw.PageCacheOpts.ReadaheadMaxPages = 16
+	hw.SharedDataDisks = opts.SharedDataDisks
+	cl := cluster.New(env, hw, opts.Slaves)
+
+	// Extent granularity follows the block size: with 1 MiB extents under
+	// sub-megabyte scaled blocks, allocation slack would dominate the
+	// scaled disks' capacity (and fragmentation would vanish).
+	extentSectors := opts.blockBytes() / 4 / 512
+	if extentSectors < 64 {
+		extentSectors = 64
+	}
+	if extentSectors > 2048 {
+		extentSectors = 2048
+	}
+	for _, s := range cl.Slaves {
+		for _, v := range s.HDFSVols {
+			v.SetExtentSectors(extentSectors)
+		}
+		for _, v := range s.MRVols {
+			v.SetExtentSectors(extentSectors)
+		}
+	}
+	if opts.TraceAttach != nil {
+		for _, s := range cl.Slaves {
+			for _, d := range append(append([]*disk.Disk{}, s.HDFSDisks...), s.MRDisks...) {
+				opts.TraceAttach(d.P.Name, d)
+			}
+		}
+	}
+	if opts.FaultSlowDisk > 1 {
+		cl.Slaves[0].MRDisks[0].P.SlowFactor = opts.FaultSlowDisk
+	}
+
+	hcfg := hdfs.DefaultConfig(opts.Scale)
+	hcfg.BlockSize = opts.blockBytes()
+	fs := hdfs.New(env, hcfg, cl.Net, cl.Slaves)
+
+	mcfg := mapred.DefaultConfig(opts.Scale)
+	mcfg.MapSlots = f.Slots.MapSlots
+	mcfg.ReduceSlots = f.Slots.ReduceSlots
+	// Buffers follow memory, as the testbed's io.sort.mb/shuffle budget did:
+	// at 32 GB the sort buffer comfortably holds a full map output (one
+	// spill); at 16 GB it does not (two spills) — Hadoop's 100 MB-per-64 MB
+	// proportion.
+	memFrac := float64(f.MemoryGB) / 32
+	mcfg.SortBufBytes = int64(float64(hcfg.BlockSize) * 100 / 64 * memFrac)
+	mcfg.ShuffleBufBytes = int64(float64(hcfg.BlockSize) * 140 / 64 * memFrac)
+	if f.Compress {
+		mcfg.Codec = compress.NewDeflate()
+	}
+	rt := mapred.New(env, cl, fs, cl.Net, mcfg)
+
+	w.Prepare(fs, cl, opts.inputBytes(w), opts.Seed)
+
+	mon := iostat.NewMonitor(opts.SampleInterval)
+	mon.AddGroup(GroupHDFS, cl.AllHDFSDisks()...)
+	mon.AddGroup(GroupMR, cl.AllMRDisks()...)
+	mon.Start(env)
+	cpu := cpustat.NewMonitor(opts.SampleInterval, cl.Slaves)
+	cpu.Start(env)
+
+	rep := &RunReport{Workload: w.Key(), Factors: f}
+	var runErr error
+	env.Go("driver", func(p *sim.Proc) {
+		start := p.Now()
+		jobs, err := w.Run(p, rt, fs, cl)
+		if err != nil {
+			runErr = err
+			mon.Stop(p.Now())
+			cpu.Stop(p.Now())
+			return
+		}
+		cl.SyncAll(p) // flush caches so iostat sees all writes
+		rep.Jobs = jobs
+		rep.Wall = p.Now() - start
+		mon.Stop(p.Now())
+		cpu.Stop(p.Now())
+	})
+	env.Run(0)
+	if runErr != nil {
+		return nil, fmt.Errorf("core: %s %s: %w", wkey, f.cacheKey(wkey), runErr)
+	}
+	rep.HDFS = mon.Report(GroupHDFS)
+	rep.MR = mon.Report(GroupMR)
+	rep.CPUUtil = cpu.Util()
+	return rep, nil
+}
+
+// Suite caches experiment cells so figures sharing runs (e.g. Figures 1, 4,
+// 7 and 10 all use the slots runs) execute each cell once.
+type Suite struct {
+	Opts  Options
+	cache map[string]*RunReport
+}
+
+// NewSuite creates a suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{Opts: opts.withDefaults(), cache: map[string]*RunReport{}}
+}
+
+// Run returns the cached or freshly executed cell.
+func (s *Suite) Run(wkey string, f Factors) (*RunReport, error) {
+	key := f.cacheKey(wkey)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	r, err := RunOne(wkey, f, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// CachedRuns returns the number of executed cells.
+func (s *Suite) CachedRuns() int { return len(s.cache) }
+
+// WorkloadOrder is the paper's figure ordering.
+var WorkloadOrder = []string{"AGG", "TS", "KM", "PR"}
+
+// Factor settings for the three experiment families (baselines per the
+// paper's figure captions).
+var (
+	// SlotsRuns: memory 16 GB, compression on (Figure 1 caption).
+	SlotsRuns = []Factors{
+		{Slots: Slots1x8, MemoryGB: 16, Compress: true},
+		{Slots: Slots2x16, MemoryGB: 16, Compress: true},
+	}
+	// MemoryRuns: slots 1_8, compression off (Figure 2 caption).
+	MemoryRuns = []Factors{
+		{Slots: Slots1x8, MemoryGB: 16, Compress: false},
+		{Slots: Slots1x8, MemoryGB: 32, Compress: false},
+	}
+	// CompressRuns: 32 GB, slots 1_8 (Figure 3 caption).
+	CompressRuns = []Factors{
+		{Slots: Slots1x8, MemoryGB: 32, Compress: false},
+		{Slots: Slots1x8, MemoryGB: 32, Compress: true},
+	}
+)
+
+// FactorLabel names a factor level for display ("1_8"/"2_16", "16G"/"32G",
+// "off"/"on") by experiment family.
+func FactorLabel(family string, f Factors) string {
+	switch family {
+	case "slots":
+		return f.Slots.Name
+	case "memory":
+		return fmt.Sprintf("%dG", f.MemoryGB)
+	case "compress":
+		if f.Compress {
+			return "on"
+		}
+		return "off"
+	}
+	return "?"
+}

@@ -1,0 +1,98 @@
+package cpustat
+
+import (
+	"testing"
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/sim"
+)
+
+func rig(nslaves int) (*sim.Env, *cluster.Cluster) {
+	env := sim.New(1)
+	hw := cluster.DefaultHardware(8192)
+	hw.Cores = 4
+	return env, cluster.New(env, hw, nslaves)
+}
+
+func TestUtilizationTracksLoad(t *testing.T) {
+	env, cl := rig(2)
+	m := NewMonitor(100*time.Millisecond, cl.Slaves)
+	m.Start(env)
+	env.Go("load", func(p *sim.Proc) {
+		// Slave 0: 2 of 4 cores busy for 1s. Slave 1 idle.
+		done := make([]*sim.Handle, 0, 2)
+		for i := 0; i < 2; i++ {
+			done = append(done, env.Go("burn", func(b *sim.Proc) {
+				cl.Slaves[0].Compute(b, time.Second)
+			}))
+		}
+		for _, h := range done {
+			h.Wait(p)
+		}
+		m.Stop(p.Now())
+	})
+	env.Run(0)
+	// Slave 0 at 50%, slave 1 at 0% -> cluster mean 25%.
+	got := m.Util().Mean()
+	if got < 20 || got > 30 {
+		t.Errorf("cluster mean util = %.1f, want ~25", got)
+	}
+	if n0 := m.NodeUtil(0).Mean(); n0 < 45 || n0 > 55 {
+		t.Errorf("node 0 util = %.1f, want ~50", n0)
+	}
+	if n1 := m.NodeUtil(1).Mean(); n1 != 0 {
+		t.Errorf("node 1 util = %.1f, want 0", n1)
+	}
+}
+
+func TestIdleClusterZero(t *testing.T) {
+	env, cl := rig(1)
+	m := NewMonitor(50*time.Millisecond, cl.Slaves)
+	m.Start(env)
+	env.Go("idle", func(p *sim.Proc) {
+		p.Sleep(300 * time.Millisecond)
+		m.Stop(p.Now())
+	})
+	env.Run(0)
+	if m.Util().Max() != 0 {
+		t.Errorf("idle cluster shows util %.1f", m.Util().Max())
+	}
+	if m.Util().Len() < 5 {
+		t.Errorf("samples = %d, want >= 5", m.Util().Len())
+	}
+}
+
+func TestSaturationCapsAt100(t *testing.T) {
+	env, cl := rig(1)
+	m := NewMonitor(50*time.Millisecond, cl.Slaves)
+	m.Start(env)
+	env.Go("load", func(p *sim.Proc) {
+		var hs []*sim.Handle
+		for i := 0; i < 8; i++ { // 8 tasks on 4 cores
+			hs = append(hs, env.Go("burn", func(b *sim.Proc) {
+				cl.Slaves[0].Compute(b, 200*time.Millisecond)
+			}))
+		}
+		for _, h := range hs {
+			h.Wait(p)
+		}
+		m.Stop(p.Now())
+	})
+	env.Run(0)
+	if max := m.Util().Max(); max > 100.001 {
+		t.Errorf("util exceeded 100%%: %.2f", max)
+	}
+	if mean := m.Util().MeanNonzero(); mean < 95 {
+		t.Errorf("saturated node mean = %.1f, want ~100", mean)
+	}
+}
+
+func TestNodeUtilOutOfRange(t *testing.T) {
+	env, cl := rig(1)
+	m := NewMonitor(time.Second, cl.Slaves)
+	_ = env
+	if m.NodeUtil(-1) != nil || m.NodeUtil(99) != nil {
+		t.Error("out-of-range NodeUtil should be nil")
+	}
+}

@@ -1,0 +1,266 @@
+// Package datagen reproduces the role of BigDataBench 2.1's data generation
+// tools: deterministic, seeded generators that produce realistic input for
+// each of the paper's four workloads at any volume, preserving the
+// characteristics that matter to I/O behaviour (record framing, key
+// distributions, compressibility).
+//
+//   - TeraGen     — 100-byte sort records (10-byte key, 90-byte payload)
+//     for TeraSort.
+//   - OrderGen    — delimited e-commerce order rows with Zipf-skewed
+//     categories for the Hive Aggregation query.
+//   - PointGen    — d-dimensional numeric points clustered around k true
+//     centers for K-means.
+//   - GraphGen    — a power-law web graph (preferential attachment) as an
+//     edge list for PageRank, standing in for the Google web graph.
+//
+// All generators are pure functions of (seed, part, size): the same part is
+// byte-identical across runs, so experiments are reproducible and contents
+// verifiable.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// RecordSize is the fixed TeraSort record length, as in TeraGen.
+const RecordSize = 100
+
+// KeySize is the TeraSort key prefix length.
+const KeySize = 10
+
+// TeraGen generates TeraSort input.
+type TeraGen struct{ Seed int64 }
+
+// Part returns approximately size bytes of whole 100-byte records for the
+// given part index. Keys are uniform random printable bytes, so sort load
+// balances, and payloads carry structured filler (compressible, like
+// TeraGen's).
+func (g TeraGen) Part(part int, size int64) []byte {
+	n := size / RecordSize
+	if n == 0 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(g.Seed*1_000_003 + int64(part)))
+	out := make([]byte, 0, n*RecordSize)
+	row := int64(part) << 40
+	for i := int64(0); i < n; i++ {
+		for k := 0; k < KeySize; k++ {
+			out = append(out, byte(' '+rng.Intn(95)))
+		}
+		// Payload: 22-digit row id, then filler split between a repeated
+		// character and random printable bytes. The mix pins the fast-codec
+		// compression ratio near the ~2:1 of real GenSort records — an
+		// all-repetitive filler would overstate compression and erase the
+		// intermediate-disk pressure the paper measures for TeraSort.
+		payload := fmt.Sprintf("%022d", row+i)
+		out = append(out, payload...)
+		fill := byte('A' + i%26)
+		half := (RecordSize - KeySize - len(payload)) / 2
+		for k := 0; k < half; k++ {
+			out = append(out, fill)
+		}
+		for len(out)%RecordSize != 0 {
+			out = append(out, byte(' '+rng.Intn(95)))
+		}
+	}
+	return out
+}
+
+// Key returns the sort key of the record starting at off.
+func Key(data []byte, off int) []byte { return data[off : off+KeySize] }
+
+// OrderGen generates the Hive Aggregation table: one order item per line,
+// "order|user|item|category|price|quantity". Categories follow a Zipf
+// distribution — aggregation output is much smaller than its input, as with
+// the paper's OLAP query.
+type OrderGen struct {
+	Seed       int64
+	Categories int // number of distinct group-by keys (default 1000)
+}
+
+// Part returns approximately size bytes of whole order lines.
+func (g OrderGen) Part(part int, size int64) []byte {
+	cats := g.Categories
+	if cats <= 0 {
+		cats = 1000
+	}
+	rng := rand.New(rand.NewSource(g.Seed*7_368_787 + int64(part)))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(cats-1))
+	out := make([]byte, 0, size+128)
+	order := int64(part) << 36
+	for int64(len(out)) < size {
+		order++
+		user := rng.Intn(100_000)
+		item := rng.Intn(1_000_000)
+		cat := zipf.Uint64()
+		price := rng.Intn(9900) + 100 // cents
+		qty := rng.Intn(9) + 1
+		out = append(out, strconv.FormatInt(order, 10)...)
+		out = append(out, '|')
+		out = append(out, strconv.Itoa(user)...)
+		out = append(out, '|')
+		out = append(out, strconv.Itoa(item)...)
+		out = append(out, '|')
+		out = append(out, "cat-"...)
+		out = append(out, strconv.FormatUint(cat, 10)...)
+		out = append(out, '|')
+		out = append(out, strconv.Itoa(price)...)
+		out = append(out, '|')
+		out = append(out, strconv.Itoa(qty)...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// UserGen generates the dimension table for the Join query: one user per
+// line, "user|name|region". User ids are dense in [0, Users), matching the
+// uniform user draw of OrderGen, so a fact⋈dimension equi-join on user id
+// has realistic hit rates.
+type UserGen struct {
+	Seed  int64
+	Users int // default 100_000, the OrderGen user universe
+}
+
+// Part returns approximately size bytes of whole user lines. The table is
+// range-partitioned: part i carries a contiguous id slice, as a dimension
+// table export would be.
+func (g UserGen) Part(part int, size int64) []byte {
+	users := g.Users
+	if users <= 0 {
+		users = 100_000
+	}
+	rng := rand.New(rand.NewSource(g.Seed*65_537 + int64(part)))
+	regions := []string{"north", "south", "east", "west", "central"}
+	out := make([]byte, 0, size+128)
+	// Walk ids from a per-part base so parts partition the universe.
+	id := part * 7919 % users
+	for int64(len(out)) < size {
+		out = append(out, strconv.Itoa(id)...)
+		out = append(out, '|')
+		out = append(out, "user-"...)
+		out = append(out, strconv.Itoa(id)...)
+		out = append(out, '|')
+		out = append(out, regions[rng.Intn(len(regions))]...)
+		out = append(out, '\n')
+		id = (id + 1) % users
+	}
+	return out
+}
+
+// PointGen generates K-means input: one point per line, comma-separated
+// float coordinates, drawn around TrueCenters cluster centers.
+type PointGen struct {
+	Seed        int64
+	Dims        int // default 8
+	TrueCenters int // default 16
+}
+
+// Part returns approximately size bytes of whole point lines.
+func (g PointGen) Part(part int, size int64) []byte {
+	dims := g.Dims
+	if dims <= 0 {
+		dims = 8
+	}
+	k := g.TrueCenters
+	if k <= 0 {
+		k = 16
+	}
+	// Centers are derived from the seed only, identical across parts.
+	crng := rand.New(rand.NewSource(g.Seed * 31))
+	centers := make([][]float64, k)
+	for i := range centers {
+		centers[i] = make([]float64, dims)
+		for d := range centers[i] {
+			centers[i][d] = crng.Float64() * 1000
+		}
+	}
+	rng := rand.New(rand.NewSource(g.Seed*104_729 + int64(part)))
+	out := make([]byte, 0, size+256)
+	for int64(len(out)) < size {
+		c := centers[rng.Intn(k)]
+		for d := 0; d < dims; d++ {
+			if d > 0 {
+				out = append(out, ',')
+			}
+			v := c[d] + rng.NormFloat64()*25
+			out = strconv.AppendFloat(out, v, 'f', 3, 64)
+		}
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// GraphGen generates PageRank input: a power-law directed graph as
+// "src\tdst" edge lines, built by preferential attachment so in-degree
+// follows the heavy-tailed distribution of real web graphs.
+type GraphGen struct {
+	Seed      int64
+	OutDegree int // average edges per new vertex (default 8)
+}
+
+// Part returns approximately size bytes of whole edge lines. Vertices are
+// globally numbered per part (part-disjoint subgraphs, as a crawler shard
+// would produce), which keeps generation parallel and deterministic.
+func (g GraphGen) Part(part int, size int64) []byte {
+	deg := g.OutDegree
+	if deg <= 0 {
+		deg = 8
+	}
+	rng := rand.New(rand.NewSource(g.Seed*179_424_673 + int64(part)))
+	base := int64(part) << 32
+	out := make([]byte, 0, size+256)
+	// Preferential attachment over a growing target multiset.
+	targets := []int64{base, base + 1}
+	next := base + 2
+	appendEdge := func(src, dst int64) {
+		out = strconv.AppendInt(out, src, 10)
+		out = append(out, '\t')
+		out = strconv.AppendInt(out, dst, 10)
+		out = append(out, '\n')
+	}
+	appendEdge(base, base+1)
+	for int64(len(out)) < size {
+		src := next
+		next++
+		for e := 0; e < deg; e++ {
+			var dst int64
+			if rng.Intn(10) == 0 {
+				dst = base + rng.Int63n(next-base) // uniform exploration
+			} else {
+				dst = targets[rng.Intn(len(targets))] // preferential
+			}
+			if dst == src {
+				continue
+			}
+			appendEdge(src, dst)
+			targets = append(targets, dst)
+		}
+		targets = append(targets, src)
+		// Bound the multiset so memory stays O(recent window).
+		if len(targets) > 1<<16 {
+			targets = targets[len(targets)-1<<15:]
+		}
+	}
+	return out
+}
+
+// SplitRecords returns the largest prefix length of data that ends on a
+// record boundary for fixed-size records.
+func SplitRecords(dataLen int, recordSize int) int {
+	return dataLen - dataLen%recordSize
+}
+
+// Lines iterates newline-terminated records in data, calling fn with each
+// line (without the newline). A trailing unterminated fragment is ignored,
+// matching how the MapReduce input format treats split boundaries.
+func Lines(data []byte, fn func(line []byte)) {
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			fn(data[start:i])
+			start = i + 1
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package datagen
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTeraGenDeterministic(t *testing.T) {
+	g := TeraGen{Seed: 7}
+	a, b := g.Part(3, 10_000), g.Part(3, 10_000)
+	if !bytes.Equal(a, b) {
+		t.Error("same (seed, part) produced different data")
+	}
+	other := g.Part(4, 10_000)
+	if bytes.Equal(a, other) {
+		t.Error("different parts produced identical data")
+	}
+}
+
+func TestTeraGenRecordFraming(t *testing.T) {
+	g := TeraGen{Seed: 1}
+	data := g.Part(0, 5_000)
+	if len(data)%RecordSize != 0 {
+		t.Fatalf("length %d not a multiple of %d", len(data), RecordSize)
+	}
+	if len(data) < 5_000 {
+		t.Errorf("got %d bytes, want >= 5000", len(data))
+	}
+	// Keys are printable.
+	for off := 0; off < len(data); off += RecordSize {
+		for _, c := range Key(data, off) {
+			if c < ' ' || c > '~' {
+				t.Fatalf("non-printable key byte %d at %d", c, off)
+			}
+		}
+	}
+}
+
+func TestTeraGenKeysDisperse(t *testing.T) {
+	g := TeraGen{Seed: 2}
+	data := g.Part(0, 100_000)
+	firsts := map[byte]int{}
+	for off := 0; off < len(data); off += RecordSize {
+		firsts[data[off]]++
+	}
+	if len(firsts) < 50 {
+		t.Errorf("only %d distinct first key bytes; keys not dispersing", len(firsts))
+	}
+}
+
+func TestOrderGenSchema(t *testing.T) {
+	g := OrderGen{Seed: 5}
+	data := g.Part(0, 20_000)
+	lines := 0
+	Lines(data, func(line []byte) {
+		lines++
+		parts := strings.Split(string(line), "|")
+		if len(parts) != 6 {
+			t.Fatalf("line %q has %d fields, want 6", line, len(parts))
+		}
+		if !strings.HasPrefix(parts[3], "cat-") {
+			t.Fatalf("category %q malformed", parts[3])
+		}
+		if _, err := strconv.Atoi(parts[4]); err != nil {
+			t.Fatalf("price %q not numeric", parts[4])
+		}
+	})
+	if lines < 100 {
+		t.Errorf("only %d lines in 20KB", lines)
+	}
+}
+
+func TestOrderGenCategorySkew(t *testing.T) {
+	g := OrderGen{Seed: 5, Categories: 100}
+	data := g.Part(0, 200_000)
+	counts := map[string]int{}
+	total := 0
+	Lines(data, func(line []byte) {
+		parts := strings.SplitN(string(line), "|", 5)
+		counts[parts[3]]++
+		total++
+	})
+	// Zipf: the most popular category should dominate.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 0.2*float64(total) {
+		t.Errorf("top category holds %d/%d, want Zipf skew (>20%%)", max, total)
+	}
+}
+
+func TestPointGenParsesAndClusters(t *testing.T) {
+	g := PointGen{Seed: 9, Dims: 4, TrueCenters: 3}
+	data := g.Part(0, 100_000)
+	var pts [][]float64
+	Lines(data, func(line []byte) {
+		fields := strings.Split(string(line), ",")
+		if len(fields) != 4 {
+			t.Fatalf("point %q has %d dims, want 4", line, len(fields))
+		}
+		pt := make([]float64, 4)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				t.Fatalf("bad coordinate %q: %v", f, err)
+			}
+			pt[i] = v
+		}
+		pts = append(pts, pt)
+	})
+	if len(pts) < 500 {
+		t.Fatalf("only %d points", len(pts))
+	}
+	// Clustered data has within-cluster spread << overall spread: check the
+	// first coordinate takes on a few concentrated bands by comparing the
+	// 10-quantile gaps.
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p[0]
+	}
+	sort.Float64s(xs)
+	span := xs[len(xs)-1] - xs[0]
+	if span <= 0 {
+		t.Fatal("degenerate point spread")
+	}
+}
+
+func TestPointGenCentersSharedAcrossParts(t *testing.T) {
+	g := PointGen{Seed: 9, Dims: 2, TrueCenters: 2}
+	a, b := g.Part(0, 50_000), g.Part(1, 50_000)
+	mean := func(data []byte) float64 {
+		var sum float64
+		var n int
+		Lines(data, func(line []byte) {
+			f := strings.SplitN(string(line), ",", 2)[0]
+			v, _ := strconv.ParseFloat(f, 64)
+			sum += v
+			n++
+		})
+		return sum / float64(n)
+	}
+	ma, mb := mean(a), mean(b)
+	if math.Abs(ma-mb) > 100 {
+		t.Errorf("part means diverge (%f vs %f); centers not shared", ma, mb)
+	}
+}
+
+func TestGraphGenEdgesParse(t *testing.T) {
+	g := GraphGen{Seed: 3}
+	data := g.Part(2, 50_000)
+	edges := 0
+	Lines(data, func(line []byte) {
+		parts := strings.Split(string(line), "\t")
+		if len(parts) != 2 {
+			t.Fatalf("edge %q malformed", line)
+		}
+		src, err1 := strconv.ParseInt(parts[0], 10, 64)
+		dst, err2 := strconv.ParseInt(parts[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("edge %q not numeric", line)
+		}
+		if src>>32 != 2 || dst>>32 != 2 {
+			t.Fatalf("edge %q escapes its part namespace", line)
+		}
+		edges++
+	})
+	if edges < 1000 {
+		t.Errorf("only %d edges", edges)
+	}
+}
+
+func TestGraphGenPowerLawInDegree(t *testing.T) {
+	g := GraphGen{Seed: 3}
+	data := g.Part(0, 400_000)
+	indeg := map[string]int{}
+	total := 0
+	Lines(data, func(line []byte) {
+		parts := strings.Split(string(line), "\t")
+		indeg[parts[1]]++
+		total++
+	})
+	degs := make([]int, 0, len(indeg))
+	for _, d := range indeg {
+		degs = append(degs, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	topShare := 0
+	for i := 0; i < len(degs)/100+1; i++ {
+		topShare += degs[i]
+	}
+	// Top 1% of vertices should attract a disproportionate share of edges.
+	if float64(topShare) < 0.15*float64(total) {
+		t.Errorf("top 1%% holds %d/%d edges; in-degree not heavy-tailed", topShare, total)
+	}
+}
+
+func TestLinesIgnoresTrailingFragment(t *testing.T) {
+	var got []string
+	Lines([]byte("a\nbb\nccc"), func(l []byte) { got = append(got, string(l)) })
+	if len(got) != 2 || got[0] != "a" || got[1] != "bb" {
+		t.Errorf("Lines = %v, want [a bb]", got)
+	}
+}
+
+func TestSplitRecords(t *testing.T) {
+	if got := SplitRecords(250, 100); got != 200 {
+		t.Errorf("SplitRecords(250,100) = %d, want 200", got)
+	}
+	if got := SplitRecords(300, 100); got != 300 {
+		t.Errorf("SplitRecords(300,100) = %d, want 300", got)
+	}
+}
+
+// Property: every generator emits at least the requested volume (rounded to
+// whole records) and is deterministic.
+func TestQuickGeneratorsDeterministic(t *testing.T) {
+	f := func(seed int64, part uint8, kb uint8) bool {
+		size := int64(kb)%32*1024 + 1024
+		gens := []func() []byte{
+			func() []byte { return TeraGen{Seed: seed}.Part(int(part), size) },
+			func() []byte { return OrderGen{Seed: seed}.Part(int(part), size) },
+			func() []byte { return PointGen{Seed: seed}.Part(int(part), size) },
+			func() []byte { return GraphGen{Seed: seed}.Part(int(part), size) },
+		}
+		for _, g := range gens {
+			a, b := g(), g()
+			if !bytes.Equal(a, b) {
+				return false
+			}
+			if int64(len(a)) < size/2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

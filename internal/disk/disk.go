@@ -1,0 +1,394 @@
+// Package disk models a mechanical hard drive together with the Linux block
+// layer that feeds it: a request queue with an elevator (LOOK) scheduler,
+// back/front merging of contiguous requests, and /proc/diskstats-compatible
+// accounting. Service times follow the classic seek + rotation + transfer
+// decomposition; the default parameters are the Seagate ST1000NM0011
+// datasheet values used in the paper's testbed (7200 RPM, 8.5 ms average
+// seek, 4.2 ms average rotational latency, 150 MB/s sustained transfer).
+//
+// The model is timing-only: callers address sectors, not bytes. Data
+// contents live in the filesystem layers above (internal/pagecache,
+// internal/localfs), which is also where integrity is enforced.
+package disk
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"iochar/internal/sim"
+)
+
+// SectorSize is the fixed sector size in bytes, matching the paper's
+// avgrq-sz unit ("the size of sector is 512B").
+const SectorSize = 512
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+// Request operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Sched selects the request scheduler.
+type Sched uint8
+
+// Available schedulers. LOOK is the default and mirrors Linux's elevator
+// behaviour closely enough for characterization; FIFO exists for ablation.
+const (
+	SchedLOOK Sched = iota
+	SchedFIFO
+)
+
+// Params describes a drive and its block-layer configuration.
+type Params struct {
+	Name       string
+	Sectors    int64         // total addressable sectors
+	MinSeek    time.Duration // track-to-track seek
+	MaxSeek    time.Duration // full-stroke seek
+	RPM        int           // spindle speed
+	TransferBC int64         // sustained transfer, bytes/second
+	MaxReqSect int           // merge ceiling per request, in sectors (Linux max_sectors_kb)
+	Scheduler  Sched
+	NoMerge    bool // disable request merging (ablation)
+	// SlowFactor degrades every service time by this multiplier (fault
+	// injection: a failing drive doing internal retries, or a cold spare
+	// rebuilding). 0 or 1 means healthy.
+	SlowFactor float64
+}
+
+// SeagateST1000NM0011 returns the paper's drive: 1 TB, 7200 RPM, 8.5 ms
+// average seek, 150 MB/s sustained transfer, 512 KiB max request.
+//
+// MinSeek/MaxSeek are chosen so the mean seek over uniformly random
+// distances equals the 8.5 ms datasheet average under the square-root seek
+// curve used by Service (E[sqrt(U)] = 2/3).
+func SeagateST1000NM0011() Params {
+	return Params{
+		Name:       "ST1000NM0011",
+		Sectors:    2_000_000_000, // ~1 TB
+		MinSeek:    500 * time.Microsecond,
+		MaxSeek:    12500 * time.Microsecond, // 0.5 + (8.5-0.5)*3/2
+		RPM:        7200,
+		TransferBC: 150 << 20,
+		MaxReqSect: 1024, // 512 KiB
+		Scheduler:  SchedLOOK,
+	}
+}
+
+// Scaled returns a copy of p with capacity divided by factor, for
+// proportionally scaled-down experiments. Timing parameters are unchanged:
+// a smaller disk is not a faster disk.
+func (p Params) Scaled(factor int64) Params {
+	if factor > 1 {
+		p.Sectors /= factor
+		if p.Sectors < 1<<16 {
+			p.Sectors = 1 << 16
+		}
+	}
+	return p
+}
+
+// Stats mirrors the cumulative counters of /proc/diskstats that iostat
+// consumes. All times are virtual.
+type Stats struct {
+	ReadsCompleted  uint64
+	ReadsMerged     uint64
+	SectorsRead     uint64
+	TimeReading     time.Duration // total residence time of completed reads
+	WritesCompleted uint64
+	WritesMerged    uint64
+	SectorsWritten  uint64
+	TimeWriting     time.Duration // total residence time of completed writes
+	IOTicks         time.Duration // time the device was busy
+	WeightedTicks   time.Duration // integral of in-flight requests over time
+}
+
+// Request is one block-layer request. It may absorb contiguous requests by
+// merging; completion fires a single event that wakes every contributor.
+type Request struct {
+	Op     Op
+	Sector int64
+	Count  int // sectors
+
+	arrived     time.Duration
+	subArrivals []time.Duration // arrival times of merged sub-requests
+	completion  *sim.Event
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.completion.Fired() }
+
+// end returns the first sector past the request.
+func (r *Request) end() int64 { return r.Sector + int64(r.Count) }
+
+// Disk is a simulated drive. Create with New; it runs as a background
+// process in the environment and services submitted requests forever.
+type Disk struct {
+	P   Params
+	env *sim.Env
+
+	queue        []*Request
+	inflight     int
+	work         *sim.Cond
+	headPos      int64 // sector under the head after the last request
+	ascend       bool  // LOOK direction
+	busy         bool
+	lastBusy     time.Duration
+	lastWeighted time.Duration
+
+	stats   Stats
+	fullRot time.Duration
+	avgRot  time.Duration
+
+	// trace, when set, observes every completed request (block-level
+	// tracing, as blktrace would provide). See internal/trace.
+	trace func(op Op, sector int64, count int, arrived, done time.Duration)
+}
+
+// SetTrace installs a completion observer. Pass nil to disable.
+func (d *Disk) SetTrace(fn func(op Op, sector int64, count int, arrived, done time.Duration)) {
+	d.trace = fn
+}
+
+// New creates a disk and starts its service process.
+func New(env *sim.Env, p Params) *Disk {
+	if p.Sectors <= 0 || p.RPM <= 0 || p.TransferBC <= 0 {
+		panic("disk: invalid params for " + p.Name)
+	}
+	if p.MaxReqSect <= 0 {
+		p.MaxReqSect = 1024
+	}
+	d := &Disk{
+		P:       p,
+		env:     env,
+		work:    sim.NewCond(env),
+		ascend:  true,
+		fullRot: time.Duration(60e9 / float64(p.RPM)),
+	}
+	d.avgRot = d.fullRot / 2
+	env.Go("disk:"+p.Name, func(proc *sim.Proc) {
+		proc.SetDaemon(true)
+		d.serve(proc)
+	})
+	return d
+}
+
+// Stats returns a copy of the cumulative counters.
+func (d *Disk) Stats() Stats {
+	// Fold the in-progress busy period in, so samplers see smooth %util.
+	s := d.stats
+	if d.busy {
+		s.IOTicks += d.env.Now() - d.lastBusy
+	}
+	return s
+}
+
+// QueueLen returns the number of queued (not yet serviced) requests.
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// InFlight returns the number of submitted, incomplete logical requests
+// (merged sub-requests count individually).
+func (d *Disk) InFlight() int { return d.inflight }
+
+// Submit enqueues a request without blocking. The returned Request can be
+// waited on with Wait. Count must be positive and the range in-bounds.
+func (d *Disk) Submit(op Op, sector int64, count int) *Request {
+	if count <= 0 {
+		panic(fmt.Sprintf("disk %s: non-positive request size %d", d.P.Name, count))
+	}
+	if sector < 0 || sector+int64(count) > d.P.Sectors {
+		panic(fmt.Sprintf("disk %s: request [%d,+%d) out of bounds (disk has %d sectors)", d.P.Name, sector, count, d.P.Sectors))
+	}
+	d.accrueWeighted()
+	d.inflight++
+	if !d.P.NoMerge {
+		if r := d.tryMerge(op, sector, count); r != nil {
+			return r
+		}
+	}
+	r := &Request{
+		Op:         op,
+		Sector:     sector,
+		Count:      count,
+		arrived:    d.env.Now(),
+		completion: sim.NewEvent(d.env),
+	}
+	d.queue = append(d.queue, r)
+	d.work.Broadcast()
+	return r
+}
+
+// tryMerge attempts to extend a queued request with a contiguous range of
+// the same operation, honouring the per-request size ceiling. It returns the
+// absorbing request, or nil if no merge applies.
+func (d *Disk) tryMerge(op Op, sector int64, count int) *Request {
+	for _, q := range d.queue {
+		if q.Op != op || q.Count+count > d.P.MaxReqSect {
+			continue
+		}
+		if q.end() == sector { // back merge
+			q.Count += count
+			q.subArrivals = append(q.subArrivals, d.env.Now())
+			d.bumpMerge(op)
+			return q
+		}
+		if sector+int64(count) == q.Sector { // front merge
+			q.Sector = sector
+			q.Count += count
+			q.subArrivals = append(q.subArrivals, d.env.Now())
+			d.bumpMerge(op)
+			return q
+		}
+	}
+	return nil
+}
+
+func (d *Disk) bumpMerge(op Op) {
+	if op == Read {
+		d.stats.ReadsMerged++
+	} else {
+		d.stats.WritesMerged++
+	}
+}
+
+// Wait blocks p until r completes.
+func (d *Disk) Wait(p *sim.Proc, r *Request) { r.completion.Wait(p) }
+
+// Do submits a request and blocks until it completes — the common
+// synchronous path.
+func (d *Disk) Do(p *sim.Proc, op Op, sector int64, count int) {
+	r := d.Submit(op, sector, count)
+	r.completion.Wait(p)
+}
+
+// serve is the device's service loop.
+func (d *Disk) serve(p *sim.Proc) {
+	for {
+		for len(d.queue) == 0 {
+			d.setBusy(false)
+			d.work.Wait(p)
+		}
+		d.setBusy(true)
+		r := d.pick()
+		p.Sleep(d.Service(r.Sector, r.Count))
+		d.complete(r)
+	}
+}
+
+// pick removes and returns the next request per the configured scheduler.
+func (d *Disk) pick() *Request {
+	idx := 0
+	if d.P.Scheduler == SchedLOOK && len(d.queue) > 1 {
+		idx = d.pickLOOK()
+	}
+	r := d.queue[idx]
+	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+	return r
+}
+
+// pickLOOK chooses the nearest request at or past the head in the current
+// direction, reversing direction when none remains.
+func (d *Disk) pickLOOK() int {
+	scan := func(ascending bool) int {
+		best, bestDist := -1, int64(0)
+		for i, q := range d.queue {
+			var dist int64
+			if ascending {
+				dist = q.Sector - d.headPos
+			} else {
+				dist = d.headPos - q.Sector
+			}
+			if dist < 0 {
+				continue
+			}
+			if best == -1 || dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		return best
+	}
+	if i := scan(d.ascend); i >= 0 {
+		return i
+	}
+	d.ascend = !d.ascend
+	if i := scan(d.ascend); i >= 0 {
+		return i
+	}
+	return 0
+}
+
+// Service returns the modeled service time for a request starting at sector
+// with count sectors, given the current head position: a square-root seek
+// curve, average rotational latency for non-contiguous accesses, and linear
+// transfer time. Contiguous accesses (sector == head position) pay transfer
+// only, modelling streaming.
+func (d *Disk) Service(sector int64, count int) time.Duration {
+	var t time.Duration
+	if sector != d.headPos {
+		dist := sector - d.headPos
+		if dist < 0 {
+			dist = -dist
+		}
+		frac := float64(dist) / float64(d.P.Sectors)
+		t += d.P.MinSeek + time.Duration(float64(d.P.MaxSeek-d.P.MinSeek)*math.Sqrt(frac))
+		t += d.avgRot
+	}
+	bytes := int64(count) * SectorSize
+	t += time.Duration(float64(bytes) / float64(d.P.TransferBC) * 1e9)
+	if d.P.SlowFactor > 1 {
+		t = time.Duration(float64(t) * d.P.SlowFactor)
+	}
+	return t
+}
+
+// complete finalizes accounting for r and wakes its waiters.
+func (d *Disk) complete(r *Request) {
+	d.accrueWeighted()
+	now := d.env.Now()
+	d.headPos = r.end()
+	// Linux semantics: a merged request completes as ONE request (merges
+	// lower the I/O count, which is exactly what raises avgrq-sz), and its
+	// residence time is accounted once, from first arrival to completion.
+	residence := now - r.arrived
+	if r.Op == Read {
+		d.stats.ReadsCompleted++
+		d.stats.SectorsRead += uint64(r.Count)
+		d.stats.TimeReading += residence
+	} else {
+		d.stats.WritesCompleted++
+		d.stats.SectorsWritten += uint64(r.Count)
+		d.stats.TimeWriting += residence
+	}
+	d.inflight -= 1 + len(r.subArrivals)
+	if d.trace != nil {
+		d.trace(r.Op, r.Sector, r.Count, r.arrived, now)
+	}
+	r.completion.Fire()
+}
+
+// setBusy maintains the IOTicks (busy time) integral.
+func (d *Disk) setBusy(b bool) {
+	now := d.env.Now()
+	if d.busy {
+		d.stats.IOTicks += now - d.lastBusy
+	}
+	d.busy = b
+	d.lastBusy = now
+}
+
+// accrueWeighted maintains the in-flight integral (field 11 of diskstats).
+func (d *Disk) accrueWeighted() {
+	now := d.env.Now()
+	d.stats.WeightedTicks += time.Duration(d.inflight) * (now - d.lastWeighted)
+	d.lastWeighted = now
+}

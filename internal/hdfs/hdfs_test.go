@@ -1,0 +1,386 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"iochar/internal/cluster"
+	"iochar/internal/sim"
+)
+
+func rig(nSlaves int) (*sim.Env, *cluster.Cluster, *FS) {
+	env := sim.New(1)
+	c := cluster.New(env, cluster.DefaultHardware(4096), nSlaves)
+	fs := New(env, DefaultConfig(4096), c.Net, c.Slaves)
+	return env, c, fs
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*13 + i>>8)
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	env, c, fs := rig(4)
+	want := pattern(200_000)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/data/a", c.Slaves[0].Name)
+		w.Write(p, want[:50_000])
+		w.Write(p, want[50_000:])
+		w.Close(p)
+		r, err := fs.Open("/data/a", c.Slaves[1].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.ReadAt(p, 0, int64(len(want)))
+		if !bytes.Equal(got, want) {
+			t.Error("round trip mismatch")
+		}
+	})
+	env.Run(0)
+	if fs.Size("/data/a") != 200_000 {
+		t.Errorf("Size = %d, want 200000", fs.Size("/data/a"))
+	}
+}
+
+func TestReplicationFactorHonored(t *testing.T) {
+	env, c, fs := rig(5)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/r", c.Slaves[0].Name)
+		w.Write(p, pattern(100_000))
+		w.Close(p)
+	})
+	env.Run(0)
+	locs, err := fs.BlockLocations("/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range locs {
+		if len(l) != 3 {
+			t.Errorf("block %d has %d replicas, want 3", i, len(l))
+		}
+		seen := map[string]bool{}
+		for _, n := range l {
+			if seen[n] {
+				t.Errorf("block %d has duplicate replica on %s", i, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestFirstReplicaIsLocalToWriter(t *testing.T) {
+	env, c, fs := rig(4)
+	writer := c.Slaves[2].Name
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/local", writer)
+		w.Write(p, pattern(64_000))
+		w.Close(p)
+	})
+	env.Run(0)
+	locs, _ := fs.BlockLocations("/local")
+	for i, l := range locs {
+		if l[0] != writer {
+			t.Errorf("block %d first replica on %s, want writer %s", i, l[0], writer)
+		}
+	}
+}
+
+func TestBlockSplitting(t *testing.T) {
+	env, c, fs := rig(3)
+	bs := fs.Config().BlockSize
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/big", c.Slaves[0].Name)
+		w.Write(p, pattern(int(bs*3+bs/2)))
+		w.Close(p)
+	})
+	env.Run(0)
+	locs, _ := fs.BlockLocations("/big")
+	if len(locs) != 4 {
+		t.Errorf("blocks = %d, want 4 (3.5 block sizes)", len(locs))
+	}
+}
+
+func TestLocalReadAvoidsNetwork(t *testing.T) {
+	env, c, fs := rig(4)
+	writer := c.Slaves[0]
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/x", writer.Name)
+		w.Write(p, pattern(100_000))
+		w.Close(p)
+		rxBefore := writer.NIC.BytesReceived()
+		r, _ := fs.Open("/x", writer.Name)
+		r.ReadAt(p, 0, 100_000)
+		if got := writer.NIC.BytesReceived() - rxBefore; got != 0 {
+			t.Errorf("local read moved %d bytes over the network", got)
+		}
+	})
+	env.Run(0)
+}
+
+func TestRemoteReadUsesNetwork(t *testing.T) {
+	env, c, fs := rig(8)
+	env.Go("client", func(p *sim.Proc) {
+		// A single block keeps the replica set to 3 of 8 slaves, so an
+		// outsider node is guaranteed to exist.
+		fs.Load("/y", c.Slaves[0].Name, pattern(16_000))
+		// Find a slave with no replica.
+		locs, _ := fs.BlockLocations("/y")
+		holders := map[string]bool{}
+		for _, l := range locs {
+			for _, n := range l {
+				holders[n] = true
+			}
+		}
+		var outsider *cluster.Node
+		for _, s := range c.Slaves {
+			if !holders[s.Name] {
+				outsider = s
+				break
+			}
+		}
+		if outsider == nil {
+			t.Skip("every slave holds a replica at this scale")
+		}
+		before := outsider.NIC.BytesReceived()
+		r, _ := fs.Open("/y", outsider.Name)
+		r.ReadAt(p, 0, 16_000)
+		if got := outsider.NIC.BytesReceived() - before; got != 16_000 {
+			t.Errorf("remote read transferred %d bytes, want 16000", got)
+		}
+	})
+	env.Run(0)
+}
+
+func TestLoadIsInstantAndCold(t *testing.T) {
+	env, c, fs := rig(3)
+	fs.Load("/cold", c.Slaves[0].Name, pattern(500_000))
+	if env.Now() != 0 {
+		t.Error("Load consumed virtual time")
+	}
+	for _, s := range c.Slaves {
+		for _, d := range s.HDFSDisks {
+			if d.Stats().SectorsWritten != 0 {
+				t.Error("Load generated disk writes")
+			}
+		}
+	}
+	var read []byte
+	env.Go("r", func(p *sim.Proc) {
+		r, err := fs.Open("/cold", c.Slaves[1].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		read = r.ReadAt(p, 1000, 5000)
+	})
+	env.Run(0)
+	if !bytes.Equal(read, pattern(500_000)[1000:6000]) {
+		t.Error("loaded content mismatch")
+	}
+	if env.Now() == 0 {
+		t.Error("cold read should consume virtual time (disk access)")
+	}
+}
+
+func TestDeleteFreesBlocks(t *testing.T) {
+	env, c, fs := rig(3)
+	fs.Load("/tmp", c.Slaves[0].Name, pattern(300_000))
+	before := 0
+	for _, s := range c.Slaves {
+		for _, v := range s.HDFSVols {
+			before += len(v.List())
+		}
+	}
+	if before == 0 {
+		t.Fatal("no block files created")
+	}
+	if err := fs.Delete("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	after := 0
+	for _, s := range c.Slaves {
+		for _, v := range s.HDFSVols {
+			after += len(v.List())
+		}
+	}
+	if after != 0 {
+		t.Errorf("%d block files remain after delete", after)
+	}
+	if fs.Exists("/tmp") {
+		t.Error("file still in namespace")
+	}
+	_ = env
+	_ = c
+}
+
+func TestOpenWhileWritingErrors(t *testing.T) {
+	env, c, fs := rig(3)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/w", c.Slaves[0].Name)
+		w.Write(p, pattern(10))
+		if _, err := fs.Open("/w", c.Slaves[0].Name); err == nil {
+			t.Error("open of in-flight file should fail")
+		}
+		w.Close(p)
+		if _, err := fs.Open("/w", c.Slaves[0].Name); err != nil {
+			t.Errorf("open after close failed: %v", err)
+		}
+	})
+	env.Run(0)
+}
+
+func TestOpenMissingErrors(t *testing.T) {
+	_, c, fs := rig(3)
+	if _, err := fs.Open("/ghost", c.Slaves[0].Name); err == nil {
+		t.Error("want error")
+	}
+	if err := fs.Delete("/ghost"); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	_, c, fs := rig(3)
+	fs.Load("/in/part-0", c.Slaves[0].Name, pattern(10))
+	fs.Load("/in/part-1", c.Slaves[1].Name, pattern(10))
+	fs.Load("/out/part-0", c.Slaves[2].Name, pattern(10))
+	got := fs.List("/in/")
+	if len(got) != 2 || got[0] != "/in/part-0" || got[1] != "/in/part-1" {
+		t.Errorf("List(/in/) = %v", got)
+	}
+}
+
+func TestReadAtEOFClamps(t *testing.T) {
+	env, c, fs := rig(3)
+	want := pattern(1000)
+	fs.Load("/e", c.Slaves[0].Name, want)
+	env.Go("r", func(p *sim.Proc) {
+		r, _ := fs.Open("/e", c.Slaves[0].Name)
+		if got := r.ReadAt(p, 900, 500); !bytes.Equal(got, want[900:]) {
+			t.Error("EOF clamp mismatch")
+		}
+		if got := r.ReadAt(p, 2000, 10); got != nil {
+			t.Error("read past EOF should be nil")
+		}
+	})
+	env.Run(0)
+}
+
+// Property: for any content and any read window, HDFS returns exactly the
+// bytes written, across block boundaries and replica choices.
+func TestQuickReadWindows(t *testing.T) {
+	env, c, fs := rig(4)
+	content := pattern(300_000)
+	fs.Load("/q", c.Slaves[0].Name, content)
+	f := func(offRaw, lenRaw uint32, clientRaw uint8) bool {
+		off := int64(offRaw) % int64(len(content))
+		length := int64(lenRaw)%50_000 + 1
+		client := c.Slaves[int(clientRaw)%len(c.Slaves)].Name
+		ok := true
+		env.Go("r", func(p *sim.Proc) {
+			r, err := fs.Open("/q", client)
+			if err != nil {
+				ok = false
+				return
+			}
+			got := r.ReadAt(p, off, length)
+			end := off + length
+			if end > int64(len(content)) {
+				end = int64(len(content))
+			}
+			if !bytes.Equal(got, content[off:end]) {
+				ok = false
+			}
+		})
+		env.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultConfigScaling(t *testing.T) {
+	c1 := DefaultConfig(1)
+	if c1.BlockSize != 64<<20 {
+		t.Errorf("BlockSize = %d, want 64 MB", c1.BlockSize)
+	}
+	c2 := DefaultConfig(1024)
+	if c2.BlockSize != 64<<10 {
+		t.Errorf("scaled BlockSize = %d, want 64 KB", c2.BlockSize)
+	}
+	tiny := DefaultConfig(1 << 30)
+	if tiny.BlockSize != 16<<10 {
+		t.Errorf("BlockSize floor = %d, want 16 KB", tiny.BlockSize)
+	}
+}
+
+func TestCreateWithReplicationOne(t *testing.T) {
+	env, c, fs := rig(4)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.CreateWith("/r1", c.Slaves[0].Name, 1)
+		w.Write(p, pattern(64_000))
+		w.Close(p)
+	})
+	env.Run(0)
+	locs, err := fs.BlockLocations("/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range locs {
+		if len(l) != 1 {
+			t.Errorf("block %d has %d replicas, want 1", i, len(l))
+		}
+		if l[0] != c.Slaves[0].Name {
+			t.Errorf("block %d not on the writer", i)
+		}
+	}
+}
+
+func TestCreateWithInvalidReplicationFallsBack(t *testing.T) {
+	env, c, fs := rig(4)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.CreateWith("/bad", c.Slaves[0].Name, 99) // > datanodes
+		w.Write(p, pattern(10_000))
+		w.Close(p)
+	})
+	env.Run(0)
+	locs, _ := fs.BlockLocations("/bad")
+	for _, l := range locs {
+		if len(l) != fs.Config().Replication {
+			t.Errorf("fallback replication = %d, want %d", len(l), fs.Config().Replication)
+		}
+	}
+}
+
+func TestReplicationOneMovesLessData(t *testing.T) {
+	written := func(rep int) uint64 {
+		env, c, fs := rig(4)
+		env.Go("client", func(p *sim.Proc) {
+			w := fs.CreateWith("/w", c.Slaves[0].Name, rep)
+			w.Write(p, pattern(200_000))
+			w.Close(p)
+			for _, s := range c.Slaves {
+				for _, v := range s.HDFSVols {
+					v.Cache().Sync(p)
+				}
+			}
+		})
+		env.Run(0)
+		var total uint64
+		for _, s := range c.Slaves {
+			for _, d := range s.HDFSDisks {
+				total += d.Stats().SectorsWritten
+			}
+		}
+		return total
+	}
+	one, three := written(1), written(3)
+	if three < one*5/2 {
+		t.Errorf("replication 3 wrote %d sectors, want ~3x replication 1's %d", three, one)
+	}
+}

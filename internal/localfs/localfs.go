@@ -1,0 +1,378 @@
+// Package localfs implements the per-disk local filesystem used underneath
+// both the HDFS datanode (block files) and the MapReduce runtime
+// (intermediate spill/merge/shuffle files).
+//
+// It is an extent-allocating, append-write filesystem: file contents are
+// real bytes held in memory (the correctness layer), while every access is
+// translated to device sector ranges and pushed through the page cache to
+// the modeled disk (the timing layer). When many writers grow files
+// concurrently their extents interleave on the device — the natural origin
+// of the fragmented, seek-heavy layout that makes MapReduce intermediate
+// I/O "small and random" in the paper.
+package localfs
+
+import (
+	"fmt"
+	"sort"
+
+	"iochar/internal/disk"
+	"iochar/internal/pagecache"
+	"iochar/internal/sim"
+)
+
+// DefaultExtentSectors is the allocation granularity: 1 MiB extents.
+const DefaultExtentSectors = 2048
+
+// Stats counts filesystem-level activity.
+type Stats struct {
+	FilesCreated uint64
+	FilesDeleted uint64
+	BytesWritten uint64
+	BytesRead    uint64
+	Extents      uint64 // currently allocated extents across live files
+}
+
+// extent is a contiguous run of device sectors.
+type extent struct {
+	sector  int64
+	sectors int64
+}
+
+func (e extent) end() int64 { return e.sector + e.sectors }
+
+// file is an on-"disk" file: real contents plus its device extents.
+type file struct {
+	name    string
+	size    int64
+	data    []byte
+	extents []extent
+	alloced int64 // sectors allocated
+	opens   int
+	deleted bool
+}
+
+// FS is one disk's filesystem. Create with New.
+type FS struct {
+	env     *sim.Env
+	cache   *pagecache.Cache
+	d       *disk.Disk
+	extSize int64
+
+	files    map[string]*file
+	free     []extent // sorted, coalesced free extents
+	nextFree int64    // bump pointer past the highest allocation
+	stats    Stats
+}
+
+// New creates a filesystem covering the whole device behind cache.
+func New(env *sim.Env, d *disk.Disk, cache *pagecache.Cache) *FS {
+	return &FS{
+		env:     env,
+		cache:   cache,
+		d:       d,
+		extSize: DefaultExtentSectors,
+		files:   make(map[string]*file),
+	}
+}
+
+// SetExtentSectors overrides the allocation granularity (testing and
+// fragmentation ablations).
+func (fs *FS) SetExtentSectors(n int64) {
+	if n <= 0 {
+		panic("localfs: non-positive extent size")
+	}
+	fs.extSize = n
+}
+
+// Stats returns a copy of the counters.
+func (fs *FS) Stats() Stats { return fs.stats }
+
+// Cache returns the page cache backing this filesystem.
+func (fs *FS) Cache() *pagecache.Cache { return fs.cache }
+
+// Disk returns the device backing this filesystem.
+func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// Exists reports whether name exists.
+func (fs *FS) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Size returns the byte size of name, or -1 if absent.
+func (fs *FS) Size(name string) int64 {
+	f, ok := fs.files[name]
+	if !ok {
+		return -1
+	}
+	return f.size
+}
+
+// List returns all file names, sorted.
+func (fs *FS) List() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// File is an open handle. Writers append; readers use ReadAt with a
+// per-handle readahead state.
+type File struct {
+	fs *FS
+	f  *file
+	rs pagecache.ReadState
+}
+
+// Create creates an empty file and returns a handle. Creating an existing
+// name truncates it (the MapReduce runtime never does; tests may).
+func (fs *FS) Create(name string) *File {
+	if old, ok := fs.files[name]; ok {
+		fs.release(old)
+	}
+	f := &file{name: name}
+	fs.files[name] = f
+	fs.stats.FilesCreated++
+	f.opens++
+	return &File{fs: fs, f: f}
+}
+
+// Open returns a read handle, or an error if absent.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("localfs: open %s on %s: no such file", name, fs.d.P.Name)
+	}
+	f.opens++
+	return &File{fs: fs, f: f}, nil
+}
+
+// Delete removes a file: extents return to the free list and its cached
+// pages are discarded without writeback — deleted intermediate data that
+// never aged out of the cache produces no disk I/O at all.
+func (fs *FS) Delete(name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("localfs: delete %s on %s: no such file", name, fs.d.P.Name)
+	}
+	fs.release(f)
+	delete(fs.files, name)
+	fs.stats.FilesDeleted++
+	return nil
+}
+
+func (fs *FS) release(f *file) {
+	f.deleted = true
+	for _, e := range f.extents {
+		fs.cache.Discard(e.sector, int(e.sectors))
+		fs.freeExtent(e)
+	}
+	fs.stats.Extents -= uint64(len(f.extents))
+	f.extents = nil
+	f.data = nil
+}
+
+// Name returns the file's name.
+func (h *File) Name() string { return h.f.name }
+
+// Size returns the current byte size.
+func (h *File) Size() int64 { return h.f.size }
+
+// Append writes data at the end of the file, blocking p for the page-cache
+// work (which may throttle on the dirty ratio). Contents are stored
+// verbatim; timing flows through cache and disk.
+func (h *File) Append(p *sim.Proc, data []byte) {
+	if h.f.deleted {
+		panic("localfs: append to deleted file " + h.f.name)
+	}
+	if len(data) == 0 {
+		return
+	}
+	start := h.f.size
+	h.f.data = append(h.f.data, data...)
+	h.f.size += int64(len(data))
+	h.fs.stats.BytesWritten += uint64(len(data))
+
+	needSectors := (h.f.size + disk.SectorSize - 1) / disk.SectorSize
+	for h.f.alloced < needSectors {
+		h.fs.grow(h.f, needSectors-h.f.alloced)
+	}
+	for _, r := range h.f.sectorRanges(start, int64(len(data))) {
+		h.fs.cache.Write(p, r.sector, int(r.sectors))
+	}
+}
+
+// Install appends data without charging any virtual time or touching the
+// page cache — the bytes appear on disk, cold. It exists for experiment
+// setup (loading input datasets), which the paper's measurements exclude.
+func (h *File) Install(data []byte) {
+	if h.f.deleted {
+		panic("localfs: install into deleted file " + h.f.name)
+	}
+	h.f.data = append(h.f.data, data...)
+	h.f.size += int64(len(data))
+	needSectors := (h.f.size + disk.SectorSize - 1) / disk.SectorSize
+	for h.f.alloced < needSectors {
+		h.fs.grow(h.f, needSectors-h.f.alloced)
+	}
+}
+
+// ReadAt returns length bytes from offset off, blocking p for the cache
+// fetches. Short reads at EOF return the available suffix.
+func (h *File) ReadAt(p *sim.Proc, off, length int64) []byte {
+	if off < 0 || off >= h.f.size {
+		return nil
+	}
+	if off+length > h.f.size {
+		length = h.f.size - off
+	}
+	for _, r := range h.f.sectorRanges(off, length) {
+		h.rs.Limit = h.f.extentEnd(r.sector)
+		h.fs.cache.Read(p, &h.rs, r.sector, int(r.sectors))
+	}
+	h.fs.stats.BytesRead += uint64(length)
+	return h.f.data[off : off+length]
+}
+
+// Sync flushes the whole cache (per-file dirty tracking is not modeled; the
+// runtime syncs at well-defined points where whole-cache flush is faithful
+// enough).
+func (h *File) Sync(p *sim.Proc) { h.fs.cache.Sync(p) }
+
+// Close releases the handle.
+func (h *File) Close() {
+	if h.f.opens > 0 {
+		h.f.opens--
+	}
+}
+
+// sectorRanges maps the byte range [off, off+length) onto device sector
+// runs, one per extent crossed.
+func (f *file) sectorRanges(off, length int64) []extent {
+	if length <= 0 {
+		return nil
+	}
+	firstSect := off / disk.SectorSize
+	lastSect := (off + length + disk.SectorSize - 1) / disk.SectorSize
+	var out []extent
+	var walked int64
+	for _, e := range f.extents {
+		extFirst := walked
+		extLast := walked + e.sectors
+		walked = extLast
+		lo, hi := maxI(firstSect, extFirst), minI(lastSect, extLast)
+		if lo >= hi {
+			continue
+		}
+		out = append(out, extent{sector: e.sector + (lo - extFirst), sectors: hi - lo})
+	}
+	return out
+}
+
+// extentEnd returns the exclusive device-sector bound of the extent
+// containing sector, used to fence readahead inside the file's own space.
+func (f *file) extentEnd(sector int64) int64 {
+	for _, e := range f.extents {
+		if sector >= e.sector && sector < e.end() {
+			return e.end()
+		}
+	}
+	return sector
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// grow allocates at least want more sectors for f (rounded up to the extent
+// granularity), preferring to extend the file's last extent when the next
+// device sectors are free — files written alone stay sequential; files
+// written concurrently interleave.
+func (fs *FS) grow(f *file, want int64) {
+	n := fs.extSize
+	for n < want {
+		n += fs.extSize
+	}
+	// Try to extend in place from the bump pointer.
+	if len(f.extents) > 0 && f.extents[len(f.extents)-1].end() == fs.nextFree {
+		if fs.nextFree+n <= fs.d.P.Sectors {
+			f.extents[len(f.extents)-1].sectors += n
+			f.alloced += n
+			fs.nextFree += n
+			return
+		}
+	}
+	e := fs.allocExtent(n)
+	// Coalesce with the previous extent if adjacent.
+	if len(f.extents) > 0 && f.extents[len(f.extents)-1].end() == e.sector {
+		f.extents[len(f.extents)-1].sectors += e.sectors
+	} else {
+		f.extents = append(f.extents, e)
+		fs.stats.Extents++
+	}
+	f.alloced += n
+}
+
+// allocExtent takes n sectors: first-fit from the free list, else from the
+// bump pointer. Exhaustion panics — experiments must size their disks.
+func (fs *FS) allocExtent(n int64) extent {
+	for i, e := range fs.free {
+		if e.sectors >= n {
+			out := extent{sector: e.sector, sectors: n}
+			if e.sectors == n {
+				fs.free = append(fs.free[:i], fs.free[i+1:]...)
+			} else {
+				fs.free[i] = extent{sector: e.sector + n, sectors: e.sectors - n}
+			}
+			return out
+		}
+	}
+	if fs.nextFree+n > fs.d.P.Sectors {
+		panic(fmt.Sprintf("localfs: disk %s full (%d sectors, need %d more)", fs.d.P.Name, fs.d.P.Sectors, n))
+	}
+	out := extent{sector: fs.nextFree, sectors: n}
+	fs.nextFree += n
+	return out
+}
+
+// freeExtent returns e to the free list, keeping it sorted and coalesced.
+func (fs *FS) freeExtent(e extent) {
+	i := sort.Search(len(fs.free), func(i int) bool { return fs.free[i].sector >= e.sector })
+	fs.free = append(fs.free, extent{})
+	copy(fs.free[i+1:], fs.free[i:])
+	fs.free[i] = e
+	// Coalesce with neighbours.
+	if i+1 < len(fs.free) && fs.free[i].end() == fs.free[i+1].sector {
+		fs.free[i].sectors += fs.free[i+1].sectors
+		fs.free = append(fs.free[:i+1], fs.free[i+2:]...)
+	}
+	if i > 0 && fs.free[i-1].end() == fs.free[i].sector {
+		fs.free[i-1].sectors += fs.free[i].sectors
+		fs.free = append(fs.free[:i], fs.free[i+1:]...)
+	}
+}
+
+// FreeExtentCount returns the size of the free list (fragmentation probe).
+func (fs *FS) FreeExtentCount() int { return len(fs.free) }
+
+// ExtentCount returns the number of extents backing name, or 0 if absent —
+// a direct fragmentation measure.
+func (fs *FS) ExtentCount(name string) int {
+	f, ok := fs.files[name]
+	if !ok {
+		return 0
+	}
+	return len(f.extents)
+}

@@ -1,0 +1,129 @@
+package mapred
+
+import (
+	"fmt"
+	"testing"
+
+	"iochar/internal/cluster"
+	"iochar/internal/hdfs"
+	"iochar/internal/sim"
+)
+
+func benchEntries(n int) []kvEnt {
+	arena := make([]byte, 0, n*16)
+	ents := make([]kvEnt, 0, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%07d", (i*2654435761)%n)
+		ko := len(arena)
+		arena = append(arena, k...)
+		ents = append(ents, kvEnt{part: i % 16, seq: i, key: arena[ko:len(arena):len(arena)], val: arena[ko:len(arena):len(arena)]})
+	}
+	return ents
+}
+
+func BenchmarkSortKVEntries(b *testing.B) {
+	src := benchEntries(1 << 14)
+	buf := make([]kvEnt, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		sortKVEntries(buf)
+	}
+	b.SetBytes(int64(len(src) * 16))
+}
+
+func benchRun(n, stride int) run {
+	var r run
+	for i := 0; i < n; i++ {
+		r = appendKV(r, []byte(fmt.Sprintf("key-%07d", i*stride)), []byte("0123456789abcdef"))
+	}
+	return r
+}
+
+func BenchmarkMergeRuns(b *testing.B) {
+	for _, fan := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("fanin-%d", fan), func(b *testing.B) {
+			runs := make([]run, fan)
+			for i := range runs {
+				runs[i] = benchRun(4096/fan, fan)
+			}
+			b.ResetTimer()
+			var total int
+			for i := 0; i < b.N; i++ {
+				total += len(mergeRuns(runs))
+			}
+			if total == 0 {
+				b.Fatal("merge produced nothing")
+			}
+		})
+	}
+}
+
+func BenchmarkGroupRun(b *testing.B) {
+	r := benchRun(8192, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups := 0
+		groupRun(r, func(k []byte, vs [][]byte) { groups++ })
+		if groups != 8192 {
+			b.Fatal("bad grouping")
+		}
+	}
+	b.SetBytes(int64(len(r)))
+}
+
+func BenchmarkHashPartition(b *testing.B) {
+	keys := make([][]byte, 256)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%07d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashPartition(keys[i%len(keys)], 20)
+	}
+}
+
+// BenchmarkAblationCombiner contrasts a word-count-shaped job's shuffle
+// volume with and without the map-side combiner, on the live runtime.
+func BenchmarkAblationCombiner(b *testing.B) {
+	for _, withCombiner := range []bool{true, false} {
+		name := "combiner"
+		if !withCombiner {
+			name = "none"
+		}
+		b.Run(name, func(b *testing.B) {
+			var shuffle int64
+			for i := 0; i < b.N; i++ {
+				rig := newBenchRig()
+				parts, _ := textParts()
+				rig.loadLines("/in", parts)
+				job := wordCountJob(rig.inputs("/in"), "/out")
+				if withCombiner {
+					job.Combiner = sumCombiner()
+				}
+				var res *Result
+				var err error
+				rig.env.Go("driver", func(p *sim.Proc) {
+					res, err = rig.rt.Run(p, job)
+				})
+				rig.env.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shuffle = res.ShuffleBytes
+			}
+			b.ReportMetric(float64(shuffle)/1024, "shuffle-KB")
+		})
+	}
+}
+
+// newBenchRig mirrors newRig without *testing.T plumbing.
+func newBenchRig() *testRig {
+	env := sim.New(1)
+	cl := cluster.New(env, cluster.DefaultHardware(8192), 4)
+	fs := hdfs.New(env, hdfs.DefaultConfig(8192), cl.Net, cl.Slaves)
+	cfg := DefaultConfig(8192)
+	cfg.MapSlots, cfg.ReduceSlots = 2, 2
+	rt := New(env, cl, fs, cl.Net, cfg)
+	return &testRig{env: env, cl: cl, fs: fs, rt: rt}
+}

@@ -1,0 +1,348 @@
+package mapred
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// appendKV serializes one pair as uvarint-length-prefixed key and value —
+// the on-disk and on-wire intermediate format.
+func appendKV(dst, key, value []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(value)))
+	dst = append(dst, value...)
+	return dst
+}
+
+// readKV deserializes the pair at the head of src, returning the key, the
+// value, and the remainder. It panics on corruption — in a simulation that
+// is a bug, not an I/O error.
+func readKV(src []byte) (key, value, rest []byte) {
+	kl, n := binary.Uvarint(src)
+	if n <= 0 {
+		panic("mapred: corrupt KV stream (key length)")
+	}
+	src = src[n:]
+	key = src[:kl]
+	src = src[kl:]
+	vl, n := binary.Uvarint(src)
+	if n <= 0 {
+		panic("mapred: corrupt KV stream (value length)")
+	}
+	src = src[n:]
+	value = src[:vl]
+	return key, value, src[vl:]
+}
+
+// run is a sorted serialized KV stream.
+type run []byte
+
+// mergeRuns performs a k-way merge of sorted runs into one sorted run.
+// Returned bytes are freshly allocated. totalBytes is returned for cost
+// accounting convenience.
+func mergeRuns(runs []run) run {
+	runs2 := runs[:0]
+	total := 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			runs2 = append(runs2, r)
+			total += len(r)
+		}
+	}
+	runs = runs2
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return append(run(nil), runs[0]...)
+	}
+	type cursor struct {
+		key, val, rest []byte
+	}
+	cs := make([]cursor, len(runs))
+	for i, r := range runs {
+		k, v, rest := readKV(r)
+		cs[i] = cursor{k, v, rest}
+	}
+	// Loser-tree complexity is unnecessary at our fan-ins; a linear scan of
+	// the (small) cursor set keeps this simple and deterministic.
+	out := make(run, 0, total)
+	for len(cs) > 0 {
+		best := 0
+		for i := 1; i < len(cs); i++ {
+			if bytes.Compare(cs[i].key, cs[best].key) < 0 {
+				best = i
+			}
+		}
+		out = appendKV(out, cs[best].key, cs[best].val)
+		if len(cs[best].rest) == 0 {
+			cs = append(cs[:best], cs[best+1:]...)
+			continue
+		}
+		k, v, rest := readKV(cs[best].rest)
+		cs[best] = cursor{k, v, rest}
+	}
+	return out
+}
+
+// groupRun iterates a sorted run, invoking fn once per distinct key with
+// all its values (subslices of the run; fn must not retain them).
+func groupRun(r run, fn func(key []byte, values [][]byte)) {
+	var curKey []byte
+	var vals [][]byte
+	for len(r) > 0 {
+		k, v, rest := readKV(r)
+		if curKey == nil || !bytes.Equal(k, curKey) {
+			if curKey != nil {
+				fn(curKey, vals)
+			}
+			curKey = k
+			vals = vals[:0]
+		}
+		vals = append(vals, v)
+		r = rest
+	}
+	if curKey != nil {
+		fn(curKey, vals)
+	}
+}
+
+// countKVs returns the number of pairs in a run.
+func countKVs(r run) int64 {
+	var n int64
+	for len(r) > 0 {
+		_, _, r2 := readKV(r)
+		r = r2
+		n++
+	}
+	return n
+}
+
+// sortedRun reports whether r is sorted by key (test helper used by
+// property tests and debug assertions).
+func sortedRun(r run) bool {
+	var prev []byte
+	for len(r) > 0 {
+		k, _, rest := readKV(r)
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			return false
+		}
+		prev = k
+		r = rest
+	}
+	return true
+}
+
+// recordIter produces record boundaries for a split under a RecordFormat.
+//
+// Hadoop semantics are preserved for both formats:
+//   - lines: skip a partial first line (unless offset 0); consume past the
+//     split end to finish the final line.
+//   - fixed: the split owns records whose first byte lies inside it.
+type recordIter struct {
+	format   RecordFormat
+	splitOff int64
+	splitLen int64
+	fileSize int64
+}
+
+// ranges returns the byte range of the file this split must actually read:
+// for lines, up to one extra record's worth past the end. maxRecord bounds
+// the overread window.
+const maxLineOverread = 64 << 10
+
+func (it recordIter) readRange() (off, length int64) {
+	switch f := it.format.(type) {
+	case FixedFormat:
+		rs := int64(f.Size)
+		first := (it.splitOff + rs - 1) / rs * rs
+		afterLast := (it.splitOff + it.splitLen + rs - 1) / rs * rs
+		if afterLast > it.fileSize {
+			afterLast = it.fileSize
+		}
+		if first >= afterLast {
+			return 0, 0
+		}
+		return first, afterLast - first
+	case LineFormat:
+		end := it.splitOff + it.splitLen + maxLineOverread
+		if end > it.fileSize {
+			end = it.fileSize
+		}
+		return it.splitOff, end - it.splitOff
+	case KVFormat:
+		return 0, it.fileSize // whole-file split
+	default:
+		panic(fmt.Sprintf("mapred: unknown record format %T", it.format))
+	}
+}
+
+// framer incrementally frames records from chunks of the readRange, so map
+// tasks interleave disk reads with record processing exactly as Hadoop's
+// record readers do (one buffer ahead), instead of slurping the whole split
+// before computing.
+type framer struct {
+	it          recordIter
+	pending     []byte
+	relPos      int64 // file-relative position of pending[0] minus readRange start
+	skippedHead bool
+	done        bool // past the split's last owned record (LineFormat)
+}
+
+func newFramer(it recordIter) *framer {
+	return &framer{it: it, skippedHead: it.splitOff == 0}
+}
+
+// feed appends one chunk and emits every complete owned record in it.
+func (f *framer) feed(chunk []byte, fn func(rec []byte)) {
+	if f.done {
+		return
+	}
+	f.pending = append(f.pending, chunk...)
+	switch fmtv := f.it.format.(type) {
+	case FixedFormat:
+		n := len(f.pending) / fmtv.Size * fmtv.Size
+		for off := 0; off < n; off += fmtv.Size {
+			fn(f.pending[off : off+fmtv.Size])
+		}
+		f.consume(n)
+	case LineFormat:
+		if !f.skippedHead {
+			i := bytes.IndexByte(f.pending, '\n')
+			if i < 0 {
+				return // keep accumulating the foreign partial line
+			}
+			f.consume(i + 1)
+			f.skippedHead = true
+		}
+		limit := f.it.splitLen // owned lines start at relative pos <= splitLen
+		for {
+			if f.relPos > limit {
+				f.done = true
+				f.pending = nil
+				return
+			}
+			i := bytes.IndexByte(f.pending, '\n')
+			if i < 0 {
+				return
+			}
+			fn(f.pending[:i])
+			f.consume(i + 1)
+		}
+	case KVFormat:
+		for {
+			n, ok := kvLen(f.pending)
+			if !ok {
+				return
+			}
+			fn(f.pending[:n])
+			f.consume(n)
+		}
+	default:
+		panic(fmt.Sprintf("mapred: unknown record format %T", f.it.format))
+	}
+}
+
+// consume drops n framed bytes from the head of pending.
+func (f *framer) consume(n int) {
+	f.relPos += int64(n)
+	rest := f.pending[n:]
+	// Copy down rather than re-slice so the backing array does not pin the
+	// whole history of chunks.
+	if len(rest) == 0 {
+		f.pending = f.pending[:0]
+	} else {
+		f.pending = append(f.pending[:0], rest...)
+	}
+}
+
+// kvLen returns the byte length of the complete KV pair at the head of
+// data, or ok=false if data holds only a partial pair.
+func kvLen(data []byte) (int, bool) {
+	kl, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, false
+	}
+	pos := n + int(kl)
+	if pos > len(data) {
+		return 0, false
+	}
+	vl, m := binary.Uvarint(data[pos:])
+	if m <= 0 {
+		return 0, false
+	}
+	pos += m + int(vl)
+	if pos > len(data) {
+		return 0, false
+	}
+	return pos, true
+}
+
+// records invokes fn for every record the split owns, given the bytes of
+// readRange(). For LineFormat, data begins at splitOff.
+func (it recordIter) records(data []byte, fn func(rec []byte)) {
+	switch f := it.format.(type) {
+	case FixedFormat:
+		for off := 0; off+f.Size <= len(data); off += f.Size {
+			fn(data[off : off+f.Size])
+		}
+	case LineFormat:
+		pos := 0
+		if it.splitOff != 0 {
+			// Skip the partial first line; it belongs to the prior split.
+			i := bytes.IndexByte(data, '\n')
+			if i < 0 {
+				return
+			}
+			pos = i + 1
+		}
+		limit := int(it.splitLen) // records starting before splitOff+splitLen are ours
+		for pos < len(data) && pos <= limit {
+			i := bytes.IndexByte(data[pos:], '\n')
+			if i < 0 {
+				break // unterminated tail fragment at EOF
+			}
+			fn(data[pos : pos+i])
+			pos += i + 1
+		}
+	case KVFormat:
+		for len(data) > 0 {
+			before := len(data)
+			_, _, rest := readKV(data)
+			fn(data[:before-len(rest)])
+			data = rest
+		}
+	default:
+		panic(fmt.Sprintf("mapred: unknown record format %T", it.format))
+	}
+}
+
+// nCompares estimates comparisons for sorting n items (n log2 n).
+func nCompares(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	log := 0.0
+	for m := n; m > 1; m >>= 1 {
+		log++
+	}
+	return float64(n) * log
+}
+
+// sortKVEntries sorts entries by (partition, key, emission order). The seq
+// tiebreaker yields the effect of a stable sort (equal keys keep emission
+// order, which keeps runs deterministic) at unstable-sort cost.
+func sortKVEntries(ents []kvEnt) {
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].part != ents[j].part {
+			return ents[i].part < ents[j].part
+		}
+		if c := bytes.Compare(ents[i].key, ents[j].key); c != 0 {
+			return c < 0
+		}
+		return ents[i].seq < ents[j].seq
+	})
+}

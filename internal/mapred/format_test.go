@@ -1,0 +1,198 @@
+package mapred
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// chunkings to exercise: tiny chunks stress carry-over, huge chunks reduce
+// to the batch case.
+var chunkSizes = []int{1, 3, 7, 64, 1024, 1 << 20}
+
+// framed runs the streaming framer over data cut into chunks of size c.
+func framed(it recordIter, data []byte, c int) []string {
+	fr := newFramer(it)
+	var out []string
+	for pos := 0; pos < len(data); pos += c {
+		end := pos + c
+		if end > len(data) {
+			end = len(data)
+		}
+		fr.feed(data[pos:end], func(rec []byte) { out = append(out, string(rec)) })
+		if fr.done {
+			break
+		}
+	}
+	return out
+}
+
+// batch runs the reference whole-buffer framer.
+func batch(it recordIter, data []byte) []string {
+	var out []string
+	it.records(data, func(rec []byte) { out = append(out, string(rec)) })
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: the streaming framer produces exactly the records of the batch
+// framer for every format, split geometry and chunking.
+func TestQuickFramerMatchesBatch(t *testing.T) {
+	f := func(seed int64, splitRaw uint16, nrec uint8) bool {
+		n := int(nrec)%60 + 3
+
+		// Line data with variable-length lines.
+		var lineData []byte
+		for i := 0; i < n; i++ {
+			pad := int(((seed+int64(i))%37 + 37) % 37)
+			lineData = append(lineData, []byte(fmt.Sprintf("line-%d-%s\n", i, bytes.Repeat([]byte{'x'}, pad)))...)
+		}
+		// Fixed-format data.
+		var fixData []byte
+		for i := 0; i < n; i++ {
+			rec := make([]byte, 20)
+			copy(rec, fmt.Sprintf("%08d", i))
+			fixData = append(fixData, rec...)
+		}
+		// KV data.
+		var kvData []byte
+		for i := 0; i < n; i++ {
+			kvData = appendKV(kvData, []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{'v'}, i%23))
+		}
+
+		type cs struct {
+			format RecordFormat
+			data   []byte
+		}
+		for _, c := range []cs{
+			{LineFormat{}, lineData},
+			{FixedFormat{Size: 20}, fixData},
+			{KVFormat{}, kvData},
+		} {
+			fileSize := int64(len(c.data))
+			splitOff := int64(splitRaw) % (fileSize + 1)
+			splitLen := fileSize - splitOff
+			if _, isKV := c.format.(KVFormat); isKV {
+				splitOff, splitLen = 0, fileSize // KV is whole-file by contract
+			}
+			it := recordIter{format: c.format, splitOff: splitOff, splitLen: splitLen, fileSize: fileSize}
+			off, length := it.readRange()
+			window := c.data[off : off+length]
+			want := batch(it, window)
+			for _, chunk := range chunkSizes {
+				if got := framed(it, window, chunk); !equalStrings(got, want) {
+					t.Logf("format %T splitOff %d chunk %d: got %d records, want %d",
+						c.format, splitOff, chunk, len(got), len(want))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every line belongs to exactly one split, whatever the split
+// geometry — Hadoop's exactly-once framing law.
+func TestQuickLineSplitsExactlyOnce(t *testing.T) {
+	f := func(nrec uint8, splitSizeRaw uint16) bool {
+		n := int(nrec)%80 + 2
+		var data []byte
+		for i := 0; i < n; i++ {
+			data = append(data, []byte(fmt.Sprintf("r%04d %s\n", i, bytes.Repeat([]byte{'y'}, i%29)))...)
+		}
+		fileSize := int64(len(data))
+		splitSize := int64(splitSizeRaw)%96 + 16
+		var got []string
+		for off := int64(0); off < fileSize; off += splitSize {
+			length := splitSize
+			if off+length > fileSize {
+				length = fileSize - off
+			}
+			it := recordIter{format: LineFormat{}, splitOff: off, splitLen: length, fileSize: fileSize}
+			ro, rl := it.readRange()
+			it.records(data[ro:ro+rl], func(rec []byte) { got = append(got, string(rec)) })
+		}
+		if len(got) != n {
+			t.Logf("splitSize %d: got %d records, want %d", splitSize, len(got), n)
+			return false
+		}
+		for i, rec := range got {
+			if want := fmt.Sprintf("r%04d", i); rec[:5] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fixed records split exactly once too.
+func TestQuickFixedSplitsExactlyOnce(t *testing.T) {
+	f := func(nrec uint8, splitSizeRaw uint16) bool {
+		n := int(nrec)%80 + 2
+		const rs = 25
+		var data []byte
+		for i := 0; i < n; i++ {
+			rec := make([]byte, rs)
+			copy(rec, fmt.Sprintf("%06d", i))
+			data = append(data, rec...)
+		}
+		fileSize := int64(len(data))
+		splitSize := int64(splitSizeRaw)%120 + 10
+		count := 0
+		for off := int64(0); off < fileSize; off += splitSize {
+			length := splitSize
+			if off+length > fileSize {
+				length = fileSize - off
+			}
+			it := recordIter{format: FixedFormat{Size: rs}, splitOff: off, splitLen: length, fileSize: fileSize}
+			ro, rl := it.readRange()
+			if rl == 0 {
+				continue
+			}
+			it.records(data[ro:ro+rl], func(rec []byte) { count++ })
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVLenPartial(t *testing.T) {
+	full := appendKV(nil, []byte("key"), []byte("value"))
+	for i := 0; i < len(full); i++ {
+		if n, ok := kvLen(full[:i]); ok {
+			t.Errorf("prefix %d reported complete (n=%d)", i, n)
+		}
+	}
+	if n, ok := kvLen(full); !ok || n != len(full) {
+		t.Errorf("full pair: n=%d ok=%v, want %d true", n, ok, len(full))
+	}
+}
+
+func TestNCompares(t *testing.T) {
+	if nCompares(0) != 0 || nCompares(1) != 0 {
+		t.Error("trivial sizes should cost nothing")
+	}
+	if nCompares(1024) <= nCompares(512)*1.5 {
+		t.Error("n log n should grow superlinearly")
+	}
+}

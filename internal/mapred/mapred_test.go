@@ -1,0 +1,544 @@
+package mapred
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iochar/internal/cluster"
+	"iochar/internal/compress"
+	"iochar/internal/hdfs"
+	"iochar/internal/sim"
+)
+
+// testRig is a small 4-slave cluster at aggressive scale.
+type testRig struct {
+	env *sim.Env
+	cl  *cluster.Cluster
+	fs  *hdfs.FS
+	rt  *Runtime
+}
+
+func newRig(t *testing.T, mut func(*Config)) *testRig {
+	t.Helper()
+	env := sim.New(1)
+	cl := cluster.New(env, cluster.DefaultHardware(8192), 4)
+	fs := hdfs.New(env, hdfs.DefaultConfig(8192), cl.Net, cl.Slaves)
+	cfg := DefaultConfig(8192)
+	cfg.MapSlots, cfg.ReduceSlots = 2, 2
+	if mut != nil {
+		mut(&cfg)
+	}
+	rt := New(env, cl, fs, cl.Net, cfg)
+	return &testRig{env: env, cl: cl, fs: fs, rt: rt}
+}
+
+// loadLines spreads text parts across slaves.
+func (r *testRig) loadLines(path string, parts []string) {
+	for i, part := range parts {
+		r.fs.Load(fmt.Sprintf("%s/part-%d", path, i), r.cl.Slaves[i%len(r.cl.Slaves)].Name, []byte(part))
+	}
+}
+
+// inputs lists the loaded part files.
+func (r *testRig) inputs(path string) []string { return r.fs.List(path + "/") }
+
+// runJob runs and returns the result, failing the test on error.
+func (r *testRig) runJob(t *testing.T, job *Job) *Result {
+	t.Helper()
+	var res *Result
+	var err error
+	r.env.Go("driver", func(p *sim.Proc) {
+		res, err = r.rt.Run(p, job)
+	})
+	r.env.Run(0)
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	return res
+}
+
+// readOutput concatenates and parses all part-r files into a key->values map.
+func (r *testRig) readOutput(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	out := map[string][]string{}
+	var done bool
+	r.env.Go("reader", func(p *sim.Proc) {
+		for _, path := range r.fs.List(dir + "/part-r-") {
+			rd, err := r.fs.Open(path, r.cl.Slaves[0].Name)
+			if err != nil {
+				t.Errorf("open %s: %v", path, err)
+				return
+			}
+			data := rd.ReadAt(p, 0, rd.Size())
+			for len(data) > 0 {
+				k, v, rest := readKV(data)
+				out[string(k)] = append(out[string(k)], string(v))
+				data = rest
+			}
+		}
+		done = true
+	})
+	r.env.Run(0)
+	if !done {
+		t.Fatal("output reader did not finish")
+	}
+	return out
+}
+
+// wordCountJob is the canonical test job.
+func wordCountJob(input []string, output string) *Job {
+	return &Job{
+		Name:   "wordcount",
+		Input:  input,
+		Output: output,
+		Format: LineFormat{},
+		Mapper: MapperFunc(func(rec []byte, emit func(k, v []byte)) {
+			for _, w := range bytes.Fields(rec) {
+				emit(w, []byte("1"))
+			}
+		}),
+		Reducer: ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
+			sum := 0
+			for _, v := range vals {
+				n, _ := strconv.Atoi(string(v))
+				sum += n
+			}
+			emit(k, []byte(strconv.Itoa(sum)))
+		}),
+		NumReduces: 3,
+	}
+}
+
+func sumCombiner() Reducer {
+	return ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
+		sum := 0
+		for _, v := range vals {
+			n, _ := strconv.Atoi(string(v))
+			sum += n
+		}
+		emit(k, []byte(strconv.Itoa(sum)))
+	})
+}
+
+func textParts() ([]string, map[string]int) {
+	words := []string{"pagerank", "terasort", "kmeans", "hive", "hdfs", "disk", "iostat", "await"}
+	var parts []string
+	want := map[string]int{}
+	for p := 0; p < 4; p++ {
+		var sb strings.Builder
+		for i := 0; i < 400; i++ {
+			w := words[(i*7+p*3)%len(words)]
+			sb.WriteString(w)
+			want[w]++
+			if i%9 == 8 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+		parts = append(parts, sb.String())
+	}
+	return parts, want
+}
+
+func checkWordCount(t *testing.T, got map[string][]string, want map[string]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("got %d distinct words, want %d", len(got), len(want))
+	}
+	for w, n := range want {
+		vs := got[w]
+		if len(vs) != 1 {
+			t.Errorf("word %q has %d outputs, want 1", w, len(vs))
+			continue
+		}
+		if vs[0] != strconv.Itoa(n) {
+			t.Errorf("word %q = %s, want %d", w, vs[0], n)
+		}
+	}
+}
+
+func TestWordCountEndToEnd(t *testing.T) {
+	rig := newRig(t, nil)
+	parts, want := textParts()
+	rig.loadLines("/in", parts)
+	job := wordCountJob(rig.inputs("/in"), "/out")
+	res := rig.runJob(t, job)
+	checkWordCount(t, rig.readOutput(t, "/out"), want)
+	if res.MapTasks == 0 || res.ReduceTasks != 3 {
+		t.Errorf("tasks = %d/%d", res.MapTasks, res.ReduceTasks)
+	}
+	if res.Runtime() <= 0 {
+		t.Error("job consumed no virtual time")
+	}
+	if res.MapOutputRecords == 0 || res.ReduceInputRecords != res.MapOutputRecords {
+		t.Errorf("record conservation: map out %d, reduce in %d", res.MapOutputRecords, res.ReduceInputRecords)
+	}
+}
+
+func TestWordCountWithCombiner(t *testing.T) {
+	rig := newRig(t, nil)
+	parts, want := textParts()
+	rig.loadLines("/in", parts)
+	job := wordCountJob(rig.inputs("/in"), "/out")
+	job.Combiner = sumCombiner()
+	res := rig.runJob(t, job)
+	checkWordCount(t, rig.readOutput(t, "/out"), want)
+	if res.CombineInput == 0 {
+		t.Error("combiner never ran")
+	}
+	if res.ReduceInputRecords >= res.MapOutputRecords {
+		t.Errorf("combiner did not shrink traffic: %d >= %d", res.ReduceInputRecords, res.MapOutputRecords)
+	}
+}
+
+func TestCompressionShrinksIntermediate(t *testing.T) {
+	run := func(codec compress.Codec) *Result {
+		rig := newRig(t, func(c *Config) { c.Codec = codec })
+		parts, _ := textParts()
+		rig.loadLines("/in", parts)
+		return rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+	}
+	plain := run(compress.Identity{})
+	packed := run(compress.NewDeflate())
+	if packed.CompressedMapOutput >= plain.CompressedMapOutput {
+		t.Errorf("compression did not shrink map output: %d vs %d",
+			packed.CompressedMapOutput, plain.CompressedMapOutput)
+	}
+	if packed.ShuffleBytes >= plain.ShuffleBytes {
+		t.Errorf("compression did not shrink shuffle: %d vs %d", packed.ShuffleBytes, plain.ShuffleBytes)
+	}
+	// Same logical answer regardless of codec.
+	if packed.ReduceInputRecords != plain.ReduceInputRecords {
+		t.Errorf("codec changed record counts: %d vs %d", packed.ReduceInputRecords, plain.ReduceInputRecords)
+	}
+}
+
+func TestTinySortBufferForcesSpillsAndMerge(t *testing.T) {
+	rig := newRig(t, func(c *Config) { c.SortBufBytes = 4 << 10 })
+	parts, want := textParts()
+	rig.loadLines("/in", parts)
+	res := rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+	if res.Spills <= int64(res.MapTasks) {
+		t.Errorf("Spills = %d with a 4KB buffer, want more than one per map (%d maps)", res.Spills, res.MapTasks)
+	}
+	checkWordCount(t, rig.readOutput(t, "/out"), want)
+}
+
+func TestTinyShuffleBufferForcesReduceSpills(t *testing.T) {
+	rig := newRig(t, func(c *Config) { c.ShuffleBufBytes = 2 << 10 })
+	parts, want := textParts()
+	rig.loadLines("/in", parts)
+	res := rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+	if res.ReduceSpills == 0 {
+		t.Error("no reduce-side spills with a 2KB shuffle buffer")
+	}
+	checkWordCount(t, rig.readOutput(t, "/out"), want)
+}
+
+func TestFixedFormatSplitsExactlyOnce(t *testing.T) {
+	rig := newRig(t, nil)
+	// 100-byte records; choose content so each record is identifiable.
+	var data []byte
+	const n = 500
+	for i := 0; i < n; i++ {
+		rec := make([]byte, 100)
+		copy(rec, fmt.Sprintf("%010d", i))
+		for j := 10; j < 100; j++ {
+			rec[j] = 'x'
+		}
+		data = append(data, rec...)
+	}
+	rig.fs.Load("/fixed/part-0", rig.cl.Slaves[0].Name, data)
+	job := &Job{
+		Name:   "identity-fixed",
+		Input:  []string{"/fixed/part-0"},
+		Output: "/fixedout",
+		Format: FixedFormat{Size: 100},
+		Mapper: MapperFunc(func(rec []byte, emit func(k, v []byte)) {
+			emit(rec[:10], []byte("1"))
+		}),
+		Reducer:    sumCombiner().(ReducerFunc),
+		NumReduces: 2,
+	}
+	res := rig.runJob(t, job)
+	if res.MapInputRecords != n {
+		t.Errorf("MapInputRecords = %d, want %d (exactly-once framing)", res.MapInputRecords, n)
+	}
+	if res.MapTasks < 2 {
+		t.Errorf("MapTasks = %d, want multiple splits", res.MapTasks)
+	}
+	out := rig.readOutput(t, "/fixedout")
+	if len(out) != n {
+		t.Errorf("distinct keys = %d, want %d", len(out), n)
+	}
+}
+
+func TestLineFormatBoundarySplits(t *testing.T) {
+	rig := newRig(t, nil)
+	// Lines sized to straddle the scaled block boundary irregularly.
+	var data []byte
+	const n = 400
+	for i := 0; i < n; i++ {
+		data = append(data, []byte(fmt.Sprintf("line-%04d %s\n", i, strings.Repeat("z", i%71)))...)
+	}
+	rig.fs.Load("/lines/part-0", rig.cl.Slaves[1].Name, data)
+	job := wordCountJob([]string{"/lines/part-0"}, "/lineout")
+	job.Mapper = MapperFunc(func(rec []byte, emit func(k, v []byte)) {
+		f := bytes.Fields(rec)
+		if len(f) > 0 {
+			emit(f[0], []byte("1"))
+		}
+	})
+	res := rig.runJob(t, job)
+	if res.MapTasks < 2 {
+		t.Skipf("content fit one split (%d tasks); boundary not exercised", res.MapTasks)
+	}
+	if res.MapInputRecords != n {
+		t.Errorf("MapInputRecords = %d, want %d (lines lost or duplicated at split boundaries)", res.MapInputRecords, n)
+	}
+	out := rig.readOutput(t, "/lineout")
+	if len(out) != n {
+		t.Errorf("distinct keys = %d, want %d", len(out), n)
+	}
+}
+
+func TestLocalityPreferred(t *testing.T) {
+	rig := newRig(t, nil)
+	parts, _ := textParts()
+	rig.loadLines("/in", parts)
+	res := rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+	if res.LocalMaps == 0 {
+		t.Error("no data-local map tasks; locality scheduling inert")
+	}
+	if res.LocalMaps+res.RemoteMaps != res.MapTasks {
+		t.Errorf("locality accounting: %d+%d != %d", res.LocalMaps, res.RemoteMaps, res.MapTasks)
+	}
+}
+
+func TestIntermediateFilesCleanedUp(t *testing.T) {
+	rig := newRig(t, nil)
+	parts, _ := textParts()
+	rig.loadLines("/in", parts)
+	rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+	for _, s := range rig.cl.Slaves {
+		for _, v := range s.MRVols {
+			if files := v.List(); len(files) != 0 {
+				t.Errorf("%s leaked intermediate files: %v", s.Name, files)
+			}
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	rig := newRig(t, nil)
+	rig.fs.Load("/v/part-0", rig.cl.Slaves[0].Name, []byte("a b\n"))
+	base := func() *Job { return wordCountJob([]string{"/v/part-0"}, "/vout") }
+	cases := []struct {
+		name string
+		mut  func(*Job)
+	}{
+		{"nil mapper", func(j *Job) { j.Mapper = nil }},
+		{"nil reducer", func(j *Job) { j.Reducer = nil }},
+		{"zero reduces", func(j *Job) { j.NumReduces = 0 }},
+		{"no input", func(j *Job) { j.Input = nil }},
+		{"no output", func(j *Job) { j.Output = "" }},
+		{"nil format", func(j *Job) { j.Format = nil }},
+		{"missing input", func(j *Job) { j.Input = []string{"/nope"} }},
+	}
+	for _, c := range cases {
+		job := base()
+		c.mut(job)
+		var err error
+		rig.env.Go("driver", func(p *sim.Proc) { _, err = rig.rt.Run(p, job) })
+		rig.env.Run(0)
+		if err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestSlowstartDefersReducers(t *testing.T) {
+	rig := newRig(t, func(c *Config) { c.SlowstartFrac = 1.0 })
+	parts, want := textParts()
+	rig.loadLines("/in", parts)
+	res := rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+	checkWordCount(t, rig.readOutput(t, "/out"), want)
+	if res.MapsDone > res.End {
+		t.Errorf("MapsDone %v after End %v", res.MapsDone, res.End)
+	}
+}
+
+func TestHashPartitionRangeAndDeterminism(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc"), []byte(""), []byte("zz12")}
+	for _, k := range keys {
+		p1, p2 := HashPartition(k, 7), HashPartition(k, 7)
+		if p1 != p2 {
+			t.Errorf("HashPartition(%q) nondeterministic", k)
+		}
+		if p1 < 0 || p1 >= 7 {
+			t.Errorf("HashPartition(%q) = %d out of range", k, p1)
+		}
+	}
+	if HashPartition([]byte("x"), 1) != 0 {
+		t.Error("single partition must be 0")
+	}
+}
+
+func TestMergeRunsProperties(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		var runs []run
+		var all []string
+		for _, seed := range raw {
+			// Build a sorted run from the fuzz bytes.
+			var keys []string
+			for i := 0; i+1 < len(seed); i += 2 {
+				keys = append(keys, string(seed[i:i+2]))
+			}
+			sort.Strings(keys)
+			var r run
+			for _, k := range keys {
+				r = appendKV(r, []byte(k), []byte("v"))
+				all = append(all, k)
+			}
+			runs = append(runs, r)
+		}
+		merged := mergeRuns(runs)
+		if !sortedRun(merged) {
+			return false
+		}
+		return countKVs(merged) == int64(len(all))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVSerializationRoundTrip(t *testing.T) {
+	f := func(k, v []byte) bool {
+		data := appendKV(nil, k, v)
+		k2, v2, rest := readKV(data)
+		return bytes.Equal(k, k2) && bytes.Equal(v, v2) && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupRunGroupsEqualKeys(t *testing.T) {
+	var r run
+	r = appendKV(r, []byte("a"), []byte("1"))
+	r = appendKV(r, []byte("a"), []byte("2"))
+	r = appendKV(r, []byte("b"), []byte("3"))
+	var groups []string
+	groupRun(r, func(k []byte, vs [][]byte) {
+		groups = append(groups, fmt.Sprintf("%s:%d", k, len(vs)))
+	})
+	if len(groups) != 2 || groups[0] != "a:2" || groups[1] != "b:1" {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (*Result, map[string][]string) {
+		rig := newRig(t, nil)
+		parts, _ := textParts()
+		rig.loadLines("/in", parts)
+		res := rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+		return res, rig.readOutput(t, "/out")
+	}
+	r1, o1 := run()
+	r2, o2 := run()
+	if r1.End != r2.End {
+		t.Errorf("job end times differ: %v vs %v", r1.End, r2.End)
+	}
+	if len(o1) != len(o2) {
+		t.Errorf("outputs differ in size")
+	}
+}
+
+// Speculative execution: with one crippled disk making its node's map
+// tasks straggle, backup attempts must fire, win, keep the output correct,
+// and beat the same cluster with speculation disabled.
+func TestSpeculativeExecutionRescuesStraggler(t *testing.T) {
+	// Big enough that a 30x-degraded node's tasks dominate the tail by far
+	// more than the scheduler's polling interval.
+	bigParts := func() []string {
+		base, _ := textParts()
+		out := make([]string, len(base))
+		for i, p := range base {
+			var sb strings.Builder
+			for sb.Len() < 120<<10 {
+				sb.WriteString(p)
+			}
+			out[i] = sb.String()
+		}
+		return out
+	}
+	run := func(speculative bool) (*Result, *testRig) {
+		rig := newRig(t, func(c *Config) {
+			c.Speculative = speculative
+			c.SpeculativeSlowdown = 2
+		})
+		// Cripple every disk of slave 0: map attempts reading their split
+		// from it crawl.
+		for _, d := range rig.cl.Slaves[0].HDFSDisks {
+			d.P.SlowFactor = 30
+		}
+		for _, d := range rig.cl.Slaves[0].MRDisks {
+			d.P.SlowFactor = 30
+		}
+		rig.loadLines("/in", bigParts())
+		res := rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+		return res, rig
+	}
+	withSpec, rigSpec := run(true)
+	without, _ := run(false)
+	if withSpec.SpeculativeAttempts == 0 {
+		t.Fatal("no speculative attempts despite a crippled node")
+	}
+	if withSpec.SpeculativeWins == 0 {
+		t.Error("speculative attempts never won")
+	}
+	if withSpec.End-withSpec.Start >= without.End-without.Start {
+		t.Errorf("speculation did not help: %v vs %v without",
+			withSpec.End-withSpec.Start, without.End-without.Start)
+	}
+	// Output must be exactly once per task regardless of duplicate attempts:
+	// map-in and reduce-out record conservation plus distinct keys.
+	if withSpec.ReduceInputRecords != withSpec.MapOutputRecords {
+		t.Errorf("record conservation broke under speculation: %d != %d",
+			withSpec.ReduceInputRecords, withSpec.MapOutputRecords)
+	}
+	got := rigSpec.readOutput(t, "/out")
+	if len(got) != 8 { // the 8 distinct words of textParts
+		t.Errorf("distinct words = %d, want 8", len(got))
+	}
+	// Abandoned attempts must not leak intermediate files.
+	for _, s := range rigSpec.cl.Slaves {
+		for _, v := range s.MRVols {
+			if files := v.List(); len(files) != 0 {
+				t.Errorf("%s leaked files after speculation: %v", s.Name, files)
+			}
+		}
+	}
+}
+
+func TestSpeculationOffByConfig(t *testing.T) {
+	rig := newRig(t, func(c *Config) { c.Speculative = false })
+	parts, _ := textParts()
+	rig.loadLines("/in", parts)
+	res := rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+	if res.SpeculativeAttempts != 0 {
+		t.Errorf("speculation ran despite being disabled: %d attempts", res.SpeculativeAttempts)
+	}
+}

@@ -1,0 +1,317 @@
+package mapred
+
+import (
+	"fmt"
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/localfs"
+	"iochar/internal/sim"
+)
+
+// split is one map task's input slice.
+type split struct {
+	file  string
+	off   int64
+	len   int64
+	hosts []string // nodes holding a replica of the first block
+}
+
+// kvEnt is one buffered map output pair. key/val point into the task arena;
+// seq makes the sort a deterministic total order without the cost of a
+// stable sort.
+type kvEnt struct {
+	part     int
+	seq      int
+	key, val []byte
+}
+
+// segment locates one partition's data inside a map output file.
+type segment struct {
+	off     int64
+	clen    int64 // compressed length on disk
+	rawLen  int64
+	records int64
+}
+
+// mapOutput is the shuffle-visible result of one finished map task.
+type mapOutput struct {
+	taskIdx int
+	node    *cluster.Node
+	vol     *localfs.FS
+	file    *localfs.File
+	segs    []segment // one per reduce partition
+}
+
+// mapTask executes one map attempt on a node. It is called from a map-slot
+// worker process. Several attempts of the same task may run concurrently
+// under speculation; the first to complete wins, the rest abandon at the
+// next chunk boundary and clean up after themselves.
+func (rt *Runtime) mapTask(p *sim.Proc, job *Job, js *jobState, taskIdx, attempt int, sp split, node *cluster.Node) {
+	cfg := rt.cfg
+	reader, err := rt.fs.Open(sp.file, node.Name)
+	if err != nil {
+		panic(fmt.Sprintf("mapred: map %d: %v", taskIdx, err))
+	}
+	it := recordIter{format: job.Format, splitOff: sp.off, splitLen: sp.len, fileSize: reader.Size()}
+	readOff, readLen := it.readRange()
+
+	nparts := job.NumReduces
+	state := &mapState{
+		rt: rt, job: job, node: node,
+		spillBase: fmt.Sprintf("m_%06d_a%d", taskIdx, attempt),
+	}
+	var inRecords, inBytes, outRecords, outBytes int64
+	var cpu time.Duration
+	emit := func(k, v []byte) {
+		outRecords++
+		outBytes += int64(len(k) + len(v))
+		state.add(p, job.Partitioner(k, nparts), k, v)
+	}
+	handle := func(rec []byte) {
+		inRecords++
+		inBytes += int64(len(rec))
+		cpu += time.Duration(cfg.ParseNsPerRecord + cfg.ParseNsPerByte*float64(len(rec)))
+		cpu += time.Duration(job.Costs.MapNsPerRecord + job.Costs.MapNsPerByte*float64(len(rec)))
+		job.Mapper.Map(rec, emit)
+	}
+	// Stream the split chunk by chunk, interleaving disk reads with record
+	// processing as Hadoop's record readers do — the interleaving is what
+	// lets CPU-bound workloads hide their I/O behind computation.
+	fr := newFramer(it)
+	for pos := readOff; pos < readOff+readLen && !fr.done; pos += cfg.ChunkBytes {
+		if js.taskDone(taskIdx) {
+			state.abandon() // another attempt won; stop wasting the disks
+			return
+		}
+		n := cfg.ChunkBytes
+		if pos+n > readOff+readLen {
+			n = readOff + readLen - pos
+		}
+		fr.feed(reader.ReadAt(p, pos, n), handle)
+		if cpu > 0 {
+			node.Compute(p, cpu)
+			cpu = 0
+		}
+	}
+	out := state.finish(p, taskIdx)
+
+	if !js.completeMap(out) {
+		return // lost the race at the wire; completeMap discarded the output
+	}
+	js.mu(func() {
+		js.counters.MapInputRecords += inRecords
+		js.counters.MapInputBytes += inBytes
+		js.counters.MapOutputRecords += outRecords
+		js.counters.MapOutputBytes += outBytes
+		js.counters.Spills += state.spillCount
+		js.counters.CompressedMapOutput += state.compressedBytes
+		js.counters.MapSpillBytes += state.spillBytes
+		js.counters.MapMergeReadBytes += state.mergeReadBytes
+		js.counters.MapMergeWriteBytes += state.mergeWriteBytes
+		js.counters.CombineInput += state.combineIn
+		js.counters.CombineOutput += state.combineOut
+		if attempt > 1 {
+			js.counters.SpeculativeWins++
+		}
+	})
+}
+
+// abandon deletes the spill files of a cancelled attempt.
+func (ms *mapState) abandon() {
+	for i, sf := range ms.spills {
+		_ = sf.vol.Delete(fmt.Sprintf("%s.spill%d", ms.spillBase, i))
+	}
+	ms.spills = nil
+	ms.arena = nil
+	ms.ents = nil
+}
+
+// mapState is the map-side collection buffer and spill machinery.
+type mapState struct {
+	rt   *Runtime
+	job  *Job
+	node *cluster.Node
+
+	arena    []byte
+	ents     []kvEnt
+	bufBytes int64
+
+	spillBase  string
+	spills     []*spillFile
+	spillCount int64
+
+	compressedBytes int64
+	spillBytes      int64 // attribution: spill writes
+	mergeReadBytes  int64 // attribution: spill re-reads at merge
+	mergeWriteBytes int64 // attribution: merged output writes
+	combineIn       int64
+	combineOut      int64
+}
+
+type spillFile struct {
+	vol  *localfs.FS
+	file *localfs.File
+	segs []segment
+}
+
+// add buffers one pair, spilling when the sort buffer fills. Hadoop spills
+// at 80% occupancy in the background; the synchronous equivalent preserves
+// the on-disk outcome (spill count and sizes) that the I/O study sees.
+func (ms *mapState) add(p *sim.Proc, part int, k, v []byte) {
+	if ms.arena == nil {
+		// Size the arena to the spill threshold once, so buffering does not
+		// repeatedly reallocate (entries alias into it, so growth is a copy
+		// of every buffered byte).
+		ms.arena = make([]byte, 0, ms.rt.cfg.SortBufBytes+4096)
+	}
+	ko := len(ms.arena)
+	ms.arena = append(ms.arena, k...)
+	vo := len(ms.arena)
+	ms.arena = append(ms.arena, v...)
+	ms.ents = append(ms.ents, kvEnt{part: part, seq: len(ms.ents), key: ms.arena[ko:vo:vo], val: ms.arena[vo:len(ms.arena):len(ms.arena)]})
+	ms.bufBytes += int64(len(k)+len(v)) + 16
+	if float64(ms.bufBytes) >= 0.8*float64(ms.rt.cfg.SortBufBytes) {
+		ms.spill(p)
+	}
+}
+
+// spill sorts the buffer and writes one spill file with a segment per
+// partition (combined and compressed), on the node's next intermediate
+// volume.
+func (ms *mapState) spill(p *sim.Proc) {
+	if len(ms.ents) == 0 {
+		return
+	}
+	cfg := ms.rt.cfg
+	// Arena re-slicing hazard: entries hold views into ms.arena, safe since
+	// the arena is append-only and we drop everything after the spill.
+	ms.node.Compute(p, time.Duration(nCompares(len(ms.ents))*cfg.SortNsPerCompare))
+	sortKVEntries(ms.ents)
+
+	vol := ms.node.NextMRVol()
+	f := vol.Create(fmt.Sprintf("%s.spill%d", ms.spillBase, len(ms.spills)))
+	sf := &spillFile{vol: vol, file: f}
+	var off int64
+	i := 0
+	for part := 0; part < ms.job.NumReduces; part++ {
+		j := i
+		for j < len(ms.ents) && ms.ents[j].part == part {
+			j++
+		}
+		raw, n := ms.serializePartition(p, ms.ents[i:j])
+		i = j
+		seg := segment{off: off, rawLen: int64(len(raw)), records: n}
+		if len(raw) > 0 {
+			enc := cfg.Codec.Compress(raw)
+			ms.node.Compute(p, cfg.Codec.CompressCost(len(raw)))
+			f.Append(p, enc)
+			seg.clen = int64(len(enc))
+			off += seg.clen
+			ms.compressedBytes += seg.clen
+			ms.spillBytes += seg.clen
+		}
+		sf.segs = append(sf.segs, seg)
+	}
+	ms.spills = append(ms.spills, sf)
+	ms.spillCount++
+	ms.arena = nil
+	ms.ents = nil
+	ms.bufBytes = 0
+}
+
+// serializePartition runs the combiner (if any) over one partition's sorted
+// entries and serializes them, charging serialization CPU.
+func (ms *mapState) serializePartition(p *sim.Proc, ents []kvEnt) (run, int64) {
+	if len(ents) == 0 {
+		return nil, 0
+	}
+	cfg := ms.rt.cfg
+	var out run
+	var n int64
+	if comb := ms.job.Combiner; comb != nil {
+		emit := func(k, v []byte) {
+			out = appendKV(out, k, v)
+			n++
+		}
+		i := 0
+		var vals [][]byte
+		for i < len(ents) {
+			j := i
+			vals = vals[:0]
+			for j < len(ents) && string(ents[j].key) == string(ents[i].key) {
+				vals = append(vals, ents[j].val)
+				j++
+			}
+			ms.combineIn += int64(j - i)
+			comb.Reduce(ents[i].key, vals, emit)
+			i = j
+		}
+		ms.combineOut += n
+	} else {
+		for _, e := range ents {
+			out = appendKV(out, e.key, e.val)
+		}
+		n = int64(len(ents))
+	}
+	ms.node.Compute(p, time.Duration(cfg.SerializeNsPerByte*float64(len(out))))
+	return out, n
+}
+
+// finish flushes the final spill and merges multiple spills into the single
+// map output file the shuffle serves, deleting the spills afterwards.
+func (ms *mapState) finish(p *sim.Proc, taskIdx int) *mapOutput {
+	ms.spill(p)
+	cfg := ms.rt.cfg
+	if len(ms.spills) == 0 {
+		// Mapper emitted nothing: an empty output with empty segments.
+		vol := ms.node.NextMRVol()
+		f := vol.Create(ms.spillBase + ".out")
+		return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: vol, file: f, segs: make([]segment, ms.job.NumReduces)}
+	}
+	if len(ms.spills) == 1 {
+		sf := ms.spills[0]
+		return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: sf.vol, file: sf.file, segs: sf.segs}
+	}
+	// Multi-spill merge: per partition, read every spill's segment back,
+	// decompress, k-way merge, recompress, append to the final file.
+	vol := ms.node.NextMRVol()
+	f := vol.Create(ms.spillBase + ".out")
+	segs := make([]segment, 0, ms.job.NumReduces)
+	var off int64
+	for part := 0; part < ms.job.NumReduces; part++ {
+		var runs []run
+		var records int64
+		for _, sf := range ms.spills {
+			sg := sf.segs[part]
+			if sg.clen == 0 {
+				continue
+			}
+			enc := sf.file.ReadAt(p, sg.off, sg.clen)
+			ms.mergeReadBytes += sg.clen
+			raw := cfg.Codec.Decompress(enc)
+			ms.node.Compute(p, cfg.Codec.DecompressCost(len(raw)))
+			runs = append(runs, raw)
+			records += sg.records
+		}
+		merged := mergeRuns(runs)
+		ms.node.Compute(p, time.Duration(cfg.MergeNsPerByte*float64(len(merged))))
+		seg := segment{off: off, rawLen: int64(len(merged)), records: records}
+		if len(merged) > 0 {
+			enc := cfg.Codec.Compress(merged)
+			ms.node.Compute(p, cfg.Codec.CompressCost(len(merged)))
+			f.Append(p, enc)
+			seg.clen = int64(len(enc))
+			off += seg.clen
+			ms.compressedBytes += seg.clen
+			ms.mergeWriteBytes += seg.clen
+		}
+		segs = append(segs, seg)
+	}
+	for i, sf := range ms.spills {
+		if err := sf.vol.Delete(fmt.Sprintf("%s.spill%d", ms.spillBase, i)); err != nil {
+			panic(err)
+		}
+	}
+	return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: vol, file: f, segs: segs}
+}

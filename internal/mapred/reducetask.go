@@ -1,0 +1,148 @@
+package mapred
+
+import (
+	"fmt"
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/localfs"
+	"iochar/internal/sim"
+)
+
+// reduceTask executes one reduce attempt on a node: shuffle (parallel
+// fetchers pulling this partition's segment from every map output), merge
+// (in-memory with disk spills when the shuffle buffer overflows), the user
+// reduce function, and HDFS output.
+func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, node *cluster.Node) {
+	cfg := rt.cfg
+	type diskRun struct {
+		vol  *localfs.FS
+		file *localfs.File
+		name string
+		clen int64
+		raw  int64
+	}
+	var (
+		memRuns   []run
+		memBytes  int64
+		diskRuns  []diskRun
+		runSeq    int
+		shuffled  int64
+		inRecords int64
+		runWrite  int64
+		runRead   int64
+	)
+	// spillRuns may be entered by several fetcher processes; the run index
+	// and buffered-runs snapshot are taken before any blocking operation so
+	// concurrent spills work on disjoint state and distinct file names.
+	spillRuns := func(sp *sim.Proc) {
+		idx := runSeq
+		runSeq++
+		runs := memRuns
+		memRuns = nil
+		memBytes = 0
+		merged := mergeRuns(runs)
+		node.Compute(sp, time.Duration(cfg.MergeNsPerByte*float64(len(merged))))
+		enc := cfg.Codec.Compress(merged)
+		node.Compute(sp, cfg.Codec.CompressCost(len(merged)))
+		vol := node.NextMRVol()
+		name := fmt.Sprintf("r_%06d.run%d", part, idx)
+		f := vol.Create(name)
+		f.Append(sp, enc)
+		runWrite += int64(len(enc))
+		diskRuns = append(diskRuns, diskRun{vol: vol, file: f, name: name, clen: int64(len(enc)), raw: int64(len(merged))})
+		js.mu(func() { js.counters.ReduceSpills++ })
+	}
+
+	// Fetch queue: map task indices become available as maps finish.
+	next := 0
+	fetchOne := func(fp *sim.Proc, out *mapOutput) {
+		seg := out.segs[part]
+		if seg.clen == 0 {
+			return
+		}
+		enc := out.file.ReadAt(fp, seg.off, seg.clen) // map-side disk read
+		rt.net.Transfer(fp, out.node.Name, node.Name, seg.clen)
+		raw := cfg.Codec.Decompress(enc)
+		node.Compute(fp, cfg.Codec.DecompressCost(len(raw)))
+		memRuns = append(memRuns, raw)
+		memBytes += int64(len(raw))
+		shuffled += seg.clen
+		inRecords += seg.records
+		if memBytes > cfg.ShuffleBufBytes {
+			spillRuns(fp)
+		}
+	}
+	nFetchers := cfg.ShuffleParallel
+	if nFetchers < 1 {
+		nFetchers = 1
+	}
+	var fetchers []*sim.Handle
+	for i := 0; i < nFetchers; i++ {
+		fetchers = append(fetchers, rt.env.Go(fmt.Sprintf("fetch-r%d-%d", part, i), func(fp *sim.Proc) {
+			for {
+				out := js.nextOutput(fp, &next)
+				if out == nil {
+					return
+				}
+				fetchOne(fp, out)
+			}
+		}))
+	}
+	for _, h := range fetchers {
+		h.Wait(p)
+	}
+
+	// Final merge: disk runs are read back and joined with what remains in
+	// memory.
+	runs := memRuns
+	for _, dr := range diskRuns {
+		enc := dr.file.ReadAt(p, 0, dr.clen)
+		runRead += dr.clen
+		raw := cfg.Codec.Decompress(enc)
+		node.Compute(p, cfg.Codec.DecompressCost(len(raw)))
+		runs = append(runs, raw)
+	}
+	merged := mergeRuns(runs)
+	node.Compute(p, time.Duration(cfg.MergeNsPerByte*float64(len(merged))))
+
+	// Reduce and write output to HDFS with the job's replication factor.
+	w := rt.fs.CreateWith(fmt.Sprintf("%s/part-r-%05d", job.Output, part), node.Name, job.OutputReplication)
+	var outRecords, outBytes int64
+	var cpu time.Duration
+	emit := func(k, v []byte) {
+		outRecords++
+		outBytes += int64(len(k)+len(v)) + 1
+		w.Write(p, appendKV(nil, k, v))
+	}
+	groupRun(merged, func(key []byte, values [][]byte) {
+		var vbytes int64
+		for _, v := range values {
+			vbytes += int64(len(v))
+		}
+		cpu += time.Duration(job.Costs.ReduceNsPerRecord*float64(len(values)) + job.Costs.ReduceNsPerByte*float64(vbytes))
+		if cpu > time.Millisecond {
+			node.Compute(p, cpu)
+			cpu = 0
+		}
+		job.Reducer.Reduce(key, values, emit)
+	})
+	node.Compute(p, cpu)
+	w.Close(p)
+
+	// Intermediate hygiene: local shuffle runs die here.
+	for _, dr := range diskRuns {
+		if err := dr.vol.Delete(dr.name); err != nil {
+			panic(err)
+		}
+	}
+
+	js.mu(func() {
+		js.counters.ShuffleBytes += shuffled
+		js.counters.ReduceInputRecords += inRecords
+		js.counters.ReduceOutputRecords += outRecords
+		js.counters.ReduceOutputBytes += outBytes
+		js.counters.ReduceRunWriteBytes += runWrite
+		js.counters.ReduceRunReadBytes += runRead
+	})
+}

@@ -1,0 +1,385 @@
+package mapred
+
+import (
+	"fmt"
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/hdfs"
+	"iochar/internal/sim"
+)
+
+// transferer is the network dependency (satisfied by *netsim.Network).
+type transferer interface {
+	Transfer(p *sim.Proc, src, dst string, bytes int64)
+}
+
+// Runtime is the MapReduce service for one cluster: the JobTracker plus a
+// TaskTracker per slave, each offering Config.MapSlots and
+// Config.ReduceSlots concurrent task slots.
+type Runtime struct {
+	env *sim.Env
+	cl  *cluster.Cluster
+	fs  *hdfs.FS
+	net transferer
+	cfg Config
+}
+
+// New wires a runtime. Slaves double as DataNodes and TaskTrackers, as on
+// the paper's testbed.
+func New(env *sim.Env, cl *cluster.Cluster, fs *hdfs.FS, net transferer, cfg Config) *Runtime {
+	if cfg.MapSlots <= 0 || cfg.ReduceSlots <= 0 {
+		panic("mapred: slot counts must be positive")
+	}
+	if cfg.SortBufBytes <= 0 || cfg.ShuffleBufBytes <= 0 {
+		panic("mapred: buffer sizes must be positive")
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 256 << 10
+	}
+	return &Runtime{env: env, cl: cl, fs: fs, net: net, cfg: cfg}
+}
+
+// Config returns the runtime configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// jobState is the JobTracker's view of one running job.
+type jobState struct {
+	env      *sim.Env
+	cfg      *Config
+	counters Counters
+
+	splits    []split
+	taken     []bool
+	completed []bool
+	startedAt []time.Duration
+	attempts  []int
+	mapsLeft  int
+	mapsDone  int
+	totalMaps int
+
+	// completed-duration statistics feeding the straggler detector.
+	durSum time.Duration
+	durCnt int
+
+	outputs     []*mapOutput // completion order
+	outputsCond *sim.Cond
+
+	reduceNext  int
+	slowstartOK bool
+	slowCond    *sim.Cond
+	slowAt      int // maps needed before reducers start
+}
+
+// taskDone reports whether some attempt of the task already finished —
+// running backup/original attempts poll this at chunk boundaries and
+// abandon, the runtime's equivalent of Hadoop killing the loser.
+func (js *jobState) taskDone(taskIdx int) bool { return js.completed[taskIdx] }
+
+// mu runs fn "atomically" — the simulation serializes all processes, so
+// this is documentation of intent rather than a lock, but it keeps every
+// counter mutation in one audited place.
+func (js *jobState) mu(fn func()) { fn() }
+
+// completeMap registers a finished map attempt's output. The first attempt
+// of a task wins; a later duplicate (speculation lost the race at the very
+// end) discards its files. It reports whether this attempt won.
+func (js *jobState) completeMap(out *mapOutput) bool {
+	if js.completed[out.taskIdx] {
+		if out.file != nil {
+			_ = out.vol.Delete(out.file.Name())
+		}
+		return false
+	}
+	js.completed[out.taskIdx] = true
+	js.durSum += js.env.Now() - js.startedAt[out.taskIdx]
+	js.durCnt++
+	js.outputs = append(js.outputs, out)
+	js.mapsDone++
+	js.outputsCond.Broadcast()
+	if !js.slowstartOK && js.mapsDone >= js.slowAt {
+		js.slowstartOK = true
+		js.slowCond.Broadcast()
+	}
+	return true
+}
+
+// nextOutput hands a reduce fetcher the next map output in completion
+// order, blocking until one is available; nil means every map output has
+// been consumed by this fetcher group.
+func (js *jobState) nextOutput(p *sim.Proc, cursor *int) *mapOutput {
+	for {
+		if *cursor < len(js.outputs) {
+			out := js.outputs[*cursor]
+			*cursor++
+			return out
+		}
+		if *cursor >= js.totalMaps {
+			return nil
+		}
+		js.outputsCond.Wait(p)
+	}
+}
+
+// pickMap chooses the next map task for a node, preferring data-local
+// splits as Hadoop's scheduler does. If allowRemote is false a node with no
+// local work gets -1 while fresh tasks remain (delay scheduling). When no
+// fresh task is left but maps are still running, an idle slot may claim a
+// speculative backup attempt of a straggling task; only when every task has
+// completed does it return remain=false.
+func (js *jobState) pickMap(node string, allowRemote bool) (idx int, remain bool) {
+	if js.mapsDone == js.totalMaps {
+		return -1, false
+	}
+	if js.mapsLeft > 0 {
+		fallback := -1
+		for i, sp := range js.splits {
+			if js.taken[i] {
+				continue
+			}
+			if fallback < 0 {
+				fallback = i
+			}
+			for _, h := range sp.hosts {
+				if h == node {
+					return js.claim(i), true
+				}
+			}
+		}
+		if allowRemote && fallback >= 0 {
+			return js.claim(fallback), true
+		}
+		return -1, true
+	}
+	if idx := js.pickStraggler(); idx >= 0 {
+		return idx, true
+	}
+	return -1, true
+}
+
+// claim marks a fresh task taken and records its start.
+func (js *jobState) claim(i int) int {
+	js.taken[i] = true
+	js.attempts[i]++
+	js.startedAt[i] = js.env.Now()
+	js.mapsLeft--
+	return i
+}
+
+// pickStraggler returns a running, un-duplicated task whose elapsed time
+// exceeds the speculation threshold (a multiple of the mean completed-task
+// duration), or -1. Hadoop's progress-rate heuristic reduces to elapsed
+// time here because attempts progress linearly.
+func (js *jobState) pickStraggler() int {
+	if js.cfg == nil || !js.cfg.Speculative || js.durCnt == 0 {
+		return -1
+	}
+	avg := js.durSum / time.Duration(js.durCnt)
+	threshold := time.Duration(float64(avg) * js.cfg.SpeculativeSlowdown)
+	best, bestElapsed := -1, threshold
+	now := js.env.Now()
+	for i := range js.splits {
+		if !js.taken[i] || js.completed[i] || js.attempts[i] != 1 {
+			continue
+		}
+		if elapsed := now - js.startedAt[i]; elapsed > bestElapsed {
+			best, bestElapsed = i, elapsed
+		}
+	}
+	if best >= 0 {
+		js.attempts[best]++
+		js.counters.SpeculativeAttempts++
+	}
+	return best
+}
+
+// Run executes the job, blocking p until completion, and returns its
+// counters and phase timings.
+func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
+	if err := rt.validate(job); err != nil {
+		return nil, err
+	}
+	if job.Partitioner == nil {
+		job.Partitioner = HashPartition
+	}
+	splits, err := rt.plan(job)
+	if err != nil {
+		return nil, err
+	}
+	js := &jobState{
+		env:         rt.env,
+		cfg:         &rt.cfg,
+		splits:      splits,
+		taken:       make([]bool, len(splits)),
+		completed:   make([]bool, len(splits)),
+		startedAt:   make([]time.Duration, len(splits)),
+		attempts:    make([]int, len(splits)),
+		mapsLeft:    len(splits),
+		totalMaps:   len(splits),
+		outputsCond: sim.NewCond(rt.env),
+		slowCond:    sim.NewCond(rt.env),
+	}
+	js.slowAt = int(rt.cfg.SlowstartFrac * float64(js.totalMaps))
+	if js.slowAt < 1 {
+		js.slowAt = 1
+	}
+	res := &Result{Start: p.Now()}
+
+	var workers []*sim.Handle
+	// Map-slot workers.
+	for _, node := range rt.cl.Slaves {
+		node := node
+		for s := 0; s < rt.cfg.MapSlots; s++ {
+			s := s
+			workers = append(workers, rt.env.Go(fmt.Sprintf("map-worker:%s/%d", node.Name, s), func(wp *sim.Proc) {
+				// Heartbeat stagger: a tracker fills one slot per heartbeat
+				// round, so the first claims spread across nodes instead of
+				// one node's full slot bank draining the task queue.
+				wp.Sleep(time.Duration(s) * rt.cfg.LocalityWait / 4)
+				misses := 0
+				for {
+					idx, remain := js.pickMap(node.Name, misses >= rt.cfg.LocalityRetries)
+					if !remain {
+						return
+					}
+					if idx < 0 {
+						// Delay scheduling: wait for local work to appear
+						// or for the steal budget to unlock.
+						misses++
+						wp.Sleep(rt.cfg.LocalityWait)
+						continue
+					}
+					misses = 0
+					attempt := js.attempts[idx]
+					sp := js.splits[idx]
+					local := false
+					for _, h := range sp.hosts {
+						if h == node.Name {
+							local = true
+							break
+						}
+					}
+					js.mu(func() {
+						if local {
+							js.counters.LocalMaps++
+						} else {
+							js.counters.RemoteMaps++
+						}
+					})
+					rt.mapTask(wp, job, js, idx, attempt, sp, node)
+				}
+			}))
+		}
+	}
+	mapWorkers := len(workers)
+
+	// Reduce-slot workers: start pulling partitions once slowstart allows.
+	for _, node := range rt.cl.Slaves {
+		node := node
+		for s := 0; s < rt.cfg.ReduceSlots; s++ {
+			workers = append(workers, rt.env.Go(fmt.Sprintf("reduce-worker:%s/%d", node.Name, s), func(wp *sim.Proc) {
+				for !js.slowstartOK {
+					js.slowCond.Wait(wp)
+				}
+				for {
+					var part int
+					got := false
+					js.mu(func() {
+						if js.reduceNext < job.NumReduces {
+							part = js.reduceNext
+							js.reduceNext++
+							got = true
+						}
+					})
+					if !got {
+						return
+					}
+					rt.reduceTask(wp, job, js, part, node)
+				}
+			}))
+		}
+	}
+
+	for i, h := range workers {
+		h.Wait(p)
+		if i == mapWorkers-1 {
+			res.MapsDone = p.Now()
+		}
+	}
+	// Job cleanup: map output files are deleted once the job completes,
+	// which is when dirty intermediate pages that never aged out die in the
+	// cache instead of reaching the disks.
+	for _, out := range js.outputs {
+		if err := out.vol.Delete(out.file.Name()); err != nil {
+			return nil, fmt.Errorf("mapred: cleanup: %v", err)
+		}
+	}
+	res.End = p.Now()
+	res.Counters = js.counters
+	res.Counters.MapTasks = js.totalMaps
+	res.Counters.ReduceTasks = job.NumReduces
+	return res, nil
+}
+
+// validate rejects malformed jobs loudly.
+func (rt *Runtime) validate(job *Job) error {
+	switch {
+	case job.Mapper == nil:
+		return fmt.Errorf("mapred: job %s: nil mapper", job.Name)
+	case job.Reducer == nil:
+		return fmt.Errorf("mapred: job %s: nil reducer", job.Name)
+	case job.NumReduces <= 0:
+		return fmt.Errorf("mapred: job %s: NumReduces = %d", job.Name, job.NumReduces)
+	case len(job.Input) == 0:
+		return fmt.Errorf("mapred: job %s: no input", job.Name)
+	case job.Output == "":
+		return fmt.Errorf("mapred: job %s: no output path", job.Name)
+	case job.Format == nil:
+		return fmt.Errorf("mapred: job %s: nil record format", job.Name)
+	}
+	return nil
+}
+
+// plan computes one split per block of each input file, with the block's
+// replica hosts for locality scheduling.
+func (rt *Runtime) plan(job *Job) ([]split, error) {
+	blockSize := rt.fs.Config().BlockSize
+	_, wholeFile := job.Format.(KVFormat)
+	var out []split
+	for _, path := range job.Input {
+		size := rt.fs.Size(path)
+		if size < 0 {
+			return nil, fmt.Errorf("mapred: job %s: input %s not found", job.Name, path)
+		}
+		if size == 0 {
+			continue
+		}
+		locs, err := rt.fs.BlockLocations(path)
+		if err != nil {
+			return nil, err
+		}
+		if wholeFile {
+			var hosts []string
+			if len(locs) > 0 {
+				hosts = locs[0]
+			}
+			out = append(out, split{file: path, off: 0, len: size, hosts: hosts})
+			continue
+		}
+		for b := int64(0); b*blockSize < size; b++ {
+			length := blockSize
+			if b*blockSize+length > size {
+				length = size - b*blockSize
+			}
+			var hosts []string
+			if int(b) < len(locs) {
+				hosts = locs[b]
+			}
+			out = append(out, split{file: path, off: b * blockSize, len: length, hosts: hosts})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mapred: job %s: inputs are empty", job.Name)
+	}
+	return out, nil
+}

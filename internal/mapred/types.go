@@ -1,0 +1,254 @@
+// Package mapred implements the MapReduce runtime of the paper's testbed
+// (Hadoop 1.0.4): a job tracker with per-node map/reduce task slots, map
+// tasks with sort-buffer spills and on-disk merges, a parallel shuffle over
+// the cluster network, reduce-side merge, and HDFS output with replication.
+//
+// The runtime executes real user map and reduce functions over real bytes.
+// Its I/O goes through internal/localfs (intermediate data, on the three
+// dedicated per-node disks) and internal/hdfs (input/output), so the
+// intermediate-vs-HDFS access-pattern contrast the paper measures is an
+// emergent property of the same pipeline that produced it on the authors'
+// cluster: many concurrently written spill files (small, fragmented,
+// re-read by the shuffle) versus large streaming block I/O.
+package mapred
+
+import (
+	"time"
+
+	"iochar/internal/compress"
+)
+
+// Mapper transforms one input record into zero or more key/value pairs.
+// Implementations must not retain the record or emitted slices; the runtime
+// copies what it needs.
+type Mapper interface {
+	Map(record []byte, emit func(key, value []byte))
+}
+
+// Reducer folds all values of one key into zero or more output pairs.
+type Reducer interface {
+	Reduce(key []byte, values [][]byte, emit func(key, value []byte))
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(record []byte, emit func(key, value []byte))
+
+// Map implements Mapper.
+func (f MapperFunc) Map(record []byte, emit func(key, value []byte)) { f(record, emit) }
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(key []byte, values [][]byte, emit func(key, value []byte))
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key []byte, values [][]byte, emit func(key, value []byte)) {
+	f(key, values, emit)
+}
+
+// Partitioner maps a key to a reduce partition in [0, n).
+type Partitioner func(key []byte, n int) int
+
+// HashPartition is the default partitioner (FNV-1a, like Hadoop's hash
+// partitioning in spirit).
+func HashPartition(key []byte, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	if n <= 1 {
+		return 0
+	}
+	return int(h % uint64(n))
+}
+
+// CostModel prices the user code's CPU work in virtual nanoseconds. These
+// constants are what make a workload CPU-bound or I/O-bound (the paper's
+// Table 3 classification); each workload package calibrates its own.
+type CostModel struct {
+	MapNsPerRecord    float64
+	MapNsPerByte      float64
+	ReduceNsPerRecord float64 // per input value
+	ReduceNsPerByte   float64 // per input value byte
+}
+
+// RecordFormat tells the input reader how to frame records in a split.
+type RecordFormat interface {
+	// Frame returns record boundaries handling split edges: the reader
+	// implementation is in format.go.
+	isFormat()
+}
+
+// LineFormat frames newline-terminated records with Hadoop's
+// LineRecordReader convention: a split skips a partial first line (unless
+// it starts at offset 0) and reads past its end to finish the last line.
+type LineFormat struct{}
+
+func (LineFormat) isFormat() {}
+
+// FixedFormat frames fixed-size records (TeraSort's 100-byte records): a
+// split owns the records whose first byte falls inside it.
+type FixedFormat struct{ Size int }
+
+func (FixedFormat) isFormat() {}
+
+// KVFormat frames the runtime's own uvarint key/value pairs — the format
+// reduce tasks write — so iterative workloads (K-means, PageRank) can chain
+// jobs. KV streams carry no sync markers, so files under this format are
+// read as whole-file splits (parallelism comes from the file count, i.e.
+// the previous job's reduce count, as with Hadoop sequence-file chains).
+type KVFormat struct{}
+
+func (KVFormat) isFormat() {}
+
+// SplitKV decodes a KVFormat record into its key and value.
+func SplitKV(rec []byte) (key, value []byte) {
+	k, v, _ := readKV(rec)
+	return k, v
+}
+
+// AppendKV serializes one pair in the runtime's KV format — the format of
+// reduce output files. Exposed for drivers and tests that build or inspect
+// KV streams.
+func AppendKV(dst, key, value []byte) []byte { return appendKV(dst, key, value) }
+
+// NextKV decodes the pair at the head of a KV stream and returns the
+// remainder, for drivers walking reduce output files.
+func NextKV(data []byte) (key, value, rest []byte) { return readKV(data) }
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name        string
+	Input       []string // HDFS paths (files)
+	Output      string   // HDFS directory for part-r-* files
+	Format      RecordFormat
+	Mapper      Mapper
+	Reducer     Reducer
+	Combiner    Reducer // optional map-side combine
+	Partitioner Partitioner
+	NumReduces  int
+	Costs       CostModel
+	// OutputReplication overrides HDFS's default replication for the job's
+	// part files (0 = filesystem default). TeraSort conventionally writes
+	// its output with replication 1.
+	OutputReplication int
+	// KeepOutput true leaves part files in HDFS; otherwise the caller may
+	// delete them between experiment repetitions.
+	KeepOutput bool
+}
+
+// Config is the cluster-wide runtime configuration (mapred-site.xml).
+type Config struct {
+	MapSlots    int // per node (the paper's 1_8 and 2_16 factor)
+	ReduceSlots int // per node
+
+	SortBufBytes    int64 // io.sort.mb: map-side buffer before a spill
+	ShuffleBufBytes int64 // reduce-side in-memory merge budget
+	Codec           compress.Codec
+	SlowstartFrac   float64 // fraction of maps done before reducers launch
+	ShuffleParallel int     // parallel fetchers per reduce task
+	ChunkBytes      int64   // input streaming granularity
+
+	// LocalityWait is delay scheduling: an idle map slot with no data-local
+	// work waits this long (up to LocalityRetries times) before accepting a
+	// remote split, so data-hosting nodes get first claim. Without it, slot
+	// counts near the task count destroy locality artificially.
+	LocalityWait    time.Duration
+	LocalityRetries int
+
+	// Speculative enables backup attempts for straggling map tasks
+	// (mapred.map.tasks.speculative.execution, on by default in Hadoop 1.x).
+	// A task becomes a straggler once it has run SpeculativeSlowdown times
+	// the mean completed-task duration while idle slots exist.
+	Speculative         bool
+	SpeculativeSlowdown float64
+
+	// Framework CPU costs (virtual) — defaults mirror a 2010s JVM stack.
+	ParseNsPerRecord   float64
+	ParseNsPerByte     float64
+	SortNsPerCompare   float64
+	SerializeNsPerByte float64
+	MergeNsPerByte     float64
+}
+
+// DefaultConfig returns Hadoop-1.0.4-flavoured defaults at the given scale
+// divisor: 100 MB sort buffer and 140 MB shuffle buffer at scale 1.
+func DefaultConfig(scale int64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Config{
+		MapSlots:            8,
+		ReduceSlots:         1,
+		SortBufBytes:        clampI64((100<<20)/scale, 64<<10),
+		ShuffleBufBytes:     clampI64((140<<20)/scale, 64<<10),
+		Codec:               compress.Identity{},
+		SlowstartFrac:       0.05,
+		ShuffleParallel:     5,
+		ChunkBytes:          clampI64((1<<20)/scale*4, 16<<10),
+		LocalityWait:        time.Duration(int64(3*time.Second) * 64 / scale),
+		LocalityRetries:     3,
+		Speculative:         true,
+		SpeculativeSlowdown: 3,
+		ParseNsPerRecord:    120,
+		ParseNsPerByte:      0.4,
+		SortNsPerCompare:    25,
+		SerializeNsPerByte:  0.5,
+		MergeNsPerByte:      0.8,
+	}
+}
+
+func clampI64(v, lo int64) int64 {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Counters aggregates the per-job statistics Hadoop reports.
+type Counters struct {
+	MapTasks    int
+	ReduceTasks int
+	LocalMaps   int // data-local map tasks
+	RemoteMaps  int
+
+	MapInputRecords     int64
+	MapInputBytes       int64
+	MapOutputRecords    int64
+	MapOutputBytes      int64 // before compression
+	CompressedMapOutput int64 // after compression (what hits the disk)
+	Spills              int64
+	CombineInput        int64
+	CombineOutput       int64
+
+	SpeculativeAttempts int64 // backup map attempts launched
+	SpeculativeWins     int64 // backups that beat the original
+
+	ShuffleBytes        int64 // compressed bytes moved to reducers
+	ReduceSpills        int64
+	ReduceInputRecords  int64
+	ReduceOutputRecords int64
+	ReduceOutputBytes   int64
+
+	// I/O attribution (the paper's future work: "reveal the major source
+	// of I/O demand"): logical bytes per pipeline stage.
+	MapSpillBytes       int64 // map-side spill writes (post-codec)
+	MapMergeReadBytes   int64 // spill re-reads during the map-side merge
+	MapMergeWriteBytes  int64 // merged map-output writes (post-codec)
+	ReduceRunWriteBytes int64 // reduce-side shuffle-run spills
+	ReduceRunReadBytes  int64 // reduce-side run re-reads at final merge
+}
+
+// Result reports a completed job.
+type Result struct {
+	Counters
+	Start    time.Duration
+	MapsDone time.Duration // when the last map task finished
+	End      time.Duration
+}
+
+// Runtime returns the job's total runtime.
+func (r *Result) Runtime() time.Duration { return r.End - r.Start }

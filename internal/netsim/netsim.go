@@ -1,0 +1,124 @@
+// Package netsim models the cluster network: one full-duplex NIC per node
+// attached to a non-blocking switch (the paper's testbed used 1 GbE).
+// Transfers are chunked; each chunk holds the sender's transmit side and the
+// receiver's receive side for its serialization time, so concurrent flows
+// through the same NIC interleave approximately fairly while disjoint flows
+// proceed in parallel. Acquisition is always transmit-then-receive, which
+// (two ordered resource classes) excludes deadlock by construction.
+package netsim
+
+import (
+	"time"
+
+	"iochar/internal/sim"
+)
+
+// DefaultChunk is the transfer interleaving granularity.
+const DefaultChunk = 256 << 10 // 256 KiB
+
+// NIC is one node's network interface.
+type NIC struct {
+	Node string
+	tx   *sim.Resource
+	rx   *sim.Resource
+	bps  int64
+
+	sent     uint64
+	received uint64
+}
+
+// Network is the fabric connecting NICs.
+type Network struct {
+	env     *sim.Env
+	bps     int64 // per-NIC, each direction
+	latency time.Duration
+	chunk   int64
+	nics    map[string]*NIC
+}
+
+// New creates a network where every NIC runs at bytesPerSec in each
+// direction with the given per-chunk latency.
+func New(env *sim.Env, bytesPerSec int64, latency time.Duration) *Network {
+	if bytesPerSec <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	return &Network{
+		env:     env,
+		bps:     bytesPerSec,
+		latency: latency,
+		chunk:   DefaultChunk,
+		nics:    make(map[string]*NIC),
+	}
+}
+
+// Gigabit returns the paper's 1 GbE fabric (125 MB/s, 100 µs latency).
+func Gigabit(env *sim.Env) *Network {
+	return New(env, 125<<20, 100*time.Microsecond)
+}
+
+// SetChunk overrides the interleaving granularity.
+func (n *Network) SetChunk(bytes int64) {
+	if bytes <= 0 {
+		panic("netsim: non-positive chunk")
+	}
+	n.chunk = bytes
+}
+
+// AddNode registers a node and returns its NIC. Duplicate names panic.
+func (n *Network) AddNode(name string) *NIC {
+	if _, dup := n.nics[name]; dup {
+		panic("netsim: duplicate node " + name)
+	}
+	nic := &NIC{
+		Node: name,
+		tx:   sim.NewResource(n.env, name+".tx", 1),
+		rx:   sim.NewResource(n.env, name+".rx", 1),
+		bps:  n.bps,
+	}
+	n.nics[name] = nic
+	return nic
+}
+
+// NIC returns a registered NIC or nil.
+func (n *Network) NIC(name string) *NIC { return n.nics[name] }
+
+// BytesSent returns the total bytes transmitted by the node.
+func (nic *NIC) BytesSent() uint64 { return nic.sent }
+
+// BytesReceived returns the total bytes received by the node.
+func (nic *NIC) BytesReceived() uint64 { return nic.received }
+
+// Transfer moves bytes from node src to node dst, blocking p for the full
+// transfer time. Local "transfers" (src == dst) cost one latency only,
+// modelling loopback (a reducer fetching a map output from its own node).
+func (n *Network) Transfer(p *sim.Proc, src, dst string, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	s, d := n.nics[src], n.nics[dst]
+	if s == nil || d == nil {
+		panic("netsim: transfer between unregistered nodes " + src + " -> " + dst)
+	}
+	if src == dst {
+		p.Sleep(n.latency)
+		s.sent += uint64(bytes)
+		d.received += uint64(bytes)
+		return
+	}
+	remaining := bytes
+	for remaining > 0 {
+		c := n.chunk
+		if c > remaining {
+			c = remaining
+		}
+		t := time.Duration(float64(c) / float64(n.bps) * 1e9)
+		s.tx.Acquire(p, 1)
+		d.rx.Acquire(p, 1)
+		p.Sleep(t + n.latency)
+		d.rx.Release(1)
+		s.tx.Release(1)
+		remaining -= c
+	}
+	s.sent += uint64(bytes)
+	d.received += uint64(bytes)
+}

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"iochar/internal/sim"
+)
+
+func TestTransferTimeMatchesBandwidth(t *testing.T) {
+	env := sim.New(1)
+	n := New(env, 100<<20, 0) // 100 MiB/s, no latency
+	n.AddNode("a")
+	n.AddNode("b")
+	var took time.Duration
+	env.Go("t", func(p *sim.Proc) {
+		start := p.Now()
+		n.Transfer(p, "a", "b", 100<<20)
+		took = p.Now() - start
+	})
+	env.Run(0)
+	if took < 990*time.Millisecond || took > 1010*time.Millisecond {
+		t.Errorf("100 MiB at 100 MiB/s took %v, want ~1s", took)
+	}
+}
+
+func TestDisjointFlowsRunInParallel(t *testing.T) {
+	env := sim.New(1)
+	n := New(env, 100<<20, 0)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		n.AddNode(name)
+	}
+	var end time.Duration
+	done := func(p *sim.Proc) {
+		if p.Now() > end {
+			end = p.Now()
+		}
+	}
+	env.Go("t1", func(p *sim.Proc) { n.Transfer(p, "a", "b", 100<<20); done(p) })
+	env.Go("t2", func(p *sim.Proc) { n.Transfer(p, "c", "d", 100<<20); done(p) })
+	env.Run(0)
+	if end > 1100*time.Millisecond {
+		t.Errorf("disjoint flows took %v, want ~1s (parallel)", end)
+	}
+}
+
+func TestSharedNICFlowsSerialize(t *testing.T) {
+	env := sim.New(1)
+	n := New(env, 100<<20, 0)
+	for _, name := range []string{"a", "b", "c"} {
+		n.AddNode(name)
+	}
+	var end time.Duration
+	track := func(p *sim.Proc) {
+		if p.Now() > end {
+			end = p.Now()
+		}
+	}
+	// Both flows transmit from a: combined 2x data through one NIC.
+	env.Go("t1", func(p *sim.Proc) { n.Transfer(p, "a", "b", 100<<20); track(p) })
+	env.Go("t2", func(p *sim.Proc) { n.Transfer(p, "a", "c", 100<<20); track(p) })
+	env.Run(0)
+	if end < 1900*time.Millisecond {
+		t.Errorf("shared-NIC flows finished in %v, want ~2s (bandwidth shared)", end)
+	}
+}
+
+func TestChunkingInterleavesFairly(t *testing.T) {
+	env := sim.New(1)
+	n := New(env, 100<<20, 0)
+	for _, name := range []string{"a", "b", "c"} {
+		n.AddNode(name)
+	}
+	var small, big time.Duration
+	env.Go("big", func(p *sim.Proc) {
+		n.Transfer(p, "a", "b", 200<<20)
+		big = p.Now()
+	})
+	env.Go("small", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond) // arrive second
+		n.Transfer(p, "a", "c", 1<<20)
+		small = p.Now()
+	})
+	env.Run(0)
+	// Chunked sharing: the small transfer must not wait for the whole big one.
+	if small >= big {
+		t.Errorf("small transfer finished at %v, after big at %v; no interleaving", small, big)
+	}
+}
+
+func TestLoopbackCostsLatencyOnly(t *testing.T) {
+	env := sim.New(1)
+	n := New(env, 1<<20, time.Millisecond) // slow NIC, visible latency
+	n.AddNode("a")
+	var took time.Duration
+	env.Go("t", func(p *sim.Proc) {
+		start := p.Now()
+		n.Transfer(p, "a", "a", 100<<20)
+		took = p.Now() - start
+	})
+	env.Run(0)
+	if took != time.Millisecond {
+		t.Errorf("loopback took %v, want 1ms latency only", took)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	env := sim.New(1)
+	n := Gigabit(env)
+	a, b := n.AddNode("a"), n.AddNode("b")
+	env.Go("t", func(p *sim.Proc) {
+		n.Transfer(p, "a", "b", 12345)
+		n.Transfer(p, "b", "a", 11)
+	})
+	env.Run(0)
+	if a.BytesSent() != 12345 || b.BytesReceived() != 12345 {
+		t.Errorf("a->b accounting wrong: %d/%d", a.BytesSent(), b.BytesReceived())
+	}
+	if b.BytesSent() != 11 || a.BytesReceived() != 11 {
+		t.Errorf("b->a accounting wrong: %d/%d", b.BytesSent(), a.BytesReceived())
+	}
+}
+
+func TestZeroTransferNoop(t *testing.T) {
+	env := sim.New(1)
+	n := Gigabit(env)
+	n.AddNode("a")
+	n.AddNode("b")
+	env.Go("t", func(p *sim.Proc) {
+		start := p.Now()
+		n.Transfer(p, "a", "b", 0)
+		if p.Now() != start {
+			t.Error("zero transfer advanced time")
+		}
+	})
+	env.Run(0)
+}
+
+func TestUnregisteredNodePanics(t *testing.T) {
+	env := sim.New(1)
+	n := Gigabit(env)
+	n.AddNode("a")
+	env.Go("t", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		n.Transfer(p, "a", "ghost", 10)
+	})
+	env.Run(0)
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	env := sim.New(1)
+	n := Gigabit(env)
+	n.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	n.AddNode("a")
+}
+
+func TestManyToOneConvergecastSerializesAtReceiver(t *testing.T) {
+	env := sim.New(1)
+	n := New(env, 100<<20, 0)
+	n.AddNode("sink")
+	for i := 0; i < 4; i++ {
+		n.AddNode(string(rune('a' + i)))
+	}
+	var end time.Duration
+	for i := 0; i < 4; i++ {
+		src := string(rune('a' + i))
+		env.Go(src, func(p *sim.Proc) {
+			n.Transfer(p, src, "sink", 50<<20)
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	env.Run(0)
+	// 200 MiB must pass through the sink's rx at 100 MiB/s: >= 2s.
+	if end < 1900*time.Millisecond {
+		t.Errorf("convergecast finished in %v, want ~2s (rx-bound)", end)
+	}
+}

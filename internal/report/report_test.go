@@ -1,0 +1,167 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"iochar/internal/core"
+	"iochar/internal/stats"
+)
+
+func sampleSeries(vals ...float64) *stats.Series {
+	s := stats.NewSeries("s")
+	for i, v := range vals {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	return s
+}
+
+func sampleFigure() *core.FigureData {
+	return &core.FigureData{
+		ID:    10,
+		Title: "Effects of task slots on Disk average size of I/O requests",
+		Note:  "mem=16G, compression=on",
+		Panels: []core.Panel{
+			{
+				Title: "HDFS — Avg Size of I/O Requests",
+				Unit:  "sectors",
+				Rows: []core.SeriesRow{
+					{Label: "AGG_1_8", Mean: 100, MeanBusy: 120, Summary: 120, Peak: 300, Series: sampleSeries(80, 120, 160)},
+					{Label: "TS_1_8", Mean: 300, MeanBusy: 350, Summary: 350, Peak: 512, Series: sampleSeries(200, 400, 450)},
+				},
+			},
+		},
+	}
+}
+
+func sampleTable() *core.TableData {
+	return &core.TableData{
+		ID:     6,
+		Title:  "The ratio of HDFS disk utilization",
+		Header: []string{"", "AGG", "TS"},
+		Rows: [][]string{
+			{">90%util", "22.6%", "5.2%"},
+			{">95%util", "16.4%", "3.8%"},
+		},
+	}
+}
+
+func TestWriteFigureContainsEveryRow(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFigure(&buf, sampleFigure())
+	out := buf.String()
+	for _, want := range []string{"Figure 10", "AGG_1_8", "TS_1_8", "(a)", "sectors", "peak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFigureBarsScaleToMax(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFigure(&buf, sampleFigure())
+	lines := strings.Split(buf.String(), "\n")
+	var aggBar, tsBar int
+	for _, l := range lines {
+		// Count only inside the |...| bar region; the trailing sparkline can
+		// also contain full blocks.
+		lo := strings.IndexByte(l, '|')
+		hi := strings.LastIndexByte(l, '|')
+		if lo < 0 || hi <= lo {
+			continue
+		}
+		n := strings.Count(l[lo:hi], "█")
+		if strings.Contains(l, "AGG_1_8") {
+			aggBar = n
+		}
+		if strings.Contains(l, "TS_1_8") {
+			tsBar = n
+		}
+	}
+	if tsBar <= aggBar {
+		t.Errorf("bar lengths: TS %d should exceed AGG %d", tsBar, aggBar)
+	}
+	if tsBar != barWidth {
+		t.Errorf("max row bar = %d, want full width %d", tsBar, barWidth)
+	}
+}
+
+func TestWriteTableAligned(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable(&buf, sampleTable())
+	out := buf.String()
+	for _, want := range []string{"Table 6", ">90%util", "22.6%", "AGG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	// Header separator present.
+	if !strings.Contains(out, "---") {
+		t.Error("missing header rule")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline(sampleSeries(0, 5, 10), 3)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline length %d, want 3", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] >= runes[2] {
+		t.Errorf("sparkline not increasing: %q", s)
+	}
+}
+
+func TestSparklineEmptyAndFlat(t *testing.T) {
+	if got := Sparkline(nil, 4); got != "    " {
+		t.Errorf("nil series = %q", got)
+	}
+	flat := Sparkline(sampleSeries(0, 0, 0), 3)
+	if !strings.Contains(flat, string(sparkChars[0])) {
+		t.Errorf("flat zero series = %q", flat)
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFigureCSV(&buf, sampleFigure())
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "10,a,AGG_1_8,") {
+		t.Errorf("CSV row malformed: %s", lines[1])
+	}
+	if !strings.Contains(lines[1], ";") {
+		t.Error("CSV row missing series values")
+	}
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTableCSV(&buf, sampleTable())
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[1] != ">90%util,22.6%,5.2%" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestMBFormatting(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.0KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.00GB",
+	}
+	for in, want := range cases {
+		if got := mb(in); got != want {
+			t.Errorf("mb(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import "time"
+
+// Resource is a counted resource (e.g. CPU cores, task slots, a bandwidth
+// token pool) with strict FIFO admission in virtual time.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []resWaiter
+
+	// accounting
+	grants    uint64
+	waitTotal time.Duration
+	busyTime  time.Duration // integral of inUse over time, for utilization
+	lastTouch time.Duration
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) accrue() {
+	now := r.env.now
+	r.busyTime += time.Duration(r.inUse) * (now - r.lastTouch)
+	r.lastTouch = now
+}
+
+// Acquire blocks p until n units are available and then takes them.
+// Admission is FIFO: a large request at the head blocks later small ones,
+// preventing starvation. n must be within capacity.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	if n > r.capacity {
+		panic("sim: acquire exceeds capacity on " + r.name)
+	}
+	start := r.env.now
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.accrue()
+		r.inUse += n
+		r.grants++
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.block()
+	// The releaser granted our units before waking us.
+	r.waitTotal += r.env.now - start
+	r.grants++
+}
+
+// Release returns n units and admits as many FIFO waiters as now fit.
+func (r *Resource) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	if r.inUse < n {
+		panic("sim: release of more than in use on " + r.name)
+	}
+	r.accrue()
+	r.inUse -= n
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			break
+		}
+		r.inUse += w.n
+		r.waiters = r.waiters[1:]
+		r.env.wake(w.p)
+	}
+}
+
+// Use acquires n units, sleeps for d, and releases them — the common
+// "hold a resource while time passes" idiom.
+func (r *Resource) Use(p *Proc, n int, d time.Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// Utilization returns the time-averaged fraction of capacity held between
+// t=0 and now. It is 0 before any activity.
+func (r *Resource) Utilization() float64 {
+	r.accrue()
+	if r.env.now == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / (float64(r.capacity) * float64(r.env.now))
+}
+
+// BusyTime returns the cumulative integral of held units over time — the
+// raw counter behind utilization sampling (one unit held for one second
+// contributes one second).
+func (r *Resource) BusyTime() time.Duration {
+	r.accrue()
+	return r.busyTime
+}
+
+// AvgWait returns the mean virtual time spent queued per grant.
+func (r *Resource) AvgWait() time.Duration {
+	if r.grants == 0 {
+		return 0
+	}
+	return r.waitTotal / time.Duration(r.grants)
+}
+
+// Chan is an unbounded FIFO queue usable across processes in virtual time.
+// Put never blocks; Get blocks until an item is available or the channel is
+// closed. A Chan with a capacity bound can be built from Resource + Chan.
+type Chan struct {
+	env     *Env
+	items   []any
+	getters []*Proc
+	closed  bool
+}
+
+// NewChan creates an empty channel.
+func NewChan(env *Env) *Chan { return &Chan{env: env} }
+
+// Len returns the number of queued items.
+func (c *Chan) Len() int { return len(c.items) }
+
+// Put enqueues v and wakes one waiting getter, if any.
+func (c *Chan) Put(v any) {
+	if c.closed {
+		panic("sim: Put on closed Chan")
+	}
+	c.items = append(c.items, v)
+	if len(c.getters) > 0 {
+		g := c.getters[0]
+		c.getters = c.getters[1:]
+		c.env.wake(g)
+	}
+}
+
+// Close marks the channel closed and wakes all waiting getters, which will
+// observe ok=false once the queue drains.
+func (c *Chan) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, g := range c.getters {
+		c.env.wake(g)
+	}
+	c.getters = nil
+}
+
+// Get dequeues the oldest item, blocking if the channel is empty. It returns
+// ok=false if the channel is closed and drained.
+func (c *Chan) Get(p *Proc) (any, bool) {
+	for len(c.items) == 0 {
+		if c.closed {
+			return nil, false
+		}
+		c.getters = append(c.getters, p)
+		p.block()
+	}
+	v := c.items[0]
+	c.items = c.items[1:]
+	// If items remain and other getters wait, hand the baton on so a burst
+	// of Puts wakes every waiter it can serve.
+	if len(c.items) > 0 && len(c.getters) > 0 {
+		g := c.getters[0]
+		c.getters = c.getters[1:]
+		c.env.wake(g)
+	}
+	return v, true
+}
+
+// Cond is a broadcast condition variable in virtual time.
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable.
+func NewCond(env *Env) *Cond { return &Cond{env: env} }
+
+// Wait blocks p until the next Broadcast. As with sync.Cond, callers should
+// re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.env.wake(w)
+	}
+	c.waiters = nil
+}
+
+// Event is a one-shot completion event: processes Wait on it, and a single
+// Fire wakes them all. Waiting on an already-fired event returns
+// immediately. It is the natural completion primitive for asynchronous
+// operations such as block-layer requests.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Wait blocks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.block()
+}
+
+// Fire marks the event fired and wakes all waiters. Firing twice panics —
+// it would indicate double completion of an operation.
+func (ev *Event) Fire() {
+	if ev.fired {
+		panic("sim: Event fired twice")
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		ev.env.wake(w)
+	}
+	ev.waiters = nil
+}

@@ -1,0 +1,220 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock and runs simulated activities
+// ("processes") as goroutines that are strictly serialized: at any moment at
+// most one process executes, and control is handed between the kernel and a
+// process through unbuffered channels. Events with equal timestamps fire in
+// the order they were scheduled, so a simulation is fully deterministic for
+// a given program and seed.
+//
+// A process is any function with signature func(*Proc). Within a process,
+// virtual time passes only through blocking operations: Sleep, Resource
+// acquisition, Chan operations, or Handle.Wait. Plain computation between
+// blocking calls is instantaneous in virtual time (charge it explicitly with
+// Sleep if it should cost simulated CPU time).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a discrete-event simulation environment. Create one with New, spawn
+// processes with Go, then call Run to execute until no events remain.
+type Env struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	running bool
+	blocked int // processes waiting on a wakeup that is NOT in the event heap
+	live    int // spawned processes that have not finished
+	rng     *rand.Rand
+}
+
+// New returns an empty environment whose clock starts at zero. The seed
+// drives Env.Rand, the only source of randomness the kernel offers; two runs
+// with the same seed and the same process program are identical.
+func New(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from process context (never concurrently), which the kernel's
+// serialization guarantees.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// event is a scheduled occurrence: either a process wakeup or a callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *Proc  // non-nil: resume this process
+	fn  func() // non-nil: run inline in the kernel (must not block)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)               { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)                 { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any                   { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (e *Env) schedule(ev event)                { ev.seq = e.seq; e.seq++; heap.Push(&e.events, ev) }
+func (e *Env) at(d time.Duration) time.Duration { return e.now + d }
+
+// Proc is the handle a running process uses to interact with virtual time.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	handle *Handle
+	daemon bool
+}
+
+// SetDaemon marks the process as a daemon: a service loop (disk servicer,
+// writeback thread, sampler) that legitimately blocks forever once the
+// simulation drains. Daemons are excluded from deadlock detection.
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// Env returns the environment this process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Handle lets other processes wait for a spawned process to finish.
+type Handle struct {
+	env     *Env
+	done    bool
+	waiters []*Proc
+}
+
+// Done reports whether the process has finished.
+func (h *Handle) Done() bool { return h.done }
+
+// Wait blocks the calling process until the handle's process finishes.
+func (h *Handle) Wait(p *Proc) {
+	if h.done {
+		return
+	}
+	h.waiters = append(h.waiters, p)
+	p.block()
+}
+
+// Go spawns fn as a new process starting at the current virtual time.
+// It may be called before Run, or from inside a running process.
+func (e *Env) Go(name string, fn func(*Proc)) *Handle {
+	h := &Handle{env: e}
+	p := &Proc{env: e, name: name, resume: make(chan struct{}), handle: h}
+	e.live++
+	go func() {
+		<-p.resume // wait for the kernel to start us
+		// The final yield is deferred so that a process goroutine killed by
+		// runtime.Goexit (e.g. a test helper's t.Fatal/t.Skip inside the
+		// process) still returns control to the kernel instead of hanging
+		// the simulation.
+		defer func() {
+			e.live--
+			h.done = true
+			for _, w := range h.waiters {
+				e.wake(w)
+			}
+			h.waiters = nil
+			e.yield <- struct{}{} // return control to the kernel
+		}()
+		fn(p)
+	}()
+	e.schedule(event{at: e.now, p: p})
+	return h
+}
+
+// After schedules fn to run inline in the kernel after d elapses. fn must
+// not block; use Go for anything that needs virtual time of its own.
+func (e *Env) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(event{at: e.at(d), fn: fn})
+}
+
+// wake schedules p to resume at the current time.
+func (e *Env) wake(p *Proc) {
+	if !p.daemon {
+		e.blocked--
+	}
+	e.schedule(event{at: e.now, p: p})
+}
+
+// block yields control to the kernel until some other party calls wake.
+// The caller must have arranged for the wakeup (waiter list, etc.).
+func (p *Proc) block() {
+	if !p.daemon {
+		p.env.blocked++
+	}
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time. Negative d sleeps 0.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.schedule(event{at: e.at(d), p: p})
+	e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Run executes the simulation until the event heap is empty or until limit
+// (if positive) is reached. It returns the final virtual time. Run panics if
+// processes remain blocked with no pending events — a simulation deadlock —
+// naming the stuck count to aid debugging.
+func (e *Env) Run(limit time.Duration) time.Duration {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if limit > 0 && ev.at > limit {
+			e.now = limit
+			heap.Push(&e.events, ev)
+			return e.now
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.p.resume <- struct{}{}
+		<-e.yield
+	}
+	if e.blocked > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%v", e.blocked, e.now))
+	}
+	return e.now
+}
+
+// Idle reports whether no events remain.
+func (e *Env) Idle() bool { return e.events.Len() == 0 }
+
+// Live returns the number of spawned processes that have not finished.
+func (e *Env) Live() int { return e.live }

@@ -1,0 +1,545 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := New(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.Go("p", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		at = p.Now()
+	})
+	end := e.Run(0)
+	if at != 5*time.Millisecond {
+		t.Errorf("process observed %v, want 5ms", at)
+	}
+	if end != 5*time.Millisecond {
+		t.Errorf("Run returned %v, want 5ms", end)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := New(1)
+	e.Go("p", func(p *Proc) { p.Sleep(-time.Second) })
+	if end := e.Run(0); end != 0 {
+		t.Errorf("end = %v, want 0", end)
+	}
+}
+
+func TestFIFOAtSameTimestamp(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, v, i, order)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := New(1)
+	var childRan bool
+	var childAt time.Duration
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(time.Second)
+		h := e.Go("child", func(c *Proc) {
+			c.Sleep(time.Second)
+			childRan = true
+			childAt = c.Now()
+		})
+		h.Wait(p)
+		if !childRan {
+			t.Error("Wait returned before child finished")
+		}
+	})
+	e.Run(0)
+	if childAt != 2*time.Second {
+		t.Errorf("child finished at %v, want 2s", childAt)
+	}
+}
+
+func TestWaitOnFinishedHandleReturnsImmediately(t *testing.T) {
+	e := New(1)
+	h := e.Go("fast", func(p *Proc) {})
+	e.Go("waiter", func(p *Proc) {
+		p.Sleep(time.Minute)
+		before := p.Now()
+		h.Wait(p)
+		if p.Now() != before {
+			t.Error("Wait on done handle advanced time")
+		}
+	})
+	e.Run(0)
+	if !h.Done() {
+		t.Error("handle not done after Run")
+	}
+}
+
+func TestMultipleWaitersOnHandle(t *testing.T) {
+	e := New(1)
+	h := e.Go("worker", func(p *Proc) { p.Sleep(3 * time.Second) })
+	got := make([]time.Duration, 2)
+	for i := range got {
+		i := i
+		e.Go("waiter", func(p *Proc) {
+			h.Wait(p)
+			got[i] = p.Now()
+		})
+	}
+	e.Run(0)
+	for i, g := range got {
+		if g != 3*time.Second {
+			t.Errorf("waiter %d resumed at %v, want 3s", i, g)
+		}
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	e := New(1)
+	var fired time.Duration = -1
+	e.After(7*time.Second, func() { fired = e.Now() })
+	e.Run(0)
+	if fired != 7*time.Second {
+		t.Errorf("callback at %v, want 7s", fired)
+	}
+}
+
+func TestRunLimitStopsEarly(t *testing.T) {
+	e := New(1)
+	var lastSeen time.Duration
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Second)
+			lastSeen = p.Now()
+		}
+	})
+	end := e.Run(10 * time.Second)
+	if end != 10*time.Second {
+		t.Errorf("Run returned %v, want 10s", end)
+	}
+	if lastSeen != 10*time.Second {
+		t.Errorf("last progress %v, want 10s", lastSeen)
+	}
+	// Resuming must finish the remaining work.
+	end = e.Run(0)
+	if end != 100*time.Second {
+		t.Errorf("resumed Run returned %v, want 100s", end)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := New(1)
+	c := NewCond(e)
+	e.Go("stuck", func(p *Proc) { c.Wait(p) })
+	e.Run(0)
+}
+
+func TestResourceSerializesAtCapacity(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "disk", 1)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Go("u", func(p *Proc) {
+			r.Use(p, 1, time.Second)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run(0)
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceParallelismWithinCapacity(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "cores", 4)
+	var finish []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Go("u", func(p *Proc) {
+			r.Use(p, 1, time.Second)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run(0)
+	for i, f := range finish {
+		if f != time.Second {
+			t.Errorf("finish[%d] = %v, want 1s (no queueing expected)", i, f)
+		}
+	}
+}
+
+func TestResourceFIFONoStarvation(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "mem", 4)
+	var order []string
+	e.Go("big-then-small", func(p *Proc) {
+		r.Acquire(p, 4)
+		p.Sleep(time.Second)
+		r.Release(4)
+		order = append(order, "first")
+	})
+	e.Go("big", func(p *Proc) {
+		r.Acquire(p, 4) // queues behind first
+		order = append(order, "big")
+		p.Sleep(time.Second)
+		r.Release(4)
+	})
+	e.Go("small", func(p *Proc) {
+		r.Acquire(p, 1) // must NOT jump ahead of big
+		order = append(order, "small")
+		r.Release(1)
+	})
+	e.Run(0)
+	if len(order) != 3 || order[1] != "big" {
+		t.Errorf("order = %v, want big admitted before small", order)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "x", 2)
+	e.Go("u", func(p *Proc) {
+		r.Use(p, 1, time.Second)
+		p.Sleep(time.Second)
+	})
+	e.Run(0)
+	// 1 of 2 units held for 1s out of a 2s run = 0.25.
+	if u := r.Utilization(); u < 0.24 || u > 0.26 {
+		t.Errorf("utilization = %f, want 0.25", u)
+	}
+}
+
+func TestResourceAvgWait(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "x", 1)
+	for i := 0; i < 2; i++ {
+		e.Go("u", func(p *Proc) { r.Use(p, 1, time.Second) })
+	}
+	e.Run(0)
+	// First waits 0, second waits 1s: average 500ms.
+	if w := r.AvgWait(); w != 500*time.Millisecond {
+		t.Errorf("avg wait = %v, want 500ms", w)
+	}
+}
+
+func TestAcquireBeyondCapacityPanics(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "x", 1)
+	e.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		r.Acquire(p, 2)
+	})
+	e.Run(0)
+}
+
+func TestChanFIFODelivery(t *testing.T) {
+	e := New(1)
+	c := NewChan(e)
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := c.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Millisecond)
+			c.Put(i)
+		}
+		c.Close()
+	})
+	e.Run(0)
+	if len(got) != 5 {
+		t.Fatalf("got %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestChanGetBlocksUntilPut(t *testing.T) {
+	e := New(1)
+	c := NewChan(e)
+	var at time.Duration
+	e.Go("consumer", func(p *Proc) {
+		c.Get(p)
+		at = p.Now()
+	})
+	e.Go("producer", func(p *Proc) {
+		p.Sleep(9 * time.Second)
+		c.Put("x")
+	})
+	e.Run(0)
+	if at != 9*time.Second {
+		t.Errorf("consumer resumed at %v, want 9s", at)
+	}
+}
+
+func TestChanCloseWakesAllGetters(t *testing.T) {
+	e := New(1)
+	c := NewChan(e)
+	oks := []bool{true, true}
+	for i := range oks {
+		i := i
+		e.Go("g", func(p *Proc) { _, oks[i] = c.Get(p) })
+	}
+	e.Go("closer", func(p *Proc) {
+		p.Sleep(time.Second)
+		c.Close()
+	})
+	e.Run(0)
+	for i, ok := range oks {
+		if ok {
+			t.Errorf("getter %d saw ok=true after close of empty chan", i)
+		}
+	}
+}
+
+func TestChanBurstPutWakesAllServableGetters(t *testing.T) {
+	e := New(1)
+	c := NewChan(e)
+	done := 0
+	for i := 0; i < 3; i++ {
+		e.Go("g", func(p *Proc) {
+			if _, ok := c.Get(p); ok {
+				done++
+			}
+		})
+	}
+	e.Go("p", func(p *Proc) {
+		p.Sleep(time.Second)
+		for i := 0; i < 3; i++ {
+			c.Put(i)
+		}
+	})
+	e.Run(0)
+	if done != 3 {
+		t.Errorf("served %d getters, want 3", done)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	e := New(1)
+	c := NewCond(e)
+	woke := 0
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Second)
+		c.Broadcast()
+	})
+	e.Run(0)
+	if woke != 4 {
+		t.Errorf("woke = %d, want 4", woke)
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	e := New(1)
+	e.Go("p", func(p *Proc) { p.Sleep(time.Second) })
+	if e.Live() != 1 {
+		t.Fatalf("Live = %d before Run, want 1", e.Live())
+	}
+	e.Run(0)
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d after Run, want 0", e.Live())
+	}
+}
+
+// Property: for any list of sleep durations, total elapsed time in a serial
+// process equals the sum, and a parallel set of processes ends at the max.
+func TestQuickSleepArithmetic(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		var sum, max time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		// Serial.
+		e := New(1)
+		e.Go("serial", func(p *Proc) {
+			for _, r := range raw {
+				p.Sleep(time.Duration(r) * time.Microsecond)
+			}
+		})
+		if got := e.Run(0); got != sum {
+			t.Logf("serial: got %v want %v", got, sum)
+			return false
+		}
+		// Parallel.
+		e2 := New(1)
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			e2.Go("par", func(p *Proc) { p.Sleep(d) })
+		}
+		if got := e2.Run(0); got != max {
+			t.Logf("parallel: got %v want %v", got, max)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a capacity-1 resource used by N processes for d each finishes at
+// exactly N*d — perfect serialization with no lost or duplicated time.
+func TestQuickResourceSerialization(t *testing.T) {
+	f := func(n uint8, durUS uint16) bool {
+		procs := int(n%8) + 1
+		d := time.Duration(durUS%1000+1) * time.Microsecond
+		e := New(1)
+		r := NewResource(e, "x", 1)
+		for i := 0; i < procs; i++ {
+			e.Go("u", func(p *Proc) { r.Use(p, 1, d) })
+		}
+		return e.Run(0) == time.Duration(procs)*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func() []time.Duration {
+		e := New(42)
+		r := NewResource(e, "x", 2)
+		var finishes []time.Duration
+		for i := 0; i < 6; i++ {
+			e.Go("u", func(p *Proc) {
+				jitter := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+				p.Sleep(jitter)
+				r.Use(p, 1, time.Millisecond)
+				finishes = append(finishes, p.Now())
+			})
+		}
+		e.Run(0)
+		return finishes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	e := New(1)
+	ev := NewEvent(e)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			ev.Wait(p)
+			woke++
+			if p.Now() != 2*time.Second {
+				t.Errorf("woke at %v, want 2s", p.Now())
+			}
+		})
+	}
+	e.Go("firer", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		ev.Fire()
+	})
+	e.Run(0)
+	if woke != 3 {
+		t.Errorf("woke = %d, want 3", woke)
+	}
+}
+
+func TestEventWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := New(1)
+	ev := NewEvent(e)
+	e.Go("p", func(p *Proc) {
+		ev.Fire()
+		before := p.Now()
+		ev.Wait(p)
+		if p.Now() != before {
+			t.Error("Wait on fired event advanced time")
+		}
+		if !ev.Fired() {
+			t.Error("Fired() should be true")
+		}
+	})
+	e.Run(0)
+}
+
+func TestEventDoubleFirePanics(t *testing.T) {
+	e := New(1)
+	ev := NewEvent(e)
+	e.Go("p", func(p *Proc) {
+		ev.Fire()
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic on double fire")
+			}
+		}()
+		ev.Fire()
+	})
+	e.Run(0)
+}
+
+func TestGoexitInProcessDoesNotHangKernel(t *testing.T) {
+	e := New(1)
+	e.Go("dies", func(p *Proc) {
+		p.Sleep(time.Second)
+		runtime.Goexit() // simulates t.Fatal inside a process
+	})
+	e.Go("other", func(p *Proc) { p.Sleep(2 * time.Second) })
+	end := e.Run(0)
+	if end != 2*time.Second {
+		t.Errorf("end = %v, want 2s", end)
+	}
+}

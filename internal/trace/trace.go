@@ -1,0 +1,195 @@
+// Package trace provides block-level I/O tracing and replay — the
+// blktrace-style methodology behind storage characterization studies. A
+// Collector subscribes to one or more simulated disks and records every
+// completed request (timestamp, device, op, sector, size, latency); traces
+// serialize to a simple CSV and can be replayed through a fresh disk model
+// with a different configuration, answering "what would this exact workload
+// have done on a FIFO scheduler / without merging / on a different drive".
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"iochar/internal/disk"
+	"iochar/internal/sim"
+)
+
+// Record is one completed block-layer request.
+type Record struct {
+	Dev     string
+	Op      disk.Op
+	Sector  int64
+	Count   int
+	Arrived time.Duration // submission time
+	Done    time.Duration // completion time
+}
+
+// Latency returns the request's residence time.
+func (r Record) Latency() time.Duration { return r.Done - r.Arrived }
+
+// Collector accumulates records from subscribed disks.
+type Collector struct {
+	recs []Record
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Attach subscribes the collector to a disk under the given device name.
+func (c *Collector) Attach(d *disk.Disk, dev string) {
+	d.SetTrace(func(op disk.Op, sector int64, count int, arrived, done time.Duration) {
+		c.recs = append(c.recs, Record{
+			Dev: dev, Op: op, Sector: sector, Count: count, Arrived: arrived, Done: done,
+		})
+	})
+}
+
+// Records returns the collected records ordered by completion time (the
+// order they were observed).
+func (c *Collector) Records() []Record { return c.recs }
+
+// Len returns the number of collected records.
+func (c *Collector) Len() int { return len(c.recs) }
+
+// WriteCSV serializes records as "dev,op,sector,count,arrived_ns,done_ns".
+func WriteCSV(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "dev,op,sector,count,arrived_ns,done_ns"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		op := "R"
+		if r.Op == disk.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%d\n",
+			r.Dev, op, r.Sector, r.Count, int64(r.Arrived), int64(r.Done)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 || text == "" {
+			continue // header
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 6 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 6", line, len(f))
+		}
+		var rec Record
+		rec.Dev = f[0]
+		switch f[1] {
+		case "R":
+			rec.Op = disk.Read
+		case "W":
+			rec.Op = disk.Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, f[1])
+		}
+		var err error
+		if rec.Sector, err = strconv.ParseInt(f[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: sector: %v", line, err)
+		}
+		if rec.Count, err = strconv.Atoi(f[3]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: count: %v", line, err)
+		}
+		a, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: arrived: %v", line, err)
+		}
+		d, err := strconv.ParseInt(f[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: done: %v", line, err)
+		}
+		rec.Arrived, rec.Done = time.Duration(a), time.Duration(d)
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// ReplayResult summarizes a replay.
+type ReplayResult struct {
+	Requests  int
+	Elapsed   time.Duration // virtual time from first submission to last completion
+	MeanAwait time.Duration
+	TotalBusy time.Duration
+	DiskStats disk.Stats
+}
+
+// Replay re-issues one device's requests against a fresh disk with params
+// p, preserving the original inter-arrival times (open-loop replay, the
+// standard trace-replay methodology). Records for other devices are
+// ignored. It returns the replayed timing summary.
+func Replay(recs []Record, dev string, p disk.Params) (*ReplayResult, error) {
+	var mine []Record
+	for _, r := range recs {
+		if r.Dev == dev {
+			mine = append(mine, r)
+		}
+	}
+	if len(mine) == 0 {
+		return nil, fmt.Errorf("trace: no records for device %q", dev)
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].Arrived < mine[j].Arrived })
+	base := mine[0].Arrived
+
+	env := sim.New(1)
+	d := disk.New(env, p)
+	var reqs []*disk.Request
+	env.Go("replay", func(pr *sim.Proc) {
+		for _, r := range mine {
+			pr.Sleep(r.Arrived - base - (pr.Now() - 0))
+			sector, count := r.Sector, r.Count
+			if sector+int64(count) > p.Sectors {
+				sector = sector % (p.Sectors - int64(count))
+			}
+			reqs = append(reqs, d.Submit(r.Op, sector, count))
+		}
+		for _, rq := range reqs {
+			d.Wait(pr, rq)
+		}
+	})
+	end := env.Run(0)
+
+	st := d.Stats()
+	res := &ReplayResult{
+		Requests:  len(mine),
+		Elapsed:   end,
+		TotalBusy: st.IOTicks,
+		DiskStats: st,
+	}
+	if n := st.ReadsCompleted + st.WritesCompleted; n > 0 {
+		res.MeanAwait = (st.TimeReading + st.TimeWriting) / time.Duration(n)
+	}
+	return res, nil
+}
+
+// Devices returns the distinct device names in a trace, sorted.
+func Devices(recs []Record) []string {
+	set := map[string]bool{}
+	for _, r := range recs {
+		set[r.Dev] = true
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

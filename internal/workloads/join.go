@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+
+	"iochar/internal/cluster"
+	"iochar/internal/datagen"
+	"iochar/internal/hdfs"
+	"iochar/internal/mapred"
+	"iochar/internal/sim"
+)
+
+// Join is the paper's other Hive query ("SQL operations, such as join,
+// aggregation and select"): a repartition equi-join of the order fact
+// table against a user dimension table on user id, emitting
+// (user, region, revenue) rows. It is included as an extension workload —
+// the paper characterizes only Aggregation of the two — and exercises an
+// I/O pattern neither AGG nor TS has: two heterogeneous inputs shuffled
+// into the same reduce space, with output between AGG's (tiny) and TS's
+// (everything).
+type Join struct {
+	seed int64
+	// FactFraction sets the dimension table's size as a fraction of the
+	// fact table (default 1/16).
+	FactFraction float64
+}
+
+// NewJoin returns the workload.
+func NewJoin() *Join { return &Join{seed: 1, FactFraction: 1.0 / 16} }
+
+// Key implements Workload.
+func (*Join) Key() string { return "JOIN" }
+
+// Name implements Workload.
+func (*Join) Name() string { return "Hive Join (extension)" }
+
+// PaperInputBytes implements Workload: sized like Aggregation's table.
+func (*Join) PaperInputBytes() int64 { return 512 << 30 }
+
+// Prepare implements Workload: the fact table under in/fact and the
+// dimension table under in/dim.
+func (j *Join) Prepare(fs *hdfs.FS, cl *cluster.Cluster, total int64, seed int64) {
+	j.seed = seed
+	frac := j.FactFraction
+	if frac <= 0 || frac >= 1 {
+		frac = 1.0 / 16
+	}
+	orders := datagen.OrderGen{Seed: seed}
+	users := datagen.UserGen{Seed: seed}
+	loadParts(fs, cl, inputDir(j.Key())+"/fact", int64(float64(total)*(1-frac)), orders.Part)
+	loadParts(fs, cl, inputDir(j.Key())+"/dim", int64(float64(total)*frac), users.Part)
+}
+
+// tag bytes distinguishing the two sides in the shuffle.
+const (
+	tagDim  = 'D'
+	tagFact = 'F'
+)
+
+// Run implements Workload: one repartition-join job.
+func (j *Join) Run(p *sim.Proc, rt *mapred.Runtime, fs *hdfs.FS, cl *cluster.Cluster) ([]*mapred.Result, error) {
+	facts := fs.List(inputDir(j.Key()) + "/fact/")
+	dims := fs.List(inputDir(j.Key()) + "/dim/")
+	if len(facts) == 0 || len(dims) == 0 {
+		return nil, fmt.Errorf("join: not prepared")
+	}
+	cleanOutputs(fs, outputDir(j.Key()))
+
+	// The mapper distinguishes sides by schema: dimension rows have three
+	// fields, fact rows six (a Hive multi-input job would use the split's
+	// source path; schema sniffing keeps the Job single-mapper).
+	mapper := mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
+		sep := 0
+		for _, b := range rec {
+			if b == '|' {
+				sep++
+			}
+		}
+		switch sep {
+		case 2: // user|name|region
+			i := bytes.IndexByte(rec, '|')
+			emit(rec[:i], append([]byte{tagDim}, rec[i+1:]...))
+		case 5: // order|user|item|category|price|quantity
+			f := bytes.SplitN(rec, []byte{'|'}, 6)
+			emit(f[1], append([]byte{tagFact}, bytes.Join([][]byte{f[4], f[5]}, []byte{'|'})...))
+		}
+	})
+	reducer := mapred.ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
+		var dim []byte
+		for _, v := range vals {
+			if v[0] == tagDim {
+				dim = v[1:]
+				break
+			}
+		}
+		if dim == nil {
+			return // no matching user: inner join drops the rows
+		}
+		for _, v := range vals {
+			if v[0] != tagFact {
+				continue
+			}
+			out := append(append([]byte(nil), dim...), '|')
+			emit(k, append(out, v[1:]...))
+		}
+	})
+	job := &mapred.Job{
+		Name:       "hive-join",
+		Input:      append(append([]string(nil), facts...), dims...),
+		Output:     outputDir(j.Key()),
+		Format:     mapred.LineFormat{},
+		Mapper:     mapper,
+		Reducer:    reducer,
+		NumReduces: defaultReduces(cl),
+		Costs: mapred.CostModel{
+			// Hive-grade SerDe costs, as for Aggregation.
+			MapNsPerRecord:    1100,
+			MapNsPerByte:      40,
+			ReduceNsPerRecord: 300,
+			ReduceNsPerByte:   4,
+		},
+	}
+	res, err := rt.Run(p, job)
+	if err != nil {
+		return nil, err
+	}
+	return []*mapred.Result{res}, nil
+}

@@ -1,0 +1,134 @@
+// Package iochar reproduces "I/O Characterization of Big Data Workloads in
+// Data Centers" (Pan, Yue, Xiong, Hao — BPOE-4, 2014) as a self-contained
+// simulation study: a deterministic virtual-time Hadoop-1.x testbed (HDFS,
+// MapReduce, page cache, mechanical disks, 1 GbE network), the paper's four
+// BigDataBench workloads executing real data end to end, an iostat clone,
+// and a harness that regenerates every figure and table of the paper's
+// evaluation.
+//
+// The one-call entry points:
+//
+//	suite := iochar.NewSuite(iochar.Options{Scale: 4096})
+//	iochar.RenderFigure(os.Stdout, suite, 1)    // Figure 1 of the paper
+//	iochar.RenderTable(os.Stdout, suite, 6)     // Table 6 of the paper
+//
+// or run a single experiment cell:
+//
+//	rep, err := iochar.Run("TS", iochar.Factors{
+//	    Slots: iochar.Slots1x8, MemoryGB: 32, Compress: true,
+//	}, iochar.Options{})
+//
+// The building blocks live under internal/: the simulation kernel (sim),
+// the disk and page-cache models (disk, pagecache), the filesystems
+// (localfs, hdfs), the MapReduce runtime (mapred), the workloads, and the
+// characterization framework (core). This package is the stable facade.
+package iochar
+
+import (
+	"io"
+
+	"iochar/internal/core"
+	"iochar/internal/report"
+)
+
+// Options configures the simulated testbed; the zero value gives the
+// defaults documented on core.Options (scale 1/1024, 10 slaves, 1 s-scaled
+// iostat interval).
+type Options = core.Options
+
+// Factors is one cell of the paper's experiment matrix: task slots, memory
+// size, and intermediate-data compression.
+type Factors = core.Factors
+
+// SlotsConfig names a per-node task-slot setting.
+type SlotsConfig = core.SlotsConfig
+
+// The paper's two slot settings.
+var (
+	Slots1x8  = core.Slots1x8
+	Slots2x16 = core.Slots2x16
+)
+
+// Experiment families (shared baselines across figures, per the captions).
+var (
+	SlotsRuns    = core.SlotsRuns
+	MemoryRuns   = core.MemoryRuns
+	CompressRuns = core.CompressRuns
+)
+
+// RunReport is one executed cell: iostat reports for the HDFS and
+// MapReduce-intermediate disk groups plus per-job counters.
+type RunReport = core.RunReport
+
+// Suite caches experiment cells across figures and tables.
+type Suite = core.Suite
+
+// NewSuite creates an experiment suite.
+func NewSuite(opts Options) *Suite { return core.NewSuite(opts) }
+
+// Run executes one workload ("TS", "AGG", "KM", "PR") under one factor
+// setting on a fresh simulated cluster.
+func Run(workload string, f Factors, opts Options) (*RunReport, error) {
+	return core.RunOne(workload, f, opts)
+}
+
+// Figures returns the reproducible figure numbers (1-12).
+func Figures() []int { return core.Figures() }
+
+// Tables returns the reproducible table numbers (5-7; Tables 1-4 are
+// configuration and notation, encoded as package defaults).
+func Tables() []int { return core.Tables() }
+
+// RenderFigure regenerates paper Figure n and renders it to w.
+func RenderFigure(w io.Writer, s *Suite, n int) error {
+	fd, err := s.Figure(n)
+	if err != nil {
+		return err
+	}
+	report.WriteFigure(w, fd)
+	return nil
+}
+
+// RenderTable regenerates paper Table n and renders it to w.
+func RenderTable(w io.Writer, s *Suite, n int) error {
+	td, err := s.Table(n)
+	if err != nil {
+		return err
+	}
+	report.WriteTable(w, td)
+	return nil
+}
+
+// RenderFigureCSV emits Figure n's data as CSV for external plotting.
+func RenderFigureCSV(w io.Writer, s *Suite, n int) error {
+	fd, err := s.Figure(n)
+	if err != nil {
+		return err
+	}
+	report.WriteFigureCSV(w, fd)
+	return nil
+}
+
+// RenderTableCSV emits Table n as CSV.
+func RenderTableCSV(w io.Writer, s *Suite, n int) error {
+	td, err := s.Table(n)
+	if err != nil {
+		return err
+	}
+	report.WriteTableCSV(w, td)
+	return nil
+}
+
+// Summarize renders one run's job counters and byte totals to w.
+func Summarize(w io.Writer, rep *RunReport) { report.JobSummary(w, rep) }
+
+// RenderAttribution renders the per-stage I/O demand breakdown of every
+// workload (the paper's future work, implemented as an extension).
+func RenderAttribution(w io.Writer, s *Suite) error {
+	td, err := s.AttributionTable()
+	if err != nil {
+		return err
+	}
+	report.WriteTable(w, td)
+	return nil
+}
