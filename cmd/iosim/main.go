@@ -10,6 +10,11 @@
 //	iosim -pattern seq -op read -reqkb 128 -streams 4 -seconds 10
 //	iosim -pattern rand -op write -reqkb 4 -streams 32 -seconds 10
 //
+// A slow-disk fault plan degrades the device mid-run (fail-slow hardware;
+// watch await/%util jump at the event time):
+//
+//	iosim -pattern seq -op read -reqkb 128 -streams 4 -seconds 10 -faults "slow-disk@5s:factor=8"
+//
 // It can also replay a trace captured with `mrrun -trace` through an
 // alternative configuration ("what would this exact request stream have
 // done under FIFO / without merging"):
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"iochar/internal/disk"
+	"iochar/internal/faults"
 	"iochar/internal/iostat"
 	"iochar/internal/sim"
 	"iochar/internal/trace"
@@ -41,8 +47,21 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		replay  = flag.String("replay", "", "replay a trace CSV instead of generating a pattern")
 		dev     = flag.String("dev", "", "device name within the trace (with -replay)")
+		faultSt = flag.String("faults", "", `slow-disk fault plan for the device, e.g. "slow-disk@5s:factor=8"`)
 	)
 	flag.Parse()
+
+	plan, err := faults.ParsePlan(*faultSt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iosim:", err)
+		os.Exit(2)
+	}
+	for _, ev := range plan.Events {
+		if ev.Kind != faults.SlowDisk {
+			fmt.Fprintf(os.Stderr, "iosim: only slow-disk faults apply to the standalone disk model, got %s\n", ev.Kind)
+			os.Exit(2)
+		}
+	}
 
 	p := disk.SeagateST1000NM0011()
 	p.NoMerge = *nomerge
@@ -75,6 +94,13 @@ func main() {
 
 	env := sim.New(*seed)
 	d := disk.New(env, p)
+	for _, ev := range plan.Events {
+		ev := ev
+		env.AfterFunc(ev.At, func() {
+			d.SetSlowFactor(ev.Factor)
+			fmt.Fprintf(os.Stderr, "iosim: t=%v %s\n", env.Now(), ev)
+		})
+	}
 	mon := iostat.NewMonitor(time.Second)
 	mon.AddGroup("disk", d)
 	mon.Start(env)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"iochar"
 	"iochar/internal/disk"
@@ -31,6 +32,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		frac     = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
 		traceOut = flag.String("trace", "", "write a block-level I/O trace (CSV) to this file")
+		faultStr = flag.String("faults", "", `fault plan, e.g. "kill-datanode@15s:node=slave-02;drop-shuffle@5s:until=20s,prob=0.3"`)
 	)
 	flag.Parse()
 
@@ -45,6 +47,14 @@ func main() {
 		os.Exit(2)
 	}
 	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac}
+	if *faultStr != "" {
+		plan, err := iochar.ParseFaultPlan(*faultStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrrun:", err)
+			os.Exit(2)
+		}
+		opts.Faults = plan
+	}
 	var collector *trace.Collector
 	if *traceOut != "" {
 		collector = trace.NewCollector()
@@ -86,4 +96,12 @@ func main() {
 	}
 	printGroup("HDFS", rep.HDFS)
 	printGroup("MapReduce", rep.MR)
+	names := make([]string, 0, len(rep.FaultGroups))
+	for n := range rep.FaultGroups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		printGroup(n, rep.FaultGroups[n])
+	}
 }

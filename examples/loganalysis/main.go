@@ -43,11 +43,17 @@ func genLogs(seed int64, n int) []byte {
 func main() {
 	const scale = 8192
 	env := sim.New(7)
-	cl := cluster.New(env, cluster.DefaultHardware(scale), 4)
+	cl, err := cluster.New(env, cluster.DefaultHardware(scale), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fs := hdfs.New(env, hdfs.DefaultConfig(scale), cl.Net, cl.Slaves)
 	cfg := mapred.DefaultConfig(scale)
 	cfg.MapSlots, cfg.ReduceSlots = 4, 1
-	rt := mapred.New(env, cl, fs, cl.Net, cfg)
+	rt, err := mapred.New(env, cl, fs, cl.Net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Load one log shard per slave, as a collector fleet would.
 	var inputs []string
@@ -103,7 +109,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			data := rd.ReadAt(p, 0, rd.Size())
+			data, err := rd.ReadAt(p, 0, rd.Size())
+			if err != nil {
+				log.Fatal(err)
+			}
 			for len(data) > 0 {
 				k, v, rest := mapred.NextKV(data)
 				data = rest

@@ -101,9 +101,18 @@ type Node struct {
 	HDFSDisks []*disk.Disk
 	MRDisks   []*disk.Disk
 
-	mrNext   int // round-robin cursor for intermediate volumes
-	hdfsNext int // round-robin cursor for HDFS volumes
+	mrNext   int  // round-robin cursor for intermediate volumes
+	hdfsNext int  // round-robin cursor for HDFS volumes
+	down     bool // fail-stop crashed (fault injection)
 }
+
+// Alive reports whether the node has not been fail-stopped.
+func (n *Node) Alive() bool { return !n.down }
+
+// SetDown marks the node crashed or recovered. Pure state; callers (the
+// fault injector) are responsible for also severing the network and
+// notifying HDFS/MapReduce control planes.
+func (n *Node) SetDown(down bool) { n.down = down }
 
 // Compute charges d of CPU time on one core, queueing when all cores are
 // busy — the mechanism by which task-slot counts above the core count stop
@@ -117,18 +126,44 @@ func (n *Node) Compute(p *sim.Proc, d time.Duration) {
 
 // NextMRVol returns intermediate-data volumes round-robin, mirroring
 // Hadoop's mapred.local.dir rotation across the three dedicated disks.
+// Fail-stopped volumes are skipped, as Hadoop drops bad mapred.local.dir
+// entries; with every volume failed it panics (an unusable node should have
+// been fail-stopped whole instead).
 func (n *Node) NextMRVol() *localfs.FS {
-	v := n.MRVols[n.mrNext%len(n.MRVols)]
-	n.mrNext++
-	return v
+	for range n.MRVols {
+		v := n.MRVols[n.mrNext%len(n.MRVols)]
+		n.mrNext++
+		if !v.Failed() {
+			return v
+		}
+	}
+	panic("cluster: all intermediate volumes failed on " + n.Name)
 }
 
 // NextHDFSVol returns HDFS data volumes round-robin, mirroring the
-// DataNode's dfs.data.dir rotation.
+// DataNode's dfs.data.dir rotation. Fail-stopped volumes are skipped.
 func (n *Node) NextHDFSVol() *localfs.FS {
-	v := n.HDFSVols[n.hdfsNext%len(n.HDFSVols)]
-	n.hdfsNext++
-	return v
+	for range n.HDFSVols {
+		v := n.HDFSVols[n.hdfsNext%len(n.HDFSVols)]
+		n.hdfsNext++
+		if !v.Failed() {
+			return v
+		}
+	}
+	panic("cluster: all HDFS volumes failed on " + n.Name)
+}
+
+// FindNode returns the named node (master or slave), or nil.
+func (c *Cluster) FindNode(name string) *Node {
+	if c.Master != nil && c.Master.Name == name {
+		return c.Master
+	}
+	for _, s := range c.Slaves {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
 }
 
 // Cluster is the full testbed.
@@ -142,9 +177,15 @@ type Cluster struct {
 // New builds a cluster of one master and nSlaves slaves, all with hardware
 // hw. The master carries no data disks in the experiments (NameNode and
 // JobTracker only), matching the paper's 1+10 layout.
-func New(env *sim.Env, hw Hardware, nSlaves int) *Cluster {
+func New(env *sim.Env, hw Hardware, nSlaves int) (*Cluster, error) {
 	if nSlaves <= 0 {
-		panic("cluster: need at least one slave")
+		return nil, fmt.Errorf("cluster: need at least one slave, got %d", nSlaves)
+	}
+	if hw.Cores <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one core, got %d", hw.Cores)
+	}
+	if hw.HDFSDisks <= 0 || hw.MRDisks <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one HDFS and one MR disk, got %d+%d", hw.HDFSDisks, hw.MRDisks)
 	}
 	net := netsim.New(env, hw.NetBPS, 100_000) // 100 µs
 	c := &Cluster{Env: env, Net: net}
@@ -152,7 +193,7 @@ func New(env *sim.Env, hw Hardware, nSlaves int) *Cluster {
 	for i := 0; i < nSlaves; i++ {
 		c.Slaves = append(c.Slaves, newNode(env, net, fmt.Sprintf("slave-%02d", i), hw, true))
 	}
-	return c
+	return c, nil
 }
 
 func newNode(env *sim.Env, net *netsim.Network, name string, hw Hardware, dataDisks bool) *Node {
@@ -217,14 +258,28 @@ func (c *Cluster) AllMRDisks() []*disk.Disk {
 }
 
 // SyncAll flushes every page cache on every slave — end-of-run barrier so
-// iostat captures all writes.
+// iostat captures all writes. Volumes are deduplicated by identity: with
+// SharedDataDisks the HDFS and MR volume lists alias the same filesystems,
+// and each cache must flush exactly once. Dead nodes and failed volumes are
+// skipped — their unwritten cache contents are lost, as on real hardware.
 func (c *Cluster) SyncAll(p *sim.Proc) {
+	seen := make(map[*localfs.FS]bool)
+	sync := func(v *localfs.FS) {
+		if seen[v] || v.Failed() {
+			return
+		}
+		seen[v] = true
+		v.Cache().Sync(p)
+	}
 	for _, s := range c.Slaves {
+		if !s.Alive() {
+			continue
+		}
 		for _, v := range s.HDFSVols {
-			v.Cache().Sync(p)
+			sync(v)
 		}
 		for _, v := range s.MRVols {
-			v.Cache().Sync(p)
+			sync(v)
 		}
 	}
 }

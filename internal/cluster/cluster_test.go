@@ -47,7 +47,10 @@ func TestCachePagesFloor(t *testing.T) {
 
 func TestClusterLayout(t *testing.T) {
 	env := sim.New(1)
-	c := New(env, DefaultHardware(1024), 10)
+	c, err := New(env, DefaultHardware(1024), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c.Slaves) != 10 {
 		t.Fatalf("slaves = %d, want 10", len(c.Slaves))
 	}
@@ -71,7 +74,10 @@ func TestComputeQueuesBeyondCores(t *testing.T) {
 	env := sim.New(1)
 	hw := DefaultHardware(1024)
 	hw.Cores = 2
-	c := New(env, hw, 1)
+	c, err := New(env, hw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	n := c.Slaves[0]
 	var last time.Duration
 	for i := 0; i < 4; i++ {
@@ -90,7 +96,10 @@ func TestComputeQueuesBeyondCores(t *testing.T) {
 
 func TestVolumeRoundRobin(t *testing.T) {
 	env := sim.New(1)
-	c := New(env, DefaultHardware(1024), 1)
+	c, err := New(env, DefaultHardware(1024), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	n := c.Slaves[0]
 	seen := map[string]int{}
 	for i := 0; i < 6; i++ {
@@ -108,7 +117,10 @@ func TestVolumeRoundRobin(t *testing.T) {
 
 func TestSyncAllFlushesDirtyPages(t *testing.T) {
 	env := sim.New(1)
-	c := New(env, DefaultHardware(1024), 2)
+	c, err := New(env, DefaultHardware(1024), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	env.Go("w", func(p *sim.Proc) {
 		for _, s := range c.Slaves {
 			f := s.NextMRVol().Create("x")
@@ -128,7 +140,10 @@ func TestSyncAllFlushesDirtyPages(t *testing.T) {
 
 func TestNodesShareNetwork(t *testing.T) {
 	env := sim.New(1)
-	c := New(env, DefaultHardware(1024), 2)
+	c, err := New(env, DefaultHardware(1024), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	env.Go("t", func(p *sim.Proc) {
 		c.Net.Transfer(p, c.Slaves[0].Name, c.Slaves[1].Name, 1<<20)
 	})
@@ -142,7 +157,10 @@ func TestSharedDataDisksPoolSpindles(t *testing.T) {
 	env := sim.New(1)
 	hw := DefaultHardware(8192)
 	hw.SharedDataDisks = true
-	c := New(env, hw, 2)
+	c, err := New(env, hw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	n := c.Slaves[0]
 	if len(n.HDFSVols) != 6 || len(n.MRVols) != 6 {
 		t.Fatalf("vols = %d/%d, want 6/6 pooled", len(n.HDFSVols), len(n.MRVols))

@@ -22,6 +22,7 @@ import (
 	"iochar/internal/compress"
 	"iochar/internal/cpustat"
 	"iochar/internal/disk"
+	"iochar/internal/faults"
 	"iochar/internal/hdfs"
 	"iochar/internal/iostat"
 	"iochar/internal/mapred"
@@ -89,6 +90,22 @@ type Options struct {
 	// spindles instead of the paper's dedicated 3+3 layout — the
 	// counterfactual behind the paper's observation 4 recommendation.
 	SharedDataDisks bool
+	// Faults is a deterministic fault plan injected during the run (see
+	// internal/faults for the syntax and event kinds). A non-empty plan
+	// switches on HDFS recovery and MapReduce fault tolerance; with an empty
+	// plan none of that machinery is instantiated and the run is
+	// byte-identical to a fault-free build.
+	Faults faults.Plan
+	// Recovery tunes HDFS failure detection and repair for fault runs. Zero
+	// fields default to Hadoop's knobs compressed by the same Scale factor as
+	// SampleInterval, so detection latency stays proportionate to scaled run
+	// lengths.
+	Recovery hdfs.RecoveryConfig
+	// Inspect, when set, runs in simulation context after the workload (and
+	// any fault recovery) completes, once monitoring has stopped — a hook for
+	// tests and tools to read back HDFS contents and block placement while
+	// the cluster still exists.
+	Inspect func(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster)
 }
 
 // withDefaults fills zero fields.
@@ -117,7 +134,29 @@ func (o Options) withDefaults() Options {
 	if o.InputFraction <= 0 || o.InputFraction > 1 {
 		o.InputFraction = 1
 	}
+	if o.Recovery.HeartbeatInterval <= 0 {
+		o.Recovery.HeartbeatInterval = scaleDur(3*time.Second, o.Scale)
+	}
+	if o.Recovery.DeadTimeout <= 0 {
+		o.Recovery.DeadTimeout = 10 * o.Recovery.HeartbeatInterval
+	}
+	if o.Recovery.Streams <= 0 {
+		o.Recovery.Streams = 2
+	}
+	if o.Faults.Seed == 0 {
+		o.Faults.Seed = o.Seed
+	}
 	return o
+}
+
+// scaleDur compresses a wall-clock Hadoop timescale to the scaled testbed,
+// with the same 64/Scale factor SampleInterval uses.
+func scaleDur(d time.Duration, scale int64) time.Duration {
+	d = time.Duration(int64(d) * 64 / scale)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // inputBytes returns a workload's scaled input volume.
@@ -159,12 +198,25 @@ type RunReport struct {
 	CPUUtil *stats.Series
 	Jobs    []*mapred.Result
 	Wall    time.Duration // virtual time from job submission to completion
+
+	// Fault-run observability; zero/nil for healthy runs.
+	Recovery       hdfs.RecoveryStats        // HDFS repair work performed
+	FaultsInjected []string                  // events that actually fired, in order
+	FaultGroups    map[string]*iostat.Report // victim/survivor disk splits
 }
 
-// Runtime groups names for the two monitored disk groups.
+// Runtime groups names for the monitored disk groups. The victim/survivor
+// splits exist only on fault runs whose plan kills a node or DataNode: they
+// re-sample the same disks partitioned by whether their node is a planned
+// victim, so recovery traffic (re-replication onto survivors, the victim's
+// flatline) is separable from the workload's own I/O.
 const (
-	GroupHDFS = "HDFS"
-	GroupMR   = "MapReduce"
+	GroupHDFS          = "HDFS"
+	GroupMR            = "MapReduce"
+	GroupHDFSVictims   = "HDFS-victims"
+	GroupMRVictims     = "MapReduce-victims"
+	GroupHDFSSurvivors = "HDFS-survivors"
+	GroupMRSurvivors   = "MapReduce-survivors"
 )
 
 // RunOne builds a fresh testbed and executes one experiment cell.
@@ -185,7 +237,10 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 	// both slot levels, as they were on the real machines.
 	hw.PageCacheOpts.ReadaheadMaxPages = 16
 	hw.SharedDataDisks = opts.SharedDataDisks
-	cl := cluster.New(env, hw, opts.Slaves)
+	cl, err := cluster.New(env, hw, opts.Slaves)
+	if err != nil {
+		return nil, err
+	}
 
 	// Extent granularity follows the block size: with 1 MiB extents under
 	// sub-megabyte scaled blocks, allocation slack would dominate the
@@ -233,13 +288,30 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 	if f.Compress {
 		mcfg.Codec = compress.NewDeflate()
 	}
-	rt := mapred.New(env, cl, fs, cl.Net, mcfg)
+	rt, err := mapred.New(env, cl, fs, cl.Net, mcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fault machinery is instantiated only when a plan exists: a healthy run
+	// must carry zero extra events (heartbeats, monitors, workers) so its
+	// counters and iostat output are byte-identical to the fault-free build.
+	var inj *faults.Injector
+	if !opts.Faults.Empty() {
+		fs.EnableRecovery(opts.Recovery)
+		rt.EnableFaults()
+		inj = faults.New(env, cl, fs, rt, opts.Faults)
+		if err := inj.Start(); err != nil {
+			return nil, err
+		}
+	}
 
 	w.Prepare(fs, cl, opts.inputBytes(w), opts.Seed)
 
 	mon := iostat.NewMonitor(opts.SampleInterval)
 	mon.AddGroup(GroupHDFS, cl.AllHDFSDisks()...)
 	mon.AddGroup(GroupMR, cl.AllMRDisks()...)
+	faultGroups := addFaultGroups(mon, cl, opts.Faults)
 	mon.Start(env)
 	cpu := cpustat.NewMonitor(opts.SampleInterval, cl.Slaves)
 	cpu.Start(env)
@@ -247,6 +319,14 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 	rep := &RunReport{Workload: w.Key(), Factors: f}
 	var runErr error
 	env.Go("driver", func(p *sim.Proc) {
+		// The injector and recovery loops must stop even when the workload
+		// fails, or their periodic events would keep Env.Run alive forever.
+		defer func() {
+			if inj != nil {
+				inj.Stop()
+				fs.StopRecovery()
+			}
+		}()
 		start := p.Now()
 		jobs, err := w.Run(p, rt, fs, cl)
 		if err != nil {
@@ -255,11 +335,19 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 			cpu.Stop(p.Now())
 			return
 		}
+		if inj != nil {
+			// Let detection and re-replication finish inside the monitored
+			// window, so the iostat series shows the recovery traffic.
+			fs.WaitRecovered(p)
+		}
 		cl.SyncAll(p) // flush caches so iostat sees all writes
 		rep.Jobs = jobs
 		rep.Wall = p.Now() - start
 		mon.Stop(p.Now())
 		cpu.Stop(p.Now())
+		if opts.Inspect != nil {
+			opts.Inspect(p, fs, cl)
+		}
 	})
 	env.Run(0)
 	if runErr != nil {
@@ -268,7 +356,55 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 	rep.HDFS = mon.Report(GroupHDFS)
 	rep.MR = mon.Report(GroupMR)
 	rep.CPUUtil = cpu.Util()
+	if inj != nil {
+		rep.Recovery = fs.RecoveryStats()
+		rep.FaultsInjected = inj.Fired()
+		if len(faultGroups) > 0 {
+			rep.FaultGroups = make(map[string]*iostat.Report, len(faultGroups))
+			for _, name := range faultGroups {
+				rep.FaultGroups[name] = mon.Report(name)
+			}
+		}
+	}
 	return rep, nil
+}
+
+// addFaultGroups registers victim/survivor disk groups for plans that kill a
+// node or its DataNode, returning the group names added. Victims are known
+// statically from the plan, so the split covers the whole run — including
+// the healthy period before the fault fires.
+func addFaultGroups(mon *iostat.Monitor, cl *cluster.Cluster, plan faults.Plan) []string {
+	victim := map[string]bool{}
+	for _, ev := range plan.Events {
+		if ev.Kind == faults.KillNode || ev.Kind == faults.KillDataNode {
+			victim[ev.Node] = true
+		}
+	}
+	if len(victim) == 0 {
+		return nil
+	}
+	var vh, vm, sh, sm []*disk.Disk
+	for _, s := range cl.Slaves {
+		if victim[s.Name] {
+			vh = append(vh, s.HDFSDisks...)
+			vm = append(vm, s.MRDisks...)
+		} else {
+			sh = append(sh, s.HDFSDisks...)
+			sm = append(sm, s.MRDisks...)
+		}
+	}
+	var names []string
+	add := func(name string, disks []*disk.Disk) {
+		if len(disks) > 0 {
+			mon.AddGroup(name, disks...)
+			names = append(names, name)
+		}
+	}
+	add(GroupHDFSVictims, vh)
+	add(GroupMRVictims, vm)
+	add(GroupHDFSSurvivors, sh)
+	add(GroupMRSurvivors, sm)
+	return names
 }
 
 // Suite caches experiment cells so figures sharing runs (e.g. Figures 1, 4,

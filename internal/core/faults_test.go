@@ -1,0 +1,251 @@
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/faults"
+	"iochar/internal/hdfs"
+	"iochar/internal/mapred"
+	"iochar/internal/sim"
+)
+
+// goldenRun is the set of counters frozen from the seed build (captured
+// before any fault-tolerance code existed). The healthy path must keep
+// producing these exact values: any drift means the off path is no longer
+// zero-overhead.
+type goldenRun struct {
+	wall                  time.Duration
+	hdfsR, hdfsW          uint64
+	mrR, mrW              uint64
+	mapIn, mapOut         int64
+	spills                int64
+	shuffle, redOut       int64
+	localMaps, remoteMaps int
+	speculative           int64
+}
+
+var seedGolden = map[string]goldenRun{
+	"TS": {
+		wall: 1098495440, hdfsR: 34062336, hdfsW: 34283520,
+		mrR: 33792000, mrW: 41414656,
+		mapIn: 335540, mapOut: 33554000, spills: 100,
+		shuffle: 15228370, redOut: 33889540,
+		localMaps: 49, remoteMaps: 1, speculative: 0,
+	},
+	"AGG": {
+		wall: 449967576, hdfsR: 17137664, hdfsW: 122880,
+		mrR: 696320, mrW: 0,
+		mapIn: 447993, mapOut: 4601883, spills: 46,
+		shuffle: 164188, redOut: 14722,
+		localMaps: 25, remoteMaps: 0, speculative: 0,
+	},
+}
+
+// TestHealthyPathMatchesSeedGolden is the zero-overhead regression test of
+// the fault work: with no fault plan configured, every counter and iostat
+// total is byte-identical to the pre-fault-tolerance seed build.
+func TestHealthyPathMatchesSeedGolden(t *testing.T) {
+	for wk, want := range seedGolden {
+		rep, err := RunOne(wk, Factors{Slots: Slots1x8, MemoryGB: 16, Compress: true}, fastOpts)
+		if err != nil {
+			t.Fatalf("%s: %v", wk, err)
+		}
+		c := rep.Jobs[0].Counters
+		got := goldenRun{
+			wall: rep.Wall, hdfsR: rep.HDFS.TotalReadBytes, hdfsW: rep.HDFS.TotalWrittenBytes,
+			mrR: rep.MR.TotalReadBytes, mrW: rep.MR.TotalWrittenBytes,
+			mapIn: c.MapInputRecords, mapOut: c.MapOutputBytes, spills: c.Spills,
+			shuffle: c.ShuffleBytes, redOut: c.ReduceOutputBytes,
+			localMaps: c.LocalMaps, remoteMaps: c.RemoteMaps, speculative: c.SpeculativeAttempts,
+		}
+		if got != want {
+			t.Errorf("%s drifted from the seed golden:\n got  %+v\n want %+v", wk, got, want)
+		}
+		if rep.Recovery != (hdfs.RecoveryStats{}) || rep.FaultsInjected != nil || rep.FaultGroups != nil {
+			t.Errorf("%s: healthy run carries fault-run state: %+v", wk, rep)
+		}
+	}
+}
+
+// tsFaultFactors is the cell the DataNode-loss experiment runs.
+var tsFaultFactors = Factors{Slots: Slots1x8, MemoryGB: 16, Compress: true}
+
+// killPlan kills one whole node (TaskTracker + DataNode) mid-TeraSort. At
+// fastOpts scale the healthy run lasts ~1.1 virtual seconds with maps
+// finishing throughout the first ~0.8 s, so 300 ms is mid-map-phase: the
+// victim holds completed map outputs (forcing re-execution) and block
+// replicas (forcing re-replication).
+const killPlan = "kill-node@300ms:node=slave-02"
+
+type tsOutcome struct {
+	rep      *RunReport
+	sums     map[string][32]byte // output part file -> content hash
+	inLocs   map[string][]int    // input file -> live replica count per block
+	underRep int
+}
+
+func runTS(t *testing.T, planStr string) *tsOutcome {
+	t.Helper()
+	opts := fastOpts
+	if planStr != "" {
+		plan, err := faults.ParsePlan(planStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Faults = plan
+	}
+	out := &tsOutcome{sums: map[string][32]byte{}, inLocs: map[string][]int{}}
+	opts.Inspect = func(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster) {
+		for _, path := range fs.List("/bench/TS/out/") {
+			rd, err := fs.Open(path, cl.Master.Name)
+			if err != nil {
+				t.Errorf("open %s: %v", path, err)
+				return
+			}
+			data, err := rd.ReadAt(p, 0, rd.Size())
+			if err != nil {
+				t.Errorf("read %s: %v", path, err)
+				return
+			}
+			out.sums[path] = sha256.Sum256(data)
+		}
+		for _, path := range fs.List("/bench/TS/in/") {
+			locs, err := fs.BlockLocations(path)
+			if err != nil {
+				t.Errorf("locations %s: %v", path, err)
+				return
+			}
+			var counts []int
+			for _, l := range locs {
+				counts = append(counts, len(l))
+			}
+			out.inLocs[path] = counts
+		}
+		out.underRep = fs.UnderReplicated()
+	}
+	rep, err := RunOne("TS", tsFaultFactors, opts)
+	if err != nil {
+		t.Fatalf("TS with plan %q: %v", planStr, err)
+	}
+	out.rep = rep
+	return out
+}
+
+// TestDataNodeLossMidTeraSort is the tentpole acceptance scenario: one node
+// dies mid-job, yet the job completes with byte-identical output, the lost
+// map work is re-executed, and HDFS restores every input block to its full
+// replication factor.
+func TestDataNodeLossMidTeraSort(t *testing.T) {
+	healthy := runTS(t, "")
+	faulty := runTS(t, killPlan)
+
+	if len(faulty.sums) == 0 || !reflect.DeepEqual(healthy.sums, faulty.sums) {
+		t.Errorf("output diverged under faults: healthy %d part(s), faulty %d part(s)",
+			len(healthy.sums), len(faulty.sums))
+	}
+	rec := faulty.rep.Recovery
+	if rec.DeadDataNodes != 1 {
+		t.Errorf("DeadDataNodes = %d, want 1", rec.DeadDataNodes)
+	}
+	if rec.ReReplicatedBlocks == 0 || rec.ReReplicatedBytes == 0 {
+		t.Errorf("no re-replication happened: %+v", rec)
+	}
+	var reexec int64
+	for _, j := range faulty.rep.Jobs {
+		reexec += j.ReExecutedMaps
+	}
+	if reexec == 0 {
+		t.Errorf("no map tasks were re-executed; kill fired too late or victim held no outputs")
+	}
+	if len(faulty.rep.FaultsInjected) != 1 {
+		t.Errorf("FaultsInjected = %v, want exactly the kill event", faulty.rep.FaultsInjected)
+	}
+	if faulty.underRep != 0 {
+		t.Errorf("%d block(s) still under-replicated after WaitRecovered", faulty.underRep)
+	}
+	for path, counts := range faulty.inLocs {
+		for i, n := range counts {
+			if n != 3 {
+				t.Errorf("%s block %d has %d live replica(s), want 3", path, i, n)
+			}
+		}
+	}
+	// Victim/survivor iostat splits exist and the victim group flatlines
+	// after the kill while survivors absorb the recovery writes.
+	for _, name := range []string{GroupHDFSVictims, GroupMRVictims, GroupHDFSSurvivors, GroupMRSurvivors} {
+		if faulty.rep.FaultGroups[name] == nil {
+			t.Errorf("missing fault iostat group %q", name)
+		}
+	}
+	if hv, sv := faulty.rep.FaultGroups[GroupHDFSVictims], faulty.rep.FaultGroups[GroupHDFSSurvivors]; hv != nil && sv != nil {
+		if sv.TotalWrittenBytes <= hv.TotalWrittenBytes {
+			t.Errorf("survivors wrote %d <= victim's %d; recovery traffic missing",
+				sv.TotalWrittenBytes, hv.TotalWrittenBytes)
+		}
+	}
+}
+
+// TestFaultRunDeterministic: two runs with the same fault plan and seed are
+// event-for-event identical — same counters, same wall time, same recovery
+// work.
+func TestFaultRunDeterministic(t *testing.T) {
+	a := runTS(t, killPlan)
+	b := runTS(t, killPlan)
+	if a.rep.Wall != b.rep.Wall {
+		t.Errorf("wall diverged: %v vs %v", a.rep.Wall, b.rep.Wall)
+	}
+	if !reflect.DeepEqual(a.rep.Jobs[0].Counters, b.rep.Jobs[0].Counters) {
+		t.Errorf("counters diverged:\n %+v\n %+v", a.rep.Jobs[0].Counters, b.rep.Jobs[0].Counters)
+	}
+	if a.rep.Recovery != b.rep.Recovery {
+		t.Errorf("recovery stats diverged:\n %+v\n %+v", a.rep.Recovery, b.rep.Recovery)
+	}
+	if !reflect.DeepEqual(a.rep.FaultsInjected, b.rep.FaultsInjected) {
+		t.Errorf("fault logs diverged: %v vs %v", a.rep.FaultsInjected, b.rep.FaultsInjected)
+	}
+	if !reflect.DeepEqual(a.sums, b.sums) {
+		t.Errorf("outputs diverged between identical fault runs")
+	}
+}
+
+// TestShuffleDropRetries: a transient fetch-drop window mid-shuffle makes
+// reducers retry with backoff, and the job still completes correctly.
+func TestShuffleDropRetries(t *testing.T) {
+	healthy := runTS(t, "")
+	faulty := runTS(t, "drop-shuffle@400ms:until=800ms,prob=0.5")
+	if !reflect.DeepEqual(healthy.sums, faulty.sums) {
+		t.Errorf("output diverged under shuffle drops")
+	}
+	var retries int64
+	for _, j := range faulty.rep.Jobs {
+		retries += j.FetchRetries
+	}
+	if retries == 0 {
+		t.Errorf("no fetch retries recorded under a 50%% drop window")
+	}
+}
+
+// TestJobFailsCleanlyWhenClusterDies: when every slave dies no retry budget
+// can save the job; it must fail with a typed JobError instead of hanging.
+func TestJobFailsCleanlyWhenClusterDies(t *testing.T) {
+	opts := fastOpts
+	plan := "kill-node@200ms:node=slave-00;kill-node@210ms:node=slave-01;kill-node@220ms:node=slave-02;kill-node@230ms:node=slave-03;kill-node@240ms:node=slave-04"
+	var err error
+	opts.Faults, err = faults.ParsePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunOne("TS", tsFaultFactors, opts)
+	if err == nil {
+		t.Fatal("job survived the loss of every slave")
+	}
+	var je *mapred.JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("error is not a mapred.JobError: %v", err)
+	}
+}

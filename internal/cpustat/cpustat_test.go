@@ -12,7 +12,11 @@ func rig(nslaves int) (*sim.Env, *cluster.Cluster) {
 	env := sim.New(1)
 	hw := cluster.DefaultHardware(8192)
 	hw.Cores = 4
-	return env, cluster.New(env, hw, nslaves)
+	cl, err := cluster.New(env, hw, nslaves)
+	if err != nil {
+		panic(err)
+	}
+	return env, cl
 }
 
 func TestUtilizationTracksLoad(t *testing.T) {

@@ -351,6 +351,11 @@ func (d *Disk) Service(sector int64, count int) time.Duration {
 	return t
 }
 
+// SetSlowFactor changes the service-time degradation multiplier at runtime
+// (fault injection: a drive going fail-slow mid-run, or recovering). Values
+// at or below 1 restore healthy timing.
+func (d *Disk) SetSlowFactor(f float64) { d.P.SlowFactor = f }
+
 // complete finalizes accounting for r and wakes its waiters.
 func (d *Disk) complete(r *Request) {
 	d.accrueWeighted()

@@ -1,0 +1,448 @@
+// Package faults injects failures into a running simulation — fail-stop and
+// fail-slow disks, DataNode crashes, whole-node (TaskTracker) crashes, and
+// transient shuffle-fetch drops — at deterministic virtual timestamps or
+// sampled from a seeded RNG. The injector only *causes* failures; detection
+// and repair live with the subsystems themselves (hdfs.EnableRecovery,
+// mapred.EnableFaults), which the caller must switch on for the cluster to
+// survive what is injected here.
+//
+// A fault plan is a semicolon-separated list of events:
+//
+//	kill-datanode@15s:node=slave-02
+//	kill-node@20s:node=slave-01
+//	fail-disk@10s:node=slave-03,disk=hdfs1
+//	slow-disk@12s:node=slave-03,disk=mr0,factor=8
+//	drop-shuffle@8s:until=30s,prob=0.3
+//
+// Timestamps are virtual time from the start of the run, parsed by
+// time.ParseDuration. Two runs with the same plan (and, for drop-shuffle and
+// RandomPlan, the same seed) inject byte-identical fault sequences.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/hdfs"
+	"iochar/internal/localfs"
+	"iochar/internal/mapred"
+	"iochar/internal/netsim"
+	"iochar/internal/sim"
+)
+
+// Kind identifies a fault class.
+type Kind string
+
+const (
+	// KillDataNode fail-stops the DataNode process on a node: HDFS reads,
+	// write-pipeline hops, and heartbeats stop, but the TaskTracker and NIC
+	// survive. The NameNode notices after its dead timeout.
+	KillDataNode Kind = "kill-datanode"
+	// KillNode fail-stops the whole machine: NIC severed, DataNode and
+	// TaskTracker dead, running task attempts written off.
+	KillNode Kind = "kill-node"
+	// FailDisk fail-stops one data volume. An HDFS volume's replicas enter
+	// the repair queue immediately (the DataNode reports the bad dfs.data.dir);
+	// an intermediate volume's map outputs are declared lost.
+	FailDisk Kind = "fail-disk"
+	// SlowDisk degrades one volume's disk by a service-time multiplier — the
+	// classic fail-slow fault that speculation exists to mask.
+	SlowDisk Kind = "slow-disk"
+	// DropShuffle drops each shuffle fetch with probability Prob inside the
+	// window [At, Until), forcing the reduce side into retry/backoff.
+	DropShuffle Kind = "drop-shuffle"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind   Kind
+	At     time.Duration // virtual time the fault fires
+	Node   string        // target node (all kinds except DropShuffle)
+	Disk   string        // volume selector, e.g. "hdfs0", "mr2", "data1"
+	Factor float64       // SlowDisk service-time multiplier (> 1)
+	Until  time.Duration // DropShuffle window end
+	Prob   float64       // DropShuffle per-fetch drop probability
+}
+
+// String renders the event in ParsePlan's syntax.
+func (ev Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s", ev.Kind, ev.At)
+	sep := ":"
+	put := func(k, v string) {
+		b.WriteString(sep + k + "=" + v)
+		sep = ","
+	}
+	if ev.Node != "" {
+		put("node", ev.Node)
+	}
+	if ev.Disk != "" {
+		put("disk", ev.Disk)
+	}
+	if ev.Factor != 0 {
+		put("factor", strconv.FormatFloat(ev.Factor, 'g', -1, 64))
+	}
+	if ev.Kind == DropShuffle {
+		put("until", ev.Until.String())
+		put("prob", strconv.FormatFloat(ev.Prob, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// Plan is a set of fault events plus the seed driving any randomized
+// behaviour (drop-shuffle coin flips).
+type Plan struct {
+	Events []Event
+	Seed   int64
+}
+
+// Empty reports whether the plan injects nothing.
+func (pl Plan) Empty() bool { return len(pl.Events) == 0 }
+
+// String renders the plan in ParsePlan's syntax.
+func (pl Plan) String() string {
+	parts := make([]string, len(pl.Events))
+	for i, ev := range pl.Events {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParsePlan parses the fault-plan syntax documented in the package comment.
+// An empty string yields an empty plan. The plan's Seed is left zero — tie
+// it to an experiment seed afterwards (core.Options does so automatically).
+func ParsePlan(s string) (Plan, error) {
+	var pl Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return pl, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return Plan{}, err
+		}
+		pl.Events = append(pl.Events, ev)
+	}
+	return pl, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	head, args, _ := strings.Cut(s, ":")
+	kindStr, atStr, ok := strings.Cut(head, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("faults: %q: want kind@time[:k=v,...]", s)
+	}
+	ev := Event{Kind: Kind(kindStr)}
+	switch ev.Kind {
+	case KillDataNode, KillNode, FailDisk, SlowDisk, DropShuffle:
+	default:
+		return Event{}, fmt.Errorf("faults: %q: unknown fault kind %q", s, kindStr)
+	}
+	at, err := time.ParseDuration(atStr)
+	if err != nil || at < 0 {
+		return Event{}, fmt.Errorf("faults: %q: bad timestamp %q", s, atStr)
+	}
+	ev.At = at
+	if args != "" {
+		for _, kv := range strings.Split(args, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return Event{}, fmt.Errorf("faults: %q: bad argument %q", s, kv)
+			}
+			switch k {
+			case "node":
+				ev.Node = v
+			case "disk":
+				ev.Disk = v
+			case "factor":
+				ev.Factor, err = strconv.ParseFloat(v, 64)
+			case "until":
+				ev.Until, err = time.ParseDuration(v)
+			case "prob":
+				ev.Prob, err = strconv.ParseFloat(v, 64)
+			default:
+				return Event{}, fmt.Errorf("faults: %q: unknown argument %q", s, k)
+			}
+			if err != nil {
+				return Event{}, fmt.Errorf("faults: %q: bad value %q for %q", s, v, k)
+			}
+		}
+	}
+	return ev, ev.validate()
+}
+
+func (ev Event) validate() error {
+	switch ev.Kind {
+	case KillDataNode, KillNode:
+		if ev.Node == "" {
+			return fmt.Errorf("faults: %s needs node=", ev.Kind)
+		}
+	case FailDisk:
+		// node=/disk= are required to arm against a cluster, but that is
+		// checked by Injector.Start — iosim applies disk faults to its one
+		// standalone device and has no selectors.
+	case SlowDisk:
+		if ev.Factor <= 1 {
+			return fmt.Errorf("faults: %s needs factor > 1, got %g", ev.Kind, ev.Factor)
+		}
+	case DropShuffle:
+		if ev.Until <= ev.At {
+			return fmt.Errorf("faults: %s needs until > the start time", ev.Kind)
+		}
+		if ev.Prob <= 0 || ev.Prob > 1 {
+			return fmt.Errorf("faults: %s needs prob in (0,1], got %g", ev.Kind, ev.Prob)
+		}
+	}
+	return nil
+}
+
+// RandomPlan samples n fault events uniformly over [0, window) against the
+// given nodes, deterministically for a seed. Disk faults always target index
+// 0 of a random role (every node has at least one disk per role); kill-node
+// is excluded when nodes has a single entry, since losing the only slave
+// cannot be survived. Events are sorted by time.
+func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []Kind{KillDataNode, FailDisk, SlowDisk, DropShuffle, KillNode}
+	if len(nodes) <= 1 {
+		kinds = kinds[:4]
+	}
+	pl := Plan{Seed: seed}
+	killed := 0
+	for i := 0; i < n; i++ {
+		ev := Event{
+			Kind: kinds[rng.Intn(len(kinds))],
+			At:   time.Duration(rng.Int63n(int64(window))),
+			Node: nodes[rng.Intn(len(nodes))],
+		}
+		if ev.Kind == KillNode {
+			// At most half the cluster may die, or quorum-less recovery
+			// (fewer live nodes than the replication factor) dominates.
+			if killed+1 >= (len(nodes)+1)/2 {
+				ev.Kind = KillDataNode
+			} else {
+				killed++
+			}
+		}
+		switch ev.Kind {
+		case FailDisk, SlowDisk:
+			if rng.Intn(2) == 0 {
+				ev.Disk = "hdfs0"
+			} else {
+				ev.Disk = "mr0"
+			}
+			ev.Factor = float64(2 + rng.Intn(15)) // 2..16, used by slow-disk
+		case DropShuffle:
+			ev.Node = ""
+			ev.Until = ev.At + time.Duration(rng.Int63n(int64(window)))
+			ev.Prob = 0.1 + 0.4*rng.Float64()
+		}
+		pl.Events = append(pl.Events, ev)
+	}
+	sort.SliceStable(pl.Events, func(i, j int) bool { return pl.Events[i].At < pl.Events[j].At })
+	return pl
+}
+
+// Injector arms a plan against a concrete cluster. Create with New, call
+// Start before sim.Env.Run, and Stop after the workload (plus recovery)
+// drains to cancel any events that never fired.
+type Injector struct {
+	env  *sim.Env
+	cl   *cluster.Cluster
+	net  *netsim.Network
+	fs   *hdfs.FS
+	rt   *mapred.Runtime
+	plan Plan
+
+	timers  []*sim.Timer
+	victims []string // nodes whose DataNode or whole machine was killed
+	fired   []string // log of injected events, in firing order
+}
+
+// New wires an injector. fs and rt may be nil when the plan does not touch
+// the corresponding subsystem (checked at Start).
+func New(env *sim.Env, cl *cluster.Cluster, fs *hdfs.FS, rt *mapred.Runtime, plan Plan) *Injector {
+	return &Injector{env: env, cl: cl, net: cl.Net, fs: fs, rt: rt, plan: plan}
+}
+
+// Start validates every event's target and schedules the plan as cancellable
+// virtual-time callbacks. Shuffle-drop windows install a single seeded hook
+// into the MapReduce runtime. Returns an error (scheduling nothing) if any
+// event names an unknown node or disk.
+func (in *Injector) Start() error {
+	var drops []Event
+	for _, ev := range in.plan.Events {
+		ev := ev
+		if ev.Kind == DropShuffle {
+			drops = append(drops, ev)
+			continue
+		}
+		if ev.Node == "" {
+			return fmt.Errorf("faults: %s needs node= to target a cluster", ev.Kind)
+		}
+		node := in.cl.FindNode(ev.Node)
+		if node == nil {
+			return fmt.Errorf("faults: %s: unknown node %q", ev.Kind, ev.Node)
+		}
+		var fire func()
+		switch ev.Kind {
+		case KillDataNode:
+			if in.fs == nil {
+				return fmt.Errorf("faults: %s without an HDFS instance", ev.Kind)
+			}
+			fire = func() { in.killDataNode(ev) }
+		case KillNode:
+			if in.fs == nil || in.rt == nil {
+				return fmt.Errorf("faults: %s without HDFS and MapReduce instances", ev.Kind)
+			}
+			fire = func() { in.killNode(ev, node) }
+		case FailDisk, SlowDisk:
+			if ev.Disk == "" {
+				return fmt.Errorf("faults: %s needs node= and disk= to target a cluster", ev.Kind)
+			}
+			vol, err := findVol(node, ev.Disk)
+			if err != nil {
+				return err
+			}
+			if ev.Kind == SlowDisk {
+				fire = func() { in.slowDisk(ev, vol) }
+			} else {
+				fire = func() { in.failDisk(ev, node, vol) }
+			}
+		}
+		in.timers = append(in.timers, in.env.AfterFunc(ev.At, fire))
+	}
+	if len(drops) > 0 {
+		if in.rt == nil {
+			return fmt.Errorf("faults: %s without a MapReduce instance", DropShuffle)
+		}
+		for _, d := range drops {
+			d := d
+			// The hook below is passive; log each window when it opens so
+			// reports still show that the run was perturbed.
+			in.timers = append(in.timers, in.env.AfterFunc(d.At, func() { in.note(d) }))
+		}
+		rng := rand.New(rand.NewSource(in.plan.Seed))
+		in.rt.SetFetchFault(func(now time.Duration) bool {
+			for _, d := range drops {
+				if now >= d.At && now < d.Until {
+					// One deterministic draw per in-window fetch; windows
+					// never stack (first match wins).
+					return rng.Float64() < d.Prob
+				}
+			}
+			return false
+		})
+	}
+	return nil
+}
+
+// killDataNode fail-stops just the DataNode process: the machine, its NIC,
+// and its TaskTracker stay up.
+func (in *Injector) killDataNode(ev Event) {
+	in.fs.CrashDataNode(ev.Node)
+	in.victims = append(in.victims, ev.Node)
+	in.note(ev)
+}
+
+// killNode fail-stops the whole machine, in the order the control planes
+// would observe it: the machine stops (tasks abandon at their next chunk),
+// the NIC goes dark (in-flight transfers collapse), the DataNode stops
+// heartbeating, and the JobTracker writes off the node's attempts/outputs.
+func (in *Injector) killNode(ev Event, node *cluster.Node) {
+	node.SetDown(true)
+	in.net.SetDown(ev.Node, true)
+	in.fs.CrashDataNode(ev.Node)
+	in.rt.OnNodeDown(ev.Node)
+	in.victims = append(in.victims, ev.Node)
+	in.note(ev)
+}
+
+// failDisk fail-stops one volume. HDFS volumes report straight to the
+// NameNode's repair queue; intermediate volumes lose their map outputs.
+func (in *Injector) failDisk(ev Event, node *cluster.Node, vol *localfs.FS) {
+	if isHDFSVol(node, vol) && in.fs != nil {
+		in.fs.FailVolume(ev.Node, vol) // calls vol.Fail and queues repairs
+	} else {
+		vol.Fail()
+	}
+	if isMRVol(node, vol) && in.rt != nil {
+		in.rt.OnVolumeDown(vol)
+	}
+	in.note(ev)
+}
+
+func (in *Injector) slowDisk(ev Event, vol *localfs.FS) {
+	vol.Disk().SetSlowFactor(ev.Factor)
+	in.note(ev)
+}
+
+func (in *Injector) note(ev Event) {
+	in.fired = append(in.fired, fmt.Sprintf("t=%v %s", in.env.Now(), ev))
+}
+
+// Stop cancels events that have not fired yet. Call it once the run (and its
+// recovery tail) is over, so Env.Run(0) is not held open by pending faults.
+func (in *Injector) Stop() {
+	for _, t := range in.timers {
+		t.Stop()
+	}
+}
+
+// Victims returns the nodes whose DataNode or whole machine has been killed
+// so far, in firing order — the set iostat reporting separates out.
+func (in *Injector) Victims() []string { return append([]string(nil), in.victims...) }
+
+// Fired returns a human-readable log of the events injected so far.
+func (in *Injector) Fired() []string { return append([]string(nil), in.fired...) }
+
+// findVol resolves a disk selector ("hdfs1", "mr0", or "data2" for pooled
+// layouts) against a node's volumes.
+func findVol(node *cluster.Node, sel string) (*localfs.FS, error) {
+	role := strings.TrimRight(sel, "0123456789")
+	idx, err := strconv.Atoi(sel[len(role):])
+	if err != nil {
+		return nil, fmt.Errorf("faults: bad disk selector %q (want e.g. hdfs0 or mr1)", sel)
+	}
+	var vols []*localfs.FS
+	switch role {
+	case "hdfs", "data":
+		vols = node.HDFSVols
+	case "mr":
+		vols = node.MRVols
+	default:
+		return nil, fmt.Errorf("faults: bad disk role %q in %q (want hdfs, mr, or data)", role, sel)
+	}
+	if idx < 0 || idx >= len(vols) {
+		return nil, fmt.Errorf("faults: node %s has no %s volume %d", node.Name, role, idx)
+	}
+	return vols[idx], nil
+}
+
+func isHDFSVol(node *cluster.Node, vol *localfs.FS) bool {
+	for _, v := range node.HDFSVols {
+		if v == vol {
+			return true
+		}
+	}
+	return false
+}
+
+func isMRVol(node *cluster.Node, vol *localfs.FS) bool {
+	for _, v := range node.MRVols {
+		if v == vol {
+			return true
+		}
+	}
+	return false
+}

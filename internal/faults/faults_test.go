@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	in := "kill-datanode@15s:node=slave-02;" +
+		"kill-node@20s:node=slave-01;" +
+		"fail-disk@10s:node=slave-03,disk=hdfs1;" +
+		"slow-disk@12s:node=slave-03,disk=mr0,factor=8;" +
+		"drop-shuffle@8s:until=30s,prob=0.3"
+	pl, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Events) != 5 {
+		t.Fatalf("got %d events, want 5", len(pl.Events))
+	}
+	want := Event{Kind: SlowDisk, At: 12 * time.Second, Node: "slave-03", Disk: "mr0", Factor: 8}
+	if pl.Events[3] != want {
+		t.Errorf("event 3 = %+v, want %+v", pl.Events[3], want)
+	}
+	if pl.Events[4].Until != 30*time.Second || pl.Events[4].Prob != 0.3 {
+		t.Errorf("drop-shuffle parsed wrong: %+v", pl.Events[4])
+	}
+	// String must re-parse to the same plan.
+	again, err := ParsePlan(pl.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", pl.String(), err)
+	}
+	if !reflect.DeepEqual(pl, again) {
+		t.Errorf("round trip changed the plan:\n %+v\n %+v", pl, again)
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	pl, err := ParsePlan("  ")
+	if err != nil || !pl.Empty() {
+		t.Fatalf("blank plan: %+v, %v", pl, err)
+	}
+}
+
+func TestParsePlanRejectsBadInput(t *testing.T) {
+	for _, s := range []string{
+		"explode@5s:node=slave-01",              // unknown kind
+		"kill-node@5s",                          // missing node
+		"kill-datanode:node=slave-01",           // missing timestamp
+		"slow-disk@5s:node=a,disk=mr0",          // missing factor
+		"slow-disk@5s:node=a,disk=mr0,factor=1", // factor must be > 1
+		"drop-shuffle@5s:until=2s,prob=0.5",     // window ends before it starts
+		"drop-shuffle@5s:until=9s,prob=1.5",     // probability out of range
+		"kill-node@5s:node=a,bogus=1",           // unknown argument
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted bad input", s)
+		}
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	nodes := []string{"slave-00", "slave-01", "slave-02", "slave-03"}
+	a := RandomPlan(7, nodes, 2*time.Minute, 6)
+	b := RandomPlan(7, nodes, 2*time.Minute, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different plans:\n %v\n %v", a, b)
+	}
+	c := RandomPlan(8, nodes, 2*time.Minute, 6)
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds produced identical plans: %v", a)
+	}
+	for _, ev := range a.Events {
+		if err := ev.validate(); err != nil {
+			t.Errorf("random event invalid: %v (%v)", ev, err)
+		}
+	}
+	// Sorted by firing time.
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Errorf("events out of order: %v", a.Events)
+		}
+	}
+}
+
+func TestRandomPlanSingleNodeNeverKillsIt(t *testing.T) {
+	pl := RandomPlan(3, []string{"slave-00"}, time.Minute, 20)
+	for _, ev := range pl.Events {
+		if ev.Kind == KillNode {
+			t.Fatalf("single-node plan contains kill-node: %s", pl)
+		}
+	}
+	if !strings.Contains(pl.String(), "@") {
+		t.Fatalf("plan did not render: %q", pl.String())
+	}
+}

@@ -14,6 +14,7 @@ package hdfs
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"iochar/internal/cluster"
 	"iochar/internal/localfs"
@@ -44,7 +45,9 @@ func DefaultConfig(scale int64) Config {
 type blockMeta struct {
 	id       int64
 	size     int64
+	want     int // target replication factor
 	replicas []*DataNode
+	gone     bool // file deleted; drop from recovery queues
 }
 
 // fileMeta is one namespace entry.
@@ -63,19 +66,32 @@ type FS struct {
 	files     map[string]*fileMeta
 	datanodes []*DataNode
 	byNode    map[string]*DataNode
+	blockByID map[int64]*blockMeta
 	nextBlock int64
-	place     int // round-robin placement cursor
+	place     int            // round-robin placement cursor
+	rec       *recoveryState // nil unless EnableRecovery was called
 }
 
 // transferer is the network dependency (satisfied by *netsim.Network).
 type transferer interface {
 	Transfer(p *sim.Proc, src, dst string, bytes int64)
+	TryTransfer(p *sim.Proc, src, dst string, bytes int64) error
+}
+
+// storedBlock is one replica as held by a DataNode: the block file plus the
+// volume it lives on (so a failed volume can report exactly its blocks).
+type storedBlock struct {
+	file *localfs.File
+	vol  *localfs.FS
 }
 
 // DataNode serves blocks from one slave's HDFS volumes.
 type DataNode struct {
-	node   *cluster.Node
-	blocks map[int64]*localfs.File
+	node     *cluster.Node
+	blocks   map[int64]storedBlock
+	crashed  bool          // fail-stopped; stops serving and heartbeating
+	lastBeat time.Duration // last heartbeat the NameNode saw
+	deadByNN bool          // the NameNode has declared this node dead
 }
 
 // Node returns the cluster node hosting this DataNode.
@@ -83,6 +99,9 @@ func (dn *DataNode) Node() *cluster.Node { return dn.node }
 
 // BlockCount returns the number of replicas stored here.
 func (dn *DataNode) BlockCount() int { return len(dn.blocks) }
+
+// Alive reports whether the DataNode process is still serving.
+func (dn *DataNode) Alive() bool { return !dn.crashed }
 
 // New creates the filesystem with a DataNode on every given node.
 func New(env *sim.Env, cfg Config, net transferer, nodes []*cluster.Node) *FS {
@@ -93,17 +112,18 @@ func New(env *sim.Env, cfg Config, net transferer, nodes []*cluster.Node) *FS {
 		cfg.PacketSize = 64 << 10
 	}
 	fs := &FS{
-		env:    env,
-		cfg:    cfg,
-		net:    net,
-		files:  make(map[string]*fileMeta),
-		byNode: make(map[string]*DataNode),
+		env:       env,
+		cfg:       cfg,
+		net:       net,
+		files:     make(map[string]*fileMeta),
+		byNode:    make(map[string]*DataNode),
+		blockByID: make(map[int64]*blockMeta),
 	}
 	for _, n := range nodes {
 		if len(n.HDFSVols) == 0 {
 			panic("hdfs: node " + n.Name + " has no HDFS volumes")
 		}
-		dn := &DataNode{node: n, blocks: make(map[int64]*localfs.File)}
+		dn := &DataNode{node: n, blocks: make(map[int64]storedBlock)}
 		fs.datanodes = append(fs.datanodes, dn)
 		fs.byNode[n.Name] = dn
 	}
@@ -150,17 +170,15 @@ func (fs *FS) Delete(path string) error {
 		return fmt.Errorf("hdfs: delete %s: no such file", path)
 	}
 	for _, b := range f.blocks {
+		b.gone = true
+		delete(fs.blockByID, b.id)
 		for _, dn := range b.replicas {
-			h := dn.blocks[b.id]
-			delete(dn.blocks, b.id)
-			name := h.Name()
-			// The block file lives on exactly one of the node's volumes.
-			for _, v := range dn.node.HDFSVols {
-				if v.Exists(name) {
-					v.Delete(name)
-					break
-				}
+			sb, ok := dn.blocks[b.id]
+			if !ok {
+				continue
 			}
+			delete(dn.blocks, b.id)
+			sb.vol.Delete(sb.file.Name())
 		}
 	}
 	delete(fs.files, path)
@@ -186,15 +204,29 @@ func (fs *FS) BlockLocations(path string) ([][]string, error) {
 // choose picks replication replica targets: the writer's own DataNode
 // first (if it has one), then round-robin across the rest — Hadoop's
 // default placement with rack-awareness flattened, faithful to the paper's
-// single-rack testbed.
+// single-rack testbed. Crashed DataNodes are skipped; if fewer live nodes
+// exist than the requested factor, every live node is returned (nil when
+// none are left).
 func (fs *FS) choose(writer string, replication int) []*DataNode {
+	live := 0
+	for _, dn := range fs.datanodes {
+		if !dn.crashed {
+			live++
+		}
+	}
+	if replication > live {
+		replication = live
+	}
 	var out []*DataNode
-	if dn, ok := fs.byNode[writer]; ok {
+	if dn, ok := fs.byNode[writer]; ok && !dn.crashed {
 		out = append(out, dn)
 	}
 	for len(out) < replication {
 		dn := fs.datanodes[fs.place%len(fs.datanodes)]
 		fs.place++
+		if dn.crashed {
+			continue
+		}
 		dup := false
 		for _, have := range out {
 			if have == dn {
@@ -241,22 +273,29 @@ func (fs *FS) CreateWith(path, clientNode string, replication int) *Writer {
 }
 
 // Write appends data to the stream, blocking p while full blocks flush
-// through the replication pipeline.
-func (w *Writer) Write(p *sim.Proc, data []byte) {
+// through the replication pipeline. It returns an error only when a block
+// cannot be stored on any live DataNode.
+func (w *Writer) Write(p *sim.Proc, data []byte) error {
 	w.buf = append(w.buf, data...)
 	for int64(len(w.buf)) >= w.fs.cfg.BlockSize {
-		w.flushBlock(p, w.buf[:w.fs.cfg.BlockSize])
+		if err := w.flushBlock(p, w.buf[:w.fs.cfg.BlockSize]); err != nil {
+			return err
+		}
 		w.buf = w.buf[w.fs.cfg.BlockSize:]
 	}
+	return nil
 }
 
 // Close flushes the final partial block and seals the file.
-func (w *Writer) Close(p *sim.Proc) {
+func (w *Writer) Close(p *sim.Proc) error {
 	if len(w.buf) > 0 {
-		w.flushBlock(p, w.buf)
+		if err := w.flushBlock(p, w.buf); err != nil {
+			return err
+		}
 		w.buf = nil
 	}
 	w.meta.open = false
+	return nil
 }
 
 // flushBlock ships one block through the write pipeline: the client streams
@@ -264,32 +303,72 @@ func (w *Writer) Close(p *sim.Proc) {
 // appending to its local block file concurrently. The hops run in parallel
 // processes, so pipeline time approximates max(hop) rather than sum(hop),
 // as in HDFS.
-func (w *Writer) flushBlock(p *sim.Proc, data []byte) {
+//
+// Under fault injection a hop can fail (its target crashed, or the network
+// path collapsed mid-transfer). As in HDFS pipeline recovery, the block
+// survives on whichever replicas completed — the under-replication is
+// queued for background repair. Only when *no* replica lands does the
+// client retry the whole block against a fresh pipeline, and after
+// maxPipelineRetries such attempts the write fails for good.
+func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
+	const maxPipelineRetries = 3
 	fs := w.fs
 	id := fs.nextBlock
 	fs.nextBlock++
-	replicas := fs.choose(w.client, w.replication)
-	b := &blockMeta{id: id, size: int64(len(data)), replicas: replicas}
+	b := &blockMeta{id: id, size: int64(len(data)), want: w.replication}
 	w.meta.blocks = append(w.meta.blocks, b)
 	w.meta.size += b.size
+	fs.blockByID[id] = b
 
 	content := append([]byte(nil), data...)
-	var hops []*sim.Handle
-	prev := w.client
-	for _, dn := range replicas {
-		dn := dn
-		src := prev
-		hops = append(hops, fs.env.Go("pipeline", func(hp *sim.Proc) {
-			fs.net.Transfer(hp, src, dn.node.Name, b.size)
-			f := dn.node.NextHDFSVol().Create(blockFileName(id))
-			f.Append(hp, content)
-			dn.blocks[id] = f
-		}))
-		prev = dn.node.Name
+	for attempt := 0; attempt < maxPipelineRetries; attempt++ {
+		targets := fs.choose(w.client, w.replication)
+		if len(targets) == 0 {
+			return fmt.Errorf("hdfs: write %s block %d: no live datanodes", w.meta.name, id)
+		}
+		ok := make([]bool, len(targets))
+		var hops []*sim.Handle
+		prev := w.client
+		for i, dn := range targets {
+			i, dn := i, dn
+			src := prev
+			hops = append(hops, fs.env.Go("pipeline", func(hp *sim.Proc) {
+				if err := fs.net.TryTransfer(hp, src, dn.node.Name, b.size); err != nil {
+					return
+				}
+				if dn.crashed {
+					return
+				}
+				f := dn.node.NextHDFSVol().Create(blockFileName(id))
+				f.Append(hp, content)
+				if dn.crashed {
+					// Crashed while appending: bytes are on a dead node.
+					return
+				}
+				dn.blocks[id] = storedBlock{file: f, vol: f.FS()}
+				ok[i] = true
+			}))
+			prev = dn.node.Name
+		}
+		for _, h := range hops {
+			h.Wait(p)
+		}
+		for i, dn := range targets {
+			if ok[i] {
+				b.replicas = append(b.replicas, dn)
+			}
+		}
+		if len(b.replicas) > 0 {
+			if len(b.replicas) < b.want {
+				fs.enqueueUnderReplicated(b)
+			}
+			if attempt > 0 && fs.rec != nil {
+				fs.rec.stats.PipelineRetries += uint64(attempt)
+			}
+			return nil
+		}
 	}
-	for _, h := range hops {
-		h.Wait(p)
-	}
+	return fmt.Errorf("hdfs: write %s block %d: pipeline failed %d times", w.meta.name, id, maxPipelineRetries)
 }
 
 func blockFileName(id int64) string { return fmt.Sprintf("blk_%d", id) }
@@ -311,13 +390,14 @@ func (fs *FS) Load(path string, firstNode string, data []byte) {
 		id := fs.nextBlock
 		fs.nextBlock++
 		replicas := fs.choose(firstNode, fs.cfg.Replication)
-		b := &blockMeta{id: id, size: end - off, replicas: replicas}
+		b := &blockMeta{id: id, size: end - off, want: fs.cfg.Replication, replicas: replicas}
 		meta.blocks = append(meta.blocks, b)
 		meta.size += b.size
+		fs.blockByID[id] = b
 		for _, dn := range replicas {
 			f := dn.node.NextHDFSVol().Create(blockFileName(id))
 			f.Install(data[off:end])
-			dn.blocks[id] = f
+			dn.blocks[id] = storedBlock{file: f, vol: f.FS()}
 		}
 	}
 }
@@ -346,10 +426,11 @@ func (r *Reader) Size() int64 { return r.meta.size }
 
 // ReadAt returns length bytes starting at off, blocking p for block reads
 // (local replica preferred; remote replicas add a network transfer). Reads
-// are clamped at EOF.
-func (r *Reader) ReadAt(p *sim.Proc, off, length int64) []byte {
+// are clamped at EOF. It returns a *LostBlockError when every replica of
+// some covered block is unreachable.
+func (r *Reader) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
 	if off < 0 || off >= r.meta.size {
-		return nil
+		return nil, nil
 	}
 	if off+length > r.meta.size {
 		length = r.meta.size - off
@@ -360,36 +441,71 @@ func (r *Reader) ReadAt(p *sim.Proc, off, length int64) []byte {
 		blockEnd := blockStart + b.size
 		lo, hi := maxI(off, blockStart), minI(off+length, blockEnd)
 		if lo < hi {
-			out = append(out, r.readBlockRange(p, b, lo-blockStart, hi-lo)...)
+			data, err := r.readBlockRange(p, b, lo-blockStart, hi-lo)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, data...)
 		}
 		blockStart = blockEnd
 		if blockStart >= off+length {
 			break
 		}
 	}
-	return out
+	return out, nil
+}
+
+// LostBlockError reports a block with no reachable replica.
+type LostBlockError struct {
+	Path  string
+	Block int64
+}
+
+func (e *LostBlockError) Error() string {
+	return fmt.Sprintf("hdfs: read %s: block %d has no reachable replica", e.Path, e.Block)
 }
 
 // readBlockRange reads [off, off+length) of one block from the best
 // replica: local if present (pure disk path), else the placement-order
-// first remote (disk at the remote node + network transfer).
-func (r *Reader) readBlockRange(p *sim.Proc, b *blockMeta, off, length int64) []byte {
-	var chosen *DataNode
+// first remote (disk at the remote node + network transfer). Replicas on
+// crashed DataNodes are skipped, and a remote transfer that collapses
+// mid-stream (source crashed) fails the client over to the next replica —
+// HDFS's DFSInputStream retry.
+func (r *Reader) readBlockRange(p *sim.Proc, b *blockMeta, off, length int64) ([]byte, error) {
+	// Candidate order: local replica first, then placement order.
+	cands := make([]*DataNode, 0, len(b.replicas))
 	for _, dn := range b.replicas {
 		if dn.node.Name == r.client {
-			chosen = dn
+			cands = append(cands, dn)
 			break
 		}
 	}
-	remote := chosen == nil
-	if remote {
-		chosen = b.replicas[0]
+	for _, dn := range b.replicas {
+		if dn.node.Name != r.client {
+			cands = append(cands, dn)
+		}
 	}
-	data := chosen.blocks[b.id].ReadAt(p, off, length)
-	if remote {
-		r.fs.net.Transfer(p, chosen.node.Name, r.client, length)
+	for _, dn := range cands {
+		if dn.crashed {
+			continue
+		}
+		sb, ok := dn.blocks[b.id]
+		if !ok || sb.vol.Failed() {
+			continue
+		}
+		data := sb.file.ReadAt(p, off, length)
+		if dn.node.Name == r.client {
+			return data, nil
+		}
+		if err := r.fs.net.TryTransfer(p, dn.node.Name, r.client, length); err != nil {
+			if r.fs.rec != nil {
+				r.fs.rec.stats.ReadFailovers++
+			}
+			continue
+		}
+		return data, nil
 	}
-	return data
+	return nil, &LostBlockError{Path: r.meta.name, Block: b.id}
 }
 
 func maxI(a, b int64) int64 {

@@ -11,7 +11,10 @@ import (
 
 func rig(nSlaves int) (*sim.Env, *cluster.Cluster, *FS) {
 	env := sim.New(1)
-	c := cluster.New(env, cluster.DefaultHardware(4096), nSlaves)
+	c, err := cluster.New(env, cluster.DefaultHardware(4096), nSlaves)
+	if err != nil {
+		panic(err)
+	}
 	fs := New(env, DefaultConfig(4096), c.Net, c.Slaves)
 	return env, c, fs
 }
@@ -36,7 +39,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := r.ReadAt(p, 0, int64(len(want)))
+		got, _ := r.ReadAt(p, 0, int64(len(want)))
 		if !bytes.Equal(got, want) {
 			t.Error("round trip mismatch")
 		}
@@ -175,7 +178,7 @@ func TestLoadIsInstantAndCold(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		read = r.ReadAt(p, 1000, 5000)
+		read, _ = r.ReadAt(p, 1000, 5000)
 	})
 	env.Run(0)
 	if !bytes.Equal(read, pattern(500_000)[1000:6000]) {
@@ -260,10 +263,10 @@ func TestReadAtEOFClamps(t *testing.T) {
 	fs.Load("/e", c.Slaves[0].Name, want)
 	env.Go("r", func(p *sim.Proc) {
 		r, _ := fs.Open("/e", c.Slaves[0].Name)
-		if got := r.ReadAt(p, 900, 500); !bytes.Equal(got, want[900:]) {
+		if got, _ := r.ReadAt(p, 900, 500); !bytes.Equal(got, want[900:]) {
 			t.Error("EOF clamp mismatch")
 		}
-		if got := r.ReadAt(p, 2000, 10); got != nil {
+		if got, _ := r.ReadAt(p, 2000, 10); got != nil {
 			t.Error("read past EOF should be nil")
 		}
 	})
@@ -287,7 +290,7 @@ func TestQuickReadWindows(t *testing.T) {
 				ok = false
 				return
 			}
-			got := r.ReadAt(p, off, length)
+			got, _ := r.ReadAt(p, off, length)
 			end := off + length
 			if end > int64(len(content)) {
 				end = int64(len(content))

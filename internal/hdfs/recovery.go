@@ -1,0 +1,381 @@
+// HDFS failure detection and repair: DataNode heartbeats, the NameNode's
+// dead-node monitor, and the background re-replication pipeline that
+// restores each block's replication factor with real byte copies through
+// the disk and network models.
+//
+// None of this machinery exists unless EnableRecovery is called — a
+// fault-free run spawns no heartbeat processes, takes no extra events, and
+// produces byte-identical counters to a build without this file.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"iochar/internal/localfs"
+	"iochar/internal/sim"
+)
+
+// RecoveryConfig tunes failure detection and repair, mirroring the Hadoop
+// 1.x knobs it abstracts.
+type RecoveryConfig struct {
+	// HeartbeatInterval is how often each DataNode reports in
+	// (dfs.heartbeat.interval, default 3 s).
+	HeartbeatInterval time.Duration
+	// DeadTimeout is how long the NameNode waits past the last heartbeat
+	// before declaring a DataNode dead. Hadoop's default is 10.5 min; fault
+	// experiments usually shorten it so recovery fits the run.
+	DeadTimeout time.Duration
+	// Streams is the number of concurrent re-replication copies
+	// (dfs.max-repl-streams, default 2).
+	Streams int
+}
+
+// DefaultRecoveryConfig returns heartbeats every 3 s, a 30 s dead timeout
+// (Hadoop's production 10.5 min compressed to experiment timescales), and
+// two replication streams.
+func DefaultRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{HeartbeatInterval: 3 * time.Second, DeadTimeout: 30 * time.Second, Streams: 2}
+}
+
+// RecoveryStats counts the repair work a run performed.
+type RecoveryStats struct {
+	ReReplicatedBlocks uint64 // block copies made to restore replication
+	ReReplicatedBytes  uint64 // bytes moved by those copies
+	DeadDataNodes      int    // DataNodes the NameNode declared dead
+	FailedVolumes      int    // volumes that fail-stopped and were reported
+	LostBlocks         int    // blocks whose every replica was lost
+	PipelineRetries    uint64 // whole-block write pipeline re-attempts
+	ReadFailovers      uint64 // mid-stream reader failovers to another replica
+}
+
+// recoveryState is the live recovery machinery hanging off an FS.
+type recoveryState struct {
+	cfg     RecoveryConfig
+	stats   RecoveryStats
+	queue   []*blockMeta // under-replicated blocks awaiting repair
+	queued  map[int64]bool
+	inWork  int       // copies currently in flight
+	work    *sim.Cond // signalled when queue gains work or stops
+	idle    *sim.Cond // signalled when recovery may have quiesced
+	stopped bool
+}
+
+// EnableRecovery switches on failure detection and repair: one heartbeat
+// process per DataNode, the NameNode monitor, and cfg.Streams re-replication
+// workers. Call it once, before Run, and only for runs with a fault plan —
+// the machinery adds periodic events that a healthy-baseline run should not
+// carry.
+func (fs *FS) EnableRecovery(cfg RecoveryConfig) {
+	if fs.rec != nil {
+		panic("hdfs: EnableRecovery called twice")
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 3 * time.Second
+	}
+	if cfg.DeadTimeout <= 0 {
+		cfg.DeadTimeout = 30 * time.Second
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = 2
+	}
+	rec := &recoveryState{
+		cfg:    cfg,
+		queued: make(map[int64]bool),
+		work:   sim.NewCond(fs.env),
+		idle:   sim.NewCond(fs.env),
+	}
+	fs.rec = rec
+	for _, dn := range fs.datanodes {
+		dn := dn
+		dn.lastBeat = fs.env.Now()
+		fs.env.Go("heartbeat:"+dn.node.Name, func(p *sim.Proc) {
+			for {
+				p.Sleep(cfg.HeartbeatInterval)
+				if rec.stopped || dn.crashed {
+					return
+				}
+				dn.lastBeat = p.Now()
+			}
+		})
+	}
+	fs.env.Go("namenode-monitor", func(p *sim.Proc) {
+		for {
+			p.Sleep(cfg.HeartbeatInterval)
+			if rec.stopped {
+				return
+			}
+			for _, dn := range fs.datanodes {
+				if !dn.deadByNN && p.Now()-dn.lastBeat > cfg.DeadTimeout {
+					fs.declareDead(dn)
+				}
+			}
+		}
+	})
+	for i := 0; i < cfg.Streams; i++ {
+		fs.env.Go(fmt.Sprintf("re-replicator-%d", i), func(p *sim.Proc) {
+			fs.replicationWorker(p)
+		})
+	}
+}
+
+// RecoveryStats returns a copy of the repair counters (zero value when
+// recovery was never enabled).
+func (fs *FS) RecoveryStats() RecoveryStats {
+	if fs.rec == nil {
+		return RecoveryStats{}
+	}
+	return fs.rec.stats
+}
+
+// RecoveryEnabled reports whether EnableRecovery has been called.
+func (fs *FS) RecoveryEnabled() bool { return fs.rec != nil }
+
+// CrashDataNode fail-stops the DataNode on the named cluster node: it stops
+// serving reads and write-pipeline hops immediately and stops heartbeating,
+// so the NameNode declares it dead after DeadTimeout. The caller (the fault
+// injector) is responsible for also severing the node's network if the
+// whole machine died rather than just the DataNode process.
+func (fs *FS) CrashDataNode(node string) {
+	dn, ok := fs.byNode[node]
+	if !ok {
+		panic("hdfs: CrashDataNode: no datanode on " + node)
+	}
+	dn.crashed = true
+	if fs.rec != nil {
+		fs.rec.idle.Broadcast()
+	}
+}
+
+// FailVolume fail-stops one HDFS volume on the named node. Unlike a node
+// crash, the DataNode itself survives and reports the disk failure to the
+// NameNode immediately (Hadoop's DataNode re-registers on a dfs.data.dir
+// error), so the lost replicas enter the repair queue with no detection
+// latency.
+func (fs *FS) FailVolume(node string, vol *localfs.FS) {
+	dn, ok := fs.byNode[node]
+	if !ok {
+		panic("hdfs: FailVolume: no datanode on " + node)
+	}
+	vol.Fail()
+	if fs.rec != nil {
+		fs.rec.stats.FailedVolumes++
+	}
+	for _, id := range sortedBlockIDs(dn.blocks) {
+		if dn.blocks[id].vol != vol {
+			continue
+		}
+		delete(dn.blocks, id)
+		b := fs.blockByID[id]
+		if b == nil {
+			continue
+		}
+		fs.dropReplica(b, dn)
+	}
+}
+
+// sortedBlockIDs fixes an iteration order for a DataNode's block map: Go
+// randomizes map order per run, and the repair queue's order shifts disk
+// contention enough to change downstream event timing — which would break
+// the same-seed-same-run determinism guarantee.
+func sortedBlockIDs(blocks map[int64]storedBlock) []int64 {
+	ids := make([]int64, 0, len(blocks))
+	for id := range blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// declareDead is the NameNode acting on a missed-heartbeat timeout: every
+// replica on the dead node is struck from the block map and each affected
+// block joins the repair queue.
+func (fs *FS) declareDead(dn *DataNode) {
+	dn.deadByNN = true
+	fs.rec.stats.DeadDataNodes++
+	for _, id := range sortedBlockIDs(dn.blocks) {
+		if b := fs.blockByID[id]; b != nil {
+			fs.dropReplica(b, dn)
+		}
+	}
+	fs.rec.idle.Broadcast()
+}
+
+// dropReplica removes dn from b's replica set and queues b for repair if it
+// fell below its target factor.
+func (fs *FS) dropReplica(b *blockMeta, dn *DataNode) {
+	for i, have := range b.replicas {
+		if have == dn {
+			b.replicas = append(b.replicas[:i], b.replicas[i+1:]...)
+			break
+		}
+	}
+	if len(b.replicas) == 0 {
+		if fs.rec != nil {
+			fs.rec.stats.LostBlocks++
+		}
+		return
+	}
+	if len(b.replicas) < b.want {
+		fs.enqueueUnderReplicated(b)
+	}
+}
+
+// enqueueUnderReplicated queues b for background repair. A no-op without
+// recovery enabled (a healthy run can still create under-replicated blocks
+// when a file asks for more replicas than exist; the seed behaved the same).
+func (fs *FS) enqueueUnderReplicated(b *blockMeta) {
+	rec := fs.rec
+	if rec == nil || rec.stopped || rec.queued[b.id] {
+		return
+	}
+	rec.queued[b.id] = true
+	rec.queue = append(rec.queue, b)
+	rec.work.Broadcast()
+}
+
+// replicationWorker drains the under-replicated queue: pick a live source
+// replica, read the block's bytes off its disk, stream them to a live
+// target that lacks the block, and append them to the target's volume —
+// the same byte-for-byte path a DataNode-to-DataNode DataTransfer takes.
+func (fs *FS) replicationWorker(p *sim.Proc) {
+	rec := fs.rec
+	for {
+		for len(rec.queue) == 0 {
+			if rec.stopped {
+				return
+			}
+			rec.work.Wait(p)
+		}
+		b := rec.queue[0]
+		rec.queue = rec.queue[1:]
+		delete(rec.queued, b.id)
+		if b.gone || len(b.replicas) == 0 || len(b.replicas) >= b.want {
+			rec.idle.Broadcast()
+			continue
+		}
+		rec.inWork++
+		copied, retry := fs.copyBlock(p, b)
+		rec.inWork--
+		// Re-enqueue on mid-copy failure, or after a successful copy that
+		// still leaves the block short. A block with no live source or no
+		// eligible target is NOT re-queued — it would spin without
+		// advancing virtual time; dropReplica re-queues it when the
+		// NameNode's view changes.
+		if retry || (copied && !b.gone && len(b.replicas) < b.want) {
+			fs.enqueueUnderReplicated(b)
+		}
+		rec.idle.Broadcast()
+	}
+}
+
+// copyBlock makes one replica of b. copied reports a new replica landed;
+// retry reports a mid-copy failure (source or target died after virtual
+// time was spent) worth another attempt from the survivors.
+func (fs *FS) copyBlock(p *sim.Proc, b *blockMeta) (copied, retry bool) {
+	var src *DataNode
+	var sb storedBlock
+	for _, dn := range b.replicas {
+		if dn.crashed {
+			continue
+		}
+		if s, ok := dn.blocks[b.id]; ok && !s.vol.Failed() {
+			src, sb = dn, s
+			break
+		}
+	}
+	if src == nil {
+		return false, false // nothing live to copy from
+	}
+	dst := fs.chooseTarget(b)
+	if dst == nil {
+		return false, false // fewer live nodes than the target factor
+	}
+	content := sb.file.ReadAt(p, 0, b.size)
+	if err := fs.net.TryTransfer(p, src.node.Name, dst.node.Name, b.size); err != nil {
+		return false, true // died mid-stream; retry from survivors
+	}
+	if dst.crashed || b.gone {
+		return false, !b.gone
+	}
+	f := dst.node.NextHDFSVol().Create(blockFileName(b.id))
+	f.Append(p, content)
+	dst.blocks[b.id] = storedBlock{file: f, vol: f.FS()}
+	b.replicas = append(b.replicas, dst)
+	fs.rec.stats.ReReplicatedBlocks++
+	fs.rec.stats.ReReplicatedBytes += uint64(b.size)
+	return true, false
+}
+
+// chooseTarget picks a live DataNode that does not already hold b, using
+// the same round-robin cursor as initial placement.
+func (fs *FS) chooseTarget(b *blockMeta) *DataNode {
+	for range fs.datanodes {
+		dn := fs.datanodes[fs.place%len(fs.datanodes)]
+		fs.place++
+		if dn.crashed {
+			continue
+		}
+		holds := false
+		for _, have := range b.replicas {
+			if have == dn {
+				holds = true
+				break
+			}
+		}
+		if !holds {
+			return dn
+		}
+	}
+	return nil
+}
+
+// pendingDetection counts crashed DataNodes the NameNode has not yet
+// declared dead — failures whose repair work has not entered the queue.
+func (fs *FS) pendingDetection() int {
+	n := 0
+	for _, dn := range fs.datanodes {
+		if dn.crashed && !dn.deadByNN {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitRecovered blocks p until failure handling has quiesced: every crashed
+// DataNode has been declared dead and the repair queue has drained. It
+// returns immediately when recovery is not enabled or nothing failed. Call
+// it after the workload finishes so the run's iostat window includes the
+// recovery traffic.
+func (fs *FS) WaitRecovered(p *sim.Proc) {
+	rec := fs.rec
+	if rec == nil {
+		return
+	}
+	for !rec.stopped && (fs.pendingDetection() > 0 || len(rec.queue) > 0 || rec.inWork > 0) {
+		rec.idle.Wait(p)
+	}
+}
+
+// StopRecovery shuts the machinery down: heartbeat and monitor processes
+// exit at their next tick and replication workers exit immediately, letting
+// Env.Run(0) drain. Pending repairs are abandoned.
+func (fs *FS) StopRecovery() {
+	rec := fs.rec
+	if rec == nil || rec.stopped {
+		return
+	}
+	rec.stopped = true
+	rec.work.Broadcast()
+	rec.idle.Broadcast()
+}
+
+// UnderReplicated returns the number of blocks currently queued or in
+// flight for repair (test and report hook).
+func (fs *FS) UnderReplicated() int {
+	if fs.rec == nil {
+		return 0
+	}
+	return len(fs.rec.queue) + fs.rec.inWork
+}

@@ -62,6 +62,7 @@ type FS struct {
 	free     []extent // sorted, coalesced free extents
 	nextFree int64    // bump pointer past the highest allocation
 	stats    Stats
+	failed   bool // fail-stopped device (fault injection)
 }
 
 // New creates a filesystem covering the whole device behind cache.
@@ -92,6 +93,14 @@ func (fs *FS) Cache() *pagecache.Cache { return fs.cache }
 
 // Disk returns the device backing this filesystem.
 func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// Fail marks the device fail-stopped: its contents are considered lost and
+// volume rotations skip it. Timing state is untouched — already-issued I/O
+// completes, as a dying drive's in-flight requests do.
+func (fs *FS) Fail() { fs.failed = true }
+
+// Failed reports whether the device has fail-stopped.
+func (fs *FS) Failed() bool { return fs.failed }
 
 // Exists reports whether name exists.
 func (fs *FS) Exists(name string) bool {
@@ -176,6 +185,9 @@ func (fs *FS) release(f *file) {
 
 // Name returns the file's name.
 func (h *File) Name() string { return h.f.name }
+
+// FS returns the filesystem holding this file.
+func (h *File) FS() *FS { return h.fs }
 
 // Size returns the current byte size.
 func (h *File) Size() int64 { return h.f.size }

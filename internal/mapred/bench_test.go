@@ -120,10 +120,16 @@ func BenchmarkAblationCombiner(b *testing.B) {
 // newBenchRig mirrors newRig without *testing.T plumbing.
 func newBenchRig() *testRig {
 	env := sim.New(1)
-	cl := cluster.New(env, cluster.DefaultHardware(8192), 4)
+	cl, err := cluster.New(env, cluster.DefaultHardware(8192), 4)
+	if err != nil {
+		panic(err)
+	}
 	fs := hdfs.New(env, hdfs.DefaultConfig(8192), cl.Net, cl.Slaves)
 	cfg := DefaultConfig(8192)
 	cfg.MapSlots, cfg.ReduceSlots = 2, 2
-	rt := New(env, cl, fs, cl.Net, cfg)
+	rt, err := New(env, cl, fs, cl.Net, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return &testRig{env: env, cl: cl, fs: fs, rt: rt}
 }

@@ -1,0 +1,200 @@
+// Fault-mode JobTracker mechanics: re-enqueueing map tasks whose outputs
+// died with their node, releasing reduce partitions owned by dead trackers,
+// and failing jobs cleanly when recovery budgets run out. Every function
+// here is a no-op or unreachable in a healthy run — the fault-free
+// scheduler path is byte-identical to one without this file.
+package mapred
+
+import (
+	"iochar/internal/cluster"
+	"iochar/internal/localfs"
+	"iochar/internal/sim"
+)
+
+// OnVolumeDown is the JobTracker learning that an intermediate-data volume
+// fail-stopped: completed map outputs stored on it are unreadable by the
+// shuffle, so their tasks are re-enqueued (Hadoop's TaskTracker reports the
+// failed mapred.local.dir and the affected attempts are re-run).
+func (rt *Runtime) OnVolumeDown(vol *localfs.FS) {
+	for js := range rt.active {
+		for _, out := range js.outputs {
+			if out.vol == vol {
+				js.loseOutput(out)
+			}
+		}
+	}
+}
+
+// fetchOneFaulty is the recovery-aware shuffle fetch: a fetch that fails
+// (the map-side node died mid-transfer, or the injected fetch fault dropped
+// it) is retried with exponential backoff up to MaxFetchRetries times, and
+// past that the map output is declared lost, which re-enqueues its task.
+func (rt *Runtime) fetchOneFaulty(fp *sim.Proc, js *jobState, st *fetchState, out *mapOutput, node *cluster.Node, part int, ingest func(*sim.Proc, []byte, segment)) {
+	seg := out.segs[part]
+	mark := func() {
+		st.got[out.taskIdx] = true
+		st.count++
+		if st.count >= js.totalMaps {
+			js.outputsCond.Broadcast() // release sibling fetchers parked for more
+		}
+	}
+	if seg.clen == 0 {
+		mark()
+		return
+	}
+	retries := 0
+	for {
+		if !node.Alive() || js.failed != nil || js.done {
+			return // zombie fetcher; this attempt is being discarded
+		}
+		if out.lost {
+			return // a replacement output will appear in the list
+		}
+		if !out.node.Alive() {
+			js.loseOutput(out)
+			return
+		}
+		dropped := rt.fetchFault != nil && rt.fetchFault(fp.Now())
+		if !dropped {
+			enc := out.file.ReadAt(fp, seg.off, seg.clen) // map-side disk read
+			if err := rt.net.TryTransfer(fp, out.node.Name, node.Name, seg.clen); err == nil {
+				ingest(fp, enc, seg)
+				mark()
+				return
+			}
+		}
+		retries++
+		js.mu(func() { js.counters.FetchRetries++ })
+		if retries > js.cfg.MaxFetchRetries {
+			js.mu(func() { js.counters.FailedFetches++ })
+			js.loseOutput(out)
+			return
+		}
+		fp.Sleep(js.cfg.FetchRetryDelay << (retries - 1)) // exponential backoff
+	}
+}
+
+// fail records the job's terminal error once and wakes every parked worker
+// so the job drains instead of hanging.
+func (js *jobState) fail(err error) {
+	if js.failed != nil {
+		return
+	}
+	js.failed = err
+	js.broadcastAll()
+}
+
+func (js *jobState) broadcastAll() {
+	js.outputsCond.Broadcast()
+	js.slowCond.Broadcast()
+	if js.mapWorkCond != nil {
+		js.mapWorkCond.Broadcast()
+	}
+	if js.redCond != nil {
+		js.redCond.Broadcast()
+	}
+}
+
+// noteAttempt records that node is running an attempt of task i, so the
+// JobTracker can tell whether a task still has a live attempt when a node
+// dies. Pure bookkeeping; kept on in healthy runs for simplicity.
+func (js *jobState) noteAttempt(i int, node string) {
+	if js.attemptNodes == nil {
+		return
+	}
+	js.attemptNodes[i] = append(js.attemptNodes[i], node)
+}
+
+// clearAttempt removes one record of node running task i (the attempt
+// returned, whatever its outcome).
+func (js *jobState) clearAttempt(i int, node string) {
+	if js.attemptNodes == nil {
+		return
+	}
+	for k, n := range js.attemptNodes[i] {
+		if n == node {
+			js.attemptNodes[i] = append(js.attemptNodes[i][:k], js.attemptNodes[i][k+1:]...)
+			return
+		}
+	}
+}
+
+// loseOutput declares a map output unusable (its node died, or fetches of
+// it exhausted their retries): the task is re-enqueued unless another
+// attempt is still running, and parked map workers and fetchers are woken.
+// Idempotent per output.
+func (js *jobState) loseOutput(out *mapOutput) {
+	if !js.faulty || out.lost {
+		return
+	}
+	out.lost = true
+	i := out.taskIdx
+	if js.completed[i] {
+		js.completed[i] = false
+		js.mapsDone--
+		js.counters.ReExecutedMaps++
+	}
+	if js.taken[i] && len(js.attemptNodes[i]) == 0 {
+		js.taken[i] = false
+		js.mapsLeft++
+	}
+	js.mapWorkCond.Broadcast()
+	js.outputsCond.Broadcast()
+}
+
+// finishReduce marks a partition complete if this node still owns it. A
+// false return means the attempt was a zombie (its partition was
+// reassigned after its node was declared dead) and its results must be
+// discarded. Healthy runs always win: each partition runs exactly once.
+func (js *jobState) finishReduce(part int, node string) bool {
+	if !js.faulty {
+		return true
+	}
+	if js.redDone[part] || js.redOwner[part] != node {
+		return false
+	}
+	js.redDone[part] = true
+	js.redDoneCount++
+	js.redCond.Broadcast()
+	if js.redDoneCount == len(js.redDone) {
+		js.done = true
+		js.broadcastAll()
+	}
+	return true
+}
+
+// onNodeDown is the per-job half of Runtime.OnNodeDown: write off the dead
+// node's running attempts, lose its finished map outputs, and release its
+// reduce partitions.
+func (js *jobState) onNodeDown(name string) {
+	if !js.faulty {
+		return
+	}
+	for i := range js.attemptNodes {
+		kept := js.attemptNodes[i][:0]
+		for _, n := range js.attemptNodes[i] {
+			if n != name {
+				kept = append(kept, n)
+			}
+		}
+		js.attemptNodes[i] = kept
+		if js.taken[i] && !js.completed[i] && len(kept) == 0 {
+			js.taken[i] = false
+			js.mapsLeft++
+		}
+	}
+	for _, out := range js.outputs {
+		if out.node.Name == name {
+			js.loseOutput(out)
+		}
+	}
+	for i := range js.redOwner {
+		if js.redClaimed[i] && !js.redDone[i] && js.redOwner[i] == name {
+			js.redClaimed[i] = false
+			js.redOwner[i] = ""
+		}
+	}
+	js.redCond.Broadcast()
+	js.mapWorkCond.Broadcast()
+	js.outputsCond.Broadcast()
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"iochar/internal/cluster"
 	"iochar/internal/compress"
@@ -26,14 +27,20 @@ type testRig struct {
 func newRig(t *testing.T, mut func(*Config)) *testRig {
 	t.Helper()
 	env := sim.New(1)
-	cl := cluster.New(env, cluster.DefaultHardware(8192), 4)
+	cl, err := cluster.New(env, cluster.DefaultHardware(8192), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	fs := hdfs.New(env, hdfs.DefaultConfig(8192), cl.Net, cl.Slaves)
 	cfg := DefaultConfig(8192)
 	cfg.MapSlots, cfg.ReduceSlots = 2, 2
 	if mut != nil {
 		mut(&cfg)
 	}
-	rt := New(env, cl, fs, cl.Net, cfg)
+	rt, err := New(env, cl, fs, cl.Net, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return &testRig{env: env, cl: cl, fs: fs, rt: rt}
 }
 
@@ -74,7 +81,11 @@ func (r *testRig) readOutput(t *testing.T, dir string) map[string][]string {
 				t.Errorf("open %s: %v", path, err)
 				return
 			}
-			data := rd.ReadAt(p, 0, rd.Size())
+			data, err := rd.ReadAt(p, 0, rd.Size())
+			if err != nil {
+				t.Errorf("read %s: %v", path, err)
+				return
+			}
 			for len(data) > 0 {
 				k, v, rest := readKV(data)
 				out[string(k)] = append(out[string(k)], string(v))
@@ -530,6 +541,142 @@ func TestSpeculativeExecutionRescuesStraggler(t *testing.T) {
 				t.Errorf("%s leaked files after speculation: %v", s.Name, files)
 			}
 		}
+	}
+}
+
+// Delay scheduling at the pickMap level: a node with no local split is told
+// to wait while fresh tasks remain, a local node claims its split at once,
+// and the waiting node only steals remotely once its locality budget
+// (allowRemote) unlocks.
+func TestPickMapDelaySchedulingOrder(t *testing.T) {
+	rig := newRig(t, nil)
+	js := &jobState{
+		env: rig.env,
+		cfg: &rig.rt.cfg,
+		splits: []split{
+			{file: "/a", hosts: []string{"slave-00"}},
+			{file: "/b", hosts: []string{"slave-01"}},
+		},
+		taken:     make([]bool, 2),
+		completed: make([]bool, 2),
+		startedAt: make([]time.Duration, 2),
+		attempts:  make([]int, 2),
+		mapsLeft:  2,
+		totalMaps: 2,
+	}
+	if idx, remain := js.pickMap("slave-03", false); idx != -1 || !remain {
+		t.Fatalf("non-local node got (%d, %v), want (-1, true): delay scheduling must hold it back", idx, remain)
+	}
+	if idx, _ := js.pickMap("slave-01", false); idx != 1 {
+		t.Fatalf("local node claimed %d, want its own split 1", idx)
+	}
+	if idx, _ := js.pickMap("slave-03", true); idx != 0 {
+		t.Fatalf("remote steal claimed %d, want the leftover split 0", idx)
+	}
+	// Everything is claimed but still running: idle slots must linger for
+	// possible speculation rather than exit.
+	if idx, remain := js.pickMap("slave-00", true); idx != -1 || !remain {
+		t.Fatalf("with maps in flight got (%d, %v), want (-1, true)", idx, remain)
+	}
+	js.mapsDone = 2
+	if _, remain := js.pickMap("slave-00", true); remain {
+		t.Fatal("remain=true after every map completed")
+	}
+}
+
+// Delay scheduling end to end: with replication 1 every split is local to
+// one node, so the other slaves' slots must exhaust their locality retries
+// and then run remote attempts — and the attempt accounting must balance.
+func TestDelaySchedulingStealsRemotely(t *testing.T) {
+	env := sim.New(1)
+	cl, err := cluster.New(env, cluster.DefaultHardware(8192), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg := hdfs.DefaultConfig(8192)
+	hcfg.Replication = 1
+	fs := hdfs.New(env, hcfg, cl.Net, cl.Slaves)
+	cfg := DefaultConfig(8192)
+	cfg.MapSlots, cfg.ReduceSlots = 2, 2
+	rt, err := New(env, cl, fs, cl.Net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &testRig{env: env, cl: cl, fs: fs, rt: rt}
+	// Enough long maps that the holder's two slots cannot drain the queue
+	// before the other slaves' locality budgets run out.
+	parts, _ := textParts()
+	for i := 0; i < 8; i++ {
+		var sb strings.Builder
+		for sb.Len() < 120<<10 {
+			sb.WriteString(parts[i%len(parts)])
+		}
+		fs.Load(fmt.Sprintf("/skew/part-%d", i), cl.Slaves[0].Name, []byte(sb.String()))
+	}
+	res := rig.runJob(t, wordCountJob(rig.inputs("/skew"), "/skewout"))
+	if out := rig.readOutput(t, "/skewout"); len(out) != 8 { // the 8 distinct words of textParts
+		t.Errorf("distinct words = %d, want 8", len(out))
+	}
+	if res.ReduceInputRecords != res.MapOutputRecords {
+		t.Errorf("record conservation: map out %d, reduce in %d", res.MapOutputRecords, res.ReduceInputRecords)
+	}
+	if res.RemoteMaps == 0 {
+		t.Error("no remote map attempts although one node holds every replica")
+	}
+	if res.LocalMaps == 0 {
+		t.Error("the data-holding node ran no local attempts")
+	}
+	if got := res.LocalMaps + res.RemoteMaps; got != res.MapTasks+int(res.SpeculativeAttempts) {
+		t.Errorf("attempt accounting: local %d + remote %d = %d, want tasks %d + speculative %d",
+			res.LocalMaps, res.RemoteMaps, got, res.MapTasks, res.SpeculativeAttempts)
+	}
+}
+
+// A disk going fail-slow mid-run (the slow-disk fault knob) must create
+// stragglers that speculation rescues, with attempt counters that balance.
+func TestMidRunFailSlowDiskTriggersSpeculation(t *testing.T) {
+	rig := newRig(t, func(c *Config) {
+		c.Speculative = true
+		c.SpeculativeSlowdown = 2
+	})
+	bigParts := func() []string {
+		base, _ := textParts()
+		out := make([]string, len(base))
+		for i, p := range base {
+			var sb strings.Builder
+			for sb.Len() < 120<<10 {
+				sb.WriteString(p)
+			}
+			out[i] = sb.String()
+		}
+		return out
+	}
+	rig.loadLines("/in", bigParts())
+	// Degrade every disk of slave 0 shortly after the job starts, as the
+	// injector's slow-disk event does — not before, so early attempts are
+	// scheduled against a healthy-looking node.
+	rig.env.AfterFunc(100*time.Microsecond, func() {
+		for _, d := range rig.cl.Slaves[0].HDFSDisks {
+			d.SetSlowFactor(30)
+		}
+		for _, d := range rig.cl.Slaves[0].MRDisks {
+			d.SetSlowFactor(30)
+		}
+	})
+	res := rig.runJob(t, wordCountJob(rig.inputs("/in"), "/out"))
+	if res.SpeculativeAttempts == 0 {
+		t.Fatal("no speculative attempts despite a mid-run fail-slow node")
+	}
+	if res.SpeculativeWins == 0 {
+		t.Error("speculative attempts never won against a 30x-degraded node")
+	}
+	if got := res.LocalMaps + res.RemoteMaps; got != res.MapTasks+int(res.SpeculativeAttempts) {
+		t.Errorf("attempt accounting: local %d + remote %d = %d, want tasks %d + speculative %d",
+			res.LocalMaps, res.RemoteMaps, got, res.MapTasks, res.SpeculativeAttempts)
+	}
+	if res.ReduceInputRecords != res.MapOutputRecords {
+		t.Errorf("record conservation broke under speculation: %d != %d",
+			res.ReduceInputRecords, res.MapOutputRecords)
 	}
 }
 

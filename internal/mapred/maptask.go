@@ -41,6 +41,7 @@ type mapOutput struct {
 	vol     *localfs.FS
 	file    *localfs.File
 	segs    []segment // one per reduce partition
+	lost    bool      // node died or fetches failed; a replacement will be produced
 }
 
 // mapTask executes one map attempt on a node. It is called from a map-slot
@@ -84,11 +85,27 @@ func (rt *Runtime) mapTask(p *sim.Proc, job *Job, js *jobState, taskIdx, attempt
 			state.abandon() // another attempt won; stop wasting the disks
 			return
 		}
+		if js.faulty && (!node.Alive() || js.failed != nil) {
+			state.abandon() // our tracker died mid-task, or the job is over
+			return
+		}
 		n := cfg.ChunkBytes
 		if pos+n > readOff+readLen {
 			n = readOff + readLen - pos
 		}
-		fr.feed(reader.ReadAt(p, pos, n), handle)
+		data, err := reader.ReadAt(p, pos, n)
+		if err != nil {
+			state.abandon()
+			if js.faulty && !node.Alive() {
+				return // zombie attempt: our own node died mid-read, so the
+				// failure is ours, not the data's; the task re-runs elsewhere
+			}
+			// A live node cannot read the split: every replica of an input
+			// block is gone, and no task re-execution can recover the job.
+			js.fail(&JobError{Job: job.Name, Reason: fmt.Sprintf("map %d: input unreadable", taskIdx), Err: err})
+			return
+		}
+		fr.feed(data, handle)
 		if cpu > 0 {
 			node.Compute(p, cpu)
 			cpu = 0

@@ -54,15 +54,13 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 		js.mu(func() { js.counters.ReduceSpills++ })
 	}
 
-	// Fetch queue: map task indices become available as maps finish.
-	next := 0
-	fetchOne := func(fp *sim.Proc, out *mapOutput) {
-		seg := out.segs[part]
-		if seg.clen == 0 {
-			return
-		}
-		enc := out.file.ReadAt(fp, seg.off, seg.clen) // map-side disk read
-		rt.net.Transfer(fp, out.node.Name, node.Name, seg.clen)
+	// Fetch queue: map task indices become available as maps finish. The
+	// fetchState is shared by this attempt's fetchers.
+	st := &fetchState{}
+	if js.faulty {
+		st.got = make([]bool, js.totalMaps)
+	}
+	ingest := func(fp *sim.Proc, enc []byte, seg segment) {
 		raw := cfg.Codec.Decompress(enc)
 		node.Compute(fp, cfg.Codec.DecompressCost(len(raw)))
 		memRuns = append(memRuns, raw)
@@ -73,6 +71,19 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 			spillRuns(fp)
 		}
 	}
+	fetchOne := func(fp *sim.Proc, out *mapOutput) {
+		if js.faulty {
+			rt.fetchOneFaulty(fp, js, st, out, node, part, ingest)
+			return
+		}
+		seg := out.segs[part]
+		if seg.clen == 0 {
+			return
+		}
+		enc := out.file.ReadAt(fp, seg.off, seg.clen) // map-side disk read
+		rt.net.Transfer(fp, out.node.Name, node.Name, seg.clen)
+		ingest(fp, enc, seg)
+	}
 	nFetchers := cfg.ShuffleParallel
 	if nFetchers < 1 {
 		nFetchers = 1
@@ -81,7 +92,10 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	for i := 0; i < nFetchers; i++ {
 		fetchers = append(fetchers, rt.env.Go(fmt.Sprintf("fetch-r%d-%d", part, i), func(fp *sim.Proc) {
 			for {
-				out := js.nextOutput(fp, &next)
+				if js.faulty && !node.Alive() {
+					return // zombie attempt; the partition will be reassigned
+				}
+				out := js.nextOutput(fp, st)
 				if out == nil {
 					return
 				}
@@ -91,6 +105,15 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	}
 	for _, h := range fetchers {
 		h.Wait(p)
+	}
+	abort := func() {
+		for _, dr := range diskRuns {
+			_ = dr.vol.Delete(dr.name)
+		}
+	}
+	if js.faulty && (!node.Alive() || js.failed != nil || js.redOwner[part] != node.Name) {
+		abort()
+		return
 	}
 
 	// Final merge: disk runs are read back and joined with what remains in
@@ -107,13 +130,20 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	node.Compute(p, time.Duration(cfg.MergeNsPerByte*float64(len(merged))))
 
 	// Reduce and write output to HDFS with the job's replication factor.
+	if js.faulty && (!node.Alive() || js.redOwner[part] != node.Name) {
+		abort() // re-check after the merge: creating the part file now would
+		return  // clobber a reassigned attempt's output
+	}
 	w := rt.fs.CreateWith(fmt.Sprintf("%s/part-r-%05d", job.Output, part), node.Name, job.OutputReplication)
 	var outRecords, outBytes int64
 	var cpu time.Duration
+	var werr error
 	emit := func(k, v []byte) {
 		outRecords++
 		outBytes += int64(len(k)+len(v)) + 1
-		w.Write(p, appendKV(nil, k, v))
+		if werr == nil {
+			werr = w.Write(p, appendKV(nil, k, v))
+		}
 	}
 	groupRun(merged, func(key []byte, values [][]byte) {
 		var vbytes int64
@@ -128,13 +158,29 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 		job.Reducer.Reduce(key, values, emit)
 	})
 	node.Compute(p, cpu)
-	w.Close(p)
+	if werr == nil {
+		werr = w.Close(p)
+	}
+	if werr != nil {
+		abort()
+		if !js.faulty {
+			panic(werr) // a healthy run cannot fail an HDFS write
+		}
+		if node.Alive() {
+			// Live node, dead filesystem: output genuinely cannot be stored.
+			js.fail(&JobError{Job: job.Name, Reason: fmt.Sprintf("reduce %d: cannot write output", part), Err: werr})
+		}
+		return
+	}
 
 	// Intermediate hygiene: local shuffle runs die here.
 	for _, dr := range diskRuns {
 		if err := dr.vol.Delete(dr.name); err != nil {
 			panic(err)
 		}
+	}
+	if !js.finishReduce(part, node.Name) {
+		return // zombie attempt lost the partition; discard its stats
 	}
 
 	js.mu(func() {

@@ -12,6 +12,7 @@ import (
 // transferer is the network dependency (satisfied by *netsim.Network).
 type transferer interface {
 	Transfer(p *sim.Proc, src, dst string, bytes int64)
+	TryTransfer(p *sim.Proc, src, dst string, bytes int64) error
 }
 
 // Runtime is the MapReduce service for one cluster: the JobTracker plus a
@@ -23,21 +24,62 @@ type Runtime struct {
 	fs  *hdfs.FS
 	net transferer
 	cfg Config
+
+	// Fault mode: nil/false in healthy runs, so every recovery branch below
+	// is dead code and the scheduler is byte-identical to a build without
+	// fault tolerance.
+	faulty     bool
+	fetchFault func(now time.Duration) bool // injected shuffle-fetch drop
+	active     map[*jobState]bool           // jobs in flight, for OnNodeDown
 }
 
 // New wires a runtime. Slaves double as DataNodes and TaskTrackers, as on
 // the paper's testbed.
-func New(env *sim.Env, cl *cluster.Cluster, fs *hdfs.FS, net transferer, cfg Config) *Runtime {
+func New(env *sim.Env, cl *cluster.Cluster, fs *hdfs.FS, net transferer, cfg Config) (*Runtime, error) {
 	if cfg.MapSlots <= 0 || cfg.ReduceSlots <= 0 {
-		panic("mapred: slot counts must be positive")
+		return nil, fmt.Errorf("mapred: slot counts must be positive, got %d map / %d reduce", cfg.MapSlots, cfg.ReduceSlots)
 	}
 	if cfg.SortBufBytes <= 0 || cfg.ShuffleBufBytes <= 0 {
-		panic("mapred: buffer sizes must be positive")
+		return nil, fmt.Errorf("mapred: buffer sizes must be positive, got sort %d / shuffle %d", cfg.SortBufBytes, cfg.ShuffleBufBytes)
 	}
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = 256 << 10
 	}
-	return &Runtime{env: env, cl: cl, fs: fs, net: net, cfg: cfg}
+	if cfg.MaxFetchRetries <= 0 {
+		cfg.MaxFetchRetries = 3
+	}
+	if cfg.FetchRetryDelay <= 0 {
+		cfg.FetchRetryDelay = time.Second
+	}
+	if cfg.MaxTaskAttempts <= 0 {
+		cfg.MaxTaskAttempts = 4
+	}
+	return &Runtime{env: env, cl: cl, fs: fs, net: net, cfg: cfg, active: make(map[*jobState]bool)}, nil
+}
+
+// EnableFaults switches the runtime's recovery machinery on: lingering map
+// workers that can re-execute lost tasks, reduce reassignment, fetch
+// retries. Call it once before Run and only for runs with a fault plan —
+// the recovery scheduler trades some bookkeeping for survivability and is
+// kept off the healthy baseline's path.
+func (rt *Runtime) EnableFaults() { rt.faulty = true }
+
+// SetFetchFault installs a hook consulted before every shuffle fetch; a
+// true return drops the fetch (the transient network-fault injection
+// point). Implies EnableFaults.
+func (rt *Runtime) SetFetchFault(f func(now time.Duration) bool) {
+	rt.faulty = true
+	rt.fetchFault = f
+}
+
+// OnNodeDown is the JobTracker learning that a TaskTracker died: running
+// attempts on the node are written off, its completed map outputs are
+// declared lost (their tasks re-enqueued), and its claimed reduce
+// partitions are released for other nodes.
+func (rt *Runtime) OnNodeDown(name string) {
+	for js := range rt.active {
+		js.onNodeDown(name)
+	}
 }
 
 // Config returns the runtime configuration.
@@ -62,13 +104,27 @@ type jobState struct {
 	durSum time.Duration
 	durCnt int
 
-	outputs     []*mapOutput // completion order
+	outputs     []*mapOutput // completion order (append-only; entries may be marked lost)
 	outputsCond *sim.Cond
 
 	reduceNext  int
 	slowstartOK bool
 	slowCond    *sim.Cond
 	slowAt      int // maps needed before reducers start
+
+	// Fault-mode state (see recovery.go); untouched in healthy runs.
+	faulty       bool
+	jobName      string
+	failed       error      // terminal job failure, set once
+	done         bool       // every reduce partition completed
+	mapWorkCond  *sim.Cond  // signalled when map work (re)appears or the job ends
+	attemptNodes [][]string // per task: nodes with a live running attempt
+	allMapsAt    time.Duration
+	redClaimed   []bool
+	redOwner     []string
+	redDone      []bool
+	redDoneCount int
+	redCond      *sim.Cond
 }
 
 // taskDone reports whether some attempt of the task already finished —
@@ -83,9 +139,11 @@ func (js *jobState) mu(fn func()) { fn() }
 
 // completeMap registers a finished map attempt's output. The first attempt
 // of a task wins; a later duplicate (speculation lost the race at the very
-// end) discards its files. It reports whether this attempt won.
+// end) discards its files. It reports whether this attempt won. In fault
+// mode an output produced on a node that has since died is rejected — its
+// files are unreachable to the shuffle.
 func (js *jobState) completeMap(out *mapOutput) bool {
-	if js.completed[out.taskIdx] {
+	if js.completed[out.taskIdx] || (js.faulty && !out.node.Alive()) {
 		if out.file != nil {
 			_ = out.vol.Delete(out.file.Name())
 		}
@@ -96,6 +154,9 @@ func (js *jobState) completeMap(out *mapOutput) bool {
 	js.durCnt++
 	js.outputs = append(js.outputs, out)
 	js.mapsDone++
+	if js.faulty && js.mapsDone == js.totalMaps {
+		js.allMapsAt = js.env.Now()
+	}
 	js.outputsCond.Broadcast()
 	if !js.slowstartOK && js.mapsDone >= js.slowAt {
 		js.slowstartOK = true
@@ -106,19 +167,50 @@ func (js *jobState) completeMap(out *mapOutput) bool {
 
 // nextOutput hands a reduce fetcher the next map output in completion
 // order, blocking until one is available; nil means every map output has
-// been consumed by this fetcher group.
-func (js *jobState) nextOutput(p *sim.Proc, cursor *int) *mapOutput {
+// been consumed by this fetcher group. In fault mode lost outputs and
+// already-fetched tasks are skipped and the group finishes only when every
+// task's output has actually been fetched (st.count), since a lost output
+// means a replacement will appear later in the list.
+func (js *jobState) nextOutput(p *sim.Proc, st *fetchState) *mapOutput {
+	if !js.faulty {
+		for {
+			if st.cursor < len(js.outputs) {
+				out := js.outputs[st.cursor]
+				st.cursor++
+				return out
+			}
+			if st.cursor >= js.totalMaps {
+				return nil
+			}
+			js.outputsCond.Wait(p)
+		}
+	}
 	for {
-		if *cursor < len(js.outputs) {
-			out := js.outputs[*cursor]
-			*cursor++
+		if js.failed != nil || js.done {
+			return nil
+		}
+		for st.cursor < len(js.outputs) {
+			out := js.outputs[st.cursor]
+			st.cursor++
+			if out.lost || st.got[out.taskIdx] {
+				continue
+			}
 			return out
 		}
-		if *cursor >= js.totalMaps {
+		if st.count >= js.totalMaps {
 			return nil
 		}
 		js.outputsCond.Wait(p)
 	}
+}
+
+// fetchState is one reduce attempt's shuffle progress: the shared cursor
+// into the outputs list plus, in fault mode, which tasks' outputs this
+// attempt has successfully pulled.
+type fetchState struct {
+	cursor int
+	got    []bool // per map task (fault mode only)
+	count  int
 }
 
 // pickMap chooses the next map task for a node, preferring data-local
@@ -128,6 +220,9 @@ func (js *jobState) nextOutput(p *sim.Proc, cursor *int) *mapOutput {
 // speculative backup attempt of a straggling task; only when every task has
 // completed does it return remain=false.
 func (js *jobState) pickMap(node string, allowRemote bool) (idx int, remain bool) {
+	if js.failed != nil || js.done {
+		return -1, false
+	}
 	if js.mapsDone == js.totalMaps {
 		return -1, false
 	}
@@ -142,12 +237,12 @@ func (js *jobState) pickMap(node string, allowRemote bool) (idx int, remain bool
 			}
 			for _, h := range sp.hosts {
 				if h == node {
-					return js.claim(i), true
+					return js.claimChecked(i)
 				}
 			}
 		}
 		if allowRemote && fallback >= 0 {
-			return js.claim(fallback), true
+			return js.claimChecked(fallback)
 		}
 		return -1, true
 	}
@@ -155,6 +250,17 @@ func (js *jobState) pickMap(node string, allowRemote bool) (idx int, remain bool
 		return idx, true
 	}
 	return -1, true
+}
+
+// claimChecked claims task i unless it has exhausted its attempt budget,
+// in which case the job fails (fault mode; a healthy run never re-attempts
+// a non-speculative task).
+func (js *jobState) claimChecked(i int) (int, bool) {
+	if js.faulty && js.attempts[i] >= js.cfg.MaxTaskAttempts {
+		js.fail(&JobError{Job: js.jobName, Reason: fmt.Sprintf("map task %d exhausted %d attempts", i, js.cfg.MaxTaskAttempts)})
+		return -1, false
+	}
+	return js.claim(i), true
 }
 
 // claim marks a fresh task taken and records its start.
@@ -218,6 +324,18 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 		totalMaps:   len(splits),
 		outputsCond: sim.NewCond(rt.env),
 		slowCond:    sim.NewCond(rt.env),
+		faulty:      rt.faulty,
+		jobName:     job.Name,
+	}
+	if rt.faulty {
+		js.mapWorkCond = sim.NewCond(rt.env)
+		js.redCond = sim.NewCond(rt.env)
+		js.attemptNodes = make([][]string, len(splits))
+		js.redClaimed = make([]bool, job.NumReduces)
+		js.redOwner = make([]string, job.NumReduces)
+		js.redDone = make([]bool, job.NumReduces)
+		rt.active[js] = true
+		defer delete(rt.active, js)
 	}
 	js.slowAt = int(rt.cfg.SlowstartFrac * float64(js.totalMaps))
 	if js.slowAt < 1 {
@@ -238,9 +356,19 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 				wp.Sleep(time.Duration(s) * rt.cfg.LocalityWait / 4)
 				misses := 0
 				for {
+					if rt.faulty && !node.Alive() {
+						return // tracker died; the JobTracker reassigns its work
+					}
 					idx, remain := js.pickMap(node.Name, misses >= rt.cfg.LocalityRetries)
 					if !remain {
-						return
+						if !rt.faulty || js.done || js.failed != nil {
+							return
+						}
+						// Fault mode: a lost map output can resurrect work
+						// until the last reduce finishes, so idle workers
+						// linger instead of exiting.
+						js.mapWorkCond.Wait(wp)
+						continue
 					}
 					if idx < 0 {
 						// Delay scheduling: wait for local work to appear
@@ -266,7 +394,9 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 							js.counters.RemoteMaps++
 						}
 					})
+					js.noteAttempt(idx, node.Name)
 					rt.mapTask(wp, job, js, idx, attempt, sp, node)
+					js.clearAttempt(idx, node.Name)
 				}
 			}))
 		}
@@ -279,22 +409,61 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 		for s := 0; s < rt.cfg.ReduceSlots; s++ {
 			workers = append(workers, rt.env.Go(fmt.Sprintf("reduce-worker:%s/%d", node.Name, s), func(wp *sim.Proc) {
 				for !js.slowstartOK {
-					js.slowCond.Wait(wp)
-				}
-				for {
-					var part int
-					got := false
-					js.mu(func() {
-						if js.reduceNext < job.NumReduces {
-							part = js.reduceNext
-							js.reduceNext++
-							got = true
-						}
-					})
-					if !got {
+					if js.failed != nil {
 						return
 					}
+					js.slowCond.Wait(wp)
+				}
+				if !rt.faulty {
+					for {
+						var part int
+						got := false
+						js.mu(func() {
+							if js.reduceNext < job.NumReduces {
+								part = js.reduceNext
+								js.reduceNext++
+								got = true
+							}
+						})
+						if !got {
+							return
+						}
+						rt.reduceTask(wp, job, js, part, node)
+					}
+				}
+				// Fault mode: claim unowned partitions until all are done;
+				// a partition whose owner died is released for re-claiming.
+				for {
+					if !node.Alive() || js.failed != nil {
+						return
+					}
+					part := -1
+					js.mu(func() {
+						for i := range js.redClaimed {
+							if !js.redClaimed[i] && !js.redDone[i] {
+								part = i
+								js.redClaimed[i] = true
+								js.redOwner[i] = node.Name
+								break
+							}
+						}
+					})
+					if part < 0 {
+						if js.done {
+							return
+						}
+						js.redCond.Wait(wp)
+						continue
+					}
 					rt.reduceTask(wp, job, js, part, node)
+					js.mu(func() {
+						if !js.redDone[part] && js.redOwner[part] == node.Name {
+							// The attempt died under this node; release it.
+							js.redClaimed[part] = false
+							js.redOwner[part] = ""
+							js.redCond.Broadcast()
+						}
+					})
 				}
 			}))
 		}
@@ -306,13 +475,25 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 			res.MapsDone = p.Now()
 		}
 	}
+	if rt.faulty {
+		res.MapsDone = js.allMapsAt // lingering workers exit late; use the real mark
+		if js.failed == nil && !js.done {
+			js.fail(&JobError{Job: job.Name, Reason: "no live task trackers left"})
+		}
+	}
 	// Job cleanup: map output files are deleted once the job completes,
 	// which is when dirty intermediate pages that never aged out die in the
 	// cache instead of reaching the disks.
 	for _, out := range js.outputs {
 		if err := out.vol.Delete(out.file.Name()); err != nil {
+			if rt.faulty {
+				continue // outputs lost to dead disks may already be gone
+			}
 			return nil, fmt.Errorf("mapred: cleanup: %v", err)
 		}
+	}
+	if js.failed != nil {
+		return nil, js.failed
 	}
 	res.End = p.Now()
 	res.Counters = js.counters

@@ -13,6 +13,7 @@
 package mapred
 
 import (
+	"fmt"
 	"time"
 
 	"iochar/internal/compress"
@@ -166,6 +167,17 @@ type Config struct {
 	Speculative         bool
 	SpeculativeSlowdown float64
 
+	// Fault-tolerance knobs, consulted only when the runtime's fault mode
+	// is enabled (Runtime.EnableFaults). A reduce fetch that fails is
+	// retried up to MaxFetchRetries times with exponential backoff starting
+	// at FetchRetryDelay; after that the map output is declared lost and its
+	// task re-executed. A map task may be attempted MaxTaskAttempts times
+	// (including speculation and re-execution) before the job fails with a
+	// *JobError — Hadoop's mapred.map.max.attempts.
+	MaxFetchRetries int
+	FetchRetryDelay time.Duration
+	MaxTaskAttempts int
+
 	// Framework CPU costs (virtual) — defaults mirror a 2010s JVM stack.
 	ParseNsPerRecord   float64
 	ParseNsPerByte     float64
@@ -193,6 +205,9 @@ func DefaultConfig(scale int64) Config {
 		LocalityRetries:     3,
 		Speculative:         true,
 		SpeculativeSlowdown: 3,
+		MaxFetchRetries:     3,
+		FetchRetryDelay:     time.Duration(int64(time.Second) * 64 / scale),
+		MaxTaskAttempts:     4,
 		ParseNsPerRecord:    120,
 		ParseNsPerByte:      0.4,
 		SortNsPerCompare:    25,
@@ -227,6 +242,11 @@ type Counters struct {
 	SpeculativeAttempts int64 // backup map attempts launched
 	SpeculativeWins     int64 // backups that beat the original
 
+	// Fault-recovery counters, nonzero only under fault injection.
+	ReExecutedMaps int64 // map tasks re-run because their output was lost
+	FetchRetries   int64 // reduce fetch attempts that were retried
+	FailedFetches  int64 // fetches abandoned after MaxFetchRetries
+
 	ShuffleBytes        int64 // compressed bytes moved to reducers
 	ReduceSpills        int64
 	ReduceInputRecords  int64
@@ -241,6 +261,24 @@ type Counters struct {
 	ReduceRunWriteBytes int64 // reduce-side shuffle-run spills
 	ReduceRunReadBytes  int64 // reduce-side run re-reads at final merge
 }
+
+// JobError is the typed failure a job returns when recovery is exhausted:
+// a map task burned through MaxTaskAttempts, a reduce output could not be
+// stored, or the cluster lost too many nodes to finish.
+type JobError struct {
+	Job    string
+	Reason string
+	Err    error // underlying cause, if any
+}
+
+func (e *JobError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("mapred: job %s failed: %s: %v", e.Job, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("mapred: job %s failed: %s", e.Job, e.Reason)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
 
 // Result reports a completed job.
 type Result struct {

@@ -34,7 +34,13 @@ type Network struct {
 	latency time.Duration
 	chunk   int64
 	nics    map[string]*NIC
+	down    map[string]bool // nodes currently unreachable (fault injection)
 }
+
+// DownError reports a transfer endpoint that is down.
+type DownError struct{ Node string }
+
+func (e *DownError) Error() string { return "netsim: node " + e.Node + " is down" }
 
 // New creates a network where every NIC runs at bytesPerSec in each
 // direction with the given per-chunk latency.
@@ -48,6 +54,7 @@ func New(env *sim.Env, bytesPerSec int64, latency time.Duration) *Network {
 		latency: latency,
 		chunk:   DefaultChunk,
 		nics:    make(map[string]*NIC),
+		down:    make(map[string]bool),
 	}
 }
 
@@ -82,6 +89,19 @@ func (n *Network) AddNode(name string) *NIC {
 // NIC returns a registered NIC or nil.
 func (n *Network) NIC(name string) *NIC { return n.nics[name] }
 
+// SetDown marks a node unreachable (or reachable again). Transfers touching
+// a down node fail at the next chunk boundary, so in-flight flows collapse
+// within one chunk's serialization time rather than hanging.
+func (n *Network) SetDown(name string, down bool) {
+	if _, ok := n.nics[name]; !ok {
+		panic("netsim: SetDown on unregistered node " + name)
+	}
+	n.down[name] = down
+}
+
+// Down reports whether the node is marked unreachable.
+func (n *Network) Down(name string) bool { return n.down[name] }
+
 // BytesSent returns the total bytes transmitted by the node.
 func (nic *NIC) BytesSent() uint64 { return nic.sent }
 
@@ -91,19 +111,33 @@ func (nic *NIC) BytesReceived() uint64 { return nic.received }
 // Transfer moves bytes from node src to node dst, blocking p for the full
 // transfer time. Local "transfers" (src == dst) cost one latency only,
 // modelling loopback (a reducer fetching a map output from its own node).
+// It panics if an endpoint is down; fault-aware callers use TryTransfer.
 func (n *Network) Transfer(p *sim.Proc, src, dst string, bytes int64) {
+	if err := n.TryTransfer(p, src, dst, bytes); err != nil {
+		panic("netsim: " + err.Error())
+	}
+}
+
+// TryTransfer is Transfer with failure reporting: it returns a *DownError
+// when either endpoint is (or becomes) down, checked before every chunk so
+// a node crash severs in-flight flows promptly. Bytes are accounted only on
+// full success.
+func (n *Network) TryTransfer(p *sim.Proc, src, dst string, bytes int64) error {
 	if bytes <= 0 {
-		return
+		return nil
 	}
 	s, d := n.nics[src], n.nics[dst]
 	if s == nil || d == nil {
 		panic("netsim: transfer between unregistered nodes " + src + " -> " + dst)
 	}
+	if err := n.endpointErr(src, dst); err != nil {
+		return err
+	}
 	if src == dst {
 		p.Sleep(n.latency)
 		s.sent += uint64(bytes)
 		d.received += uint64(bytes)
-		return
+		return nil
 	}
 	remaining := bytes
 	for remaining > 0 {
@@ -117,8 +151,22 @@ func (n *Network) Transfer(p *sim.Proc, src, dst string, bytes int64) {
 		p.Sleep(t + n.latency)
 		d.rx.Release(1)
 		s.tx.Release(1)
+		if err := n.endpointErr(src, dst); err != nil {
+			return err
+		}
 		remaining -= c
 	}
 	s.sent += uint64(bytes)
 	d.received += uint64(bytes)
+	return nil
+}
+
+func (n *Network) endpointErr(src, dst string) error {
+	if n.down[src] {
+		return &DownError{Node: src}
+	}
+	if n.down[dst] {
+		return &DownError{Node: dst}
+	}
+	return nil
 }

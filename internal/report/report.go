@@ -178,6 +178,24 @@ func JobSummary(w io.Writer, rep *core.RunReport) {
 		fmt.Fprintf(w, "  CPU  : %.0f%% mean / %.0f%% peak cluster utilization\n",
 			rep.CPUUtil.Mean(), rep.CPUUtil.Max())
 	}
+	if len(rep.FaultsInjected) > 0 {
+		fmt.Fprintf(w, "  faults injected:\n")
+		for _, ev := range rep.FaultsInjected {
+			fmt.Fprintf(w, "    %s\n", ev)
+		}
+		rs := rep.Recovery
+		fmt.Fprintf(w, "  HDFS recovery: %d block(s) / %s re-replicated, %d dead DataNode(s), %d failed volume(s), %d lost block(s), %d read failover(s), %d pipeline retries\n",
+			rs.ReReplicatedBlocks, mb(int64(rs.ReReplicatedBytes)), rs.DeadDataNodes,
+			rs.FailedVolumes, rs.LostBlocks, rs.ReadFailovers, rs.PipelineRetries)
+		var reexec, retries, failed int64
+		for _, j := range rep.Jobs {
+			reexec += j.ReExecutedMaps
+			retries += j.FetchRetries
+			failed += j.FailedFetches
+		}
+		fmt.Fprintf(w, "  MR recovery  : %d re-executed map(s), %d fetch retries, %d failed fetches\n",
+			reexec, retries, failed)
+	}
 }
 
 func mb(b int64) string {

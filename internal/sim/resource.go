@@ -23,6 +23,16 @@ type resWaiter struct {
 	n int
 }
 
+func (r *Resource) removeWaiter(p *Proc) bool {
+	for i, w := range r.waiters {
+		if w.p == p {
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // NewResource creates a resource with the given capacity (> 0).
 func NewResource(env *Env, name string, capacity int) *Resource {
 	if capacity <= 0 {
@@ -64,7 +74,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		return
 	}
 	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
-	p.block()
+	p.blockOn(r)
 	// The releaser granted our units before waking us.
 	r.waitTotal += r.env.now - start
 	r.grants++
@@ -138,6 +148,16 @@ type Chan struct {
 // NewChan creates an empty channel.
 func NewChan(env *Env) *Chan { return &Chan{env: env} }
 
+func (c *Chan) removeWaiter(p *Proc) bool {
+	for i, g := range c.getters {
+		if g == p {
+			c.getters = append(c.getters[:i], c.getters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Len returns the number of queued items.
 func (c *Chan) Len() int { return len(c.items) }
 
@@ -175,7 +195,7 @@ func (c *Chan) Get(p *Proc) (any, bool) {
 			return nil, false
 		}
 		c.getters = append(c.getters, p)
-		p.block()
+		p.blockOn(c)
 	}
 	v := c.items[0]
 	c.items = c.items[1:]
@@ -202,7 +222,17 @@ func NewCond(env *Env) *Cond { return &Cond{env: env} }
 // re-check their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	p.block()
+	p.blockOn(c)
+}
+
+func (c *Cond) removeWaiter(p *Proc) bool {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Broadcast wakes every waiter.
@@ -235,7 +265,17 @@ func (ev *Event) Wait(p *Proc) {
 		return
 	}
 	ev.waiters = append(ev.waiters, p)
-	p.block()
+	p.blockOn(ev)
+}
+
+func (ev *Event) removeWaiter(p *Proc) bool {
+	for i, w := range ev.waiters {
+		if w == p {
+			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Fire marks the event fired and wakes all waiters. Firing twice panics —

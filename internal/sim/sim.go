@@ -82,7 +82,23 @@ type Proc struct {
 	resume chan struct{}
 	handle *Handle
 	daemon bool
+
+	killed bool       // Kill was requested; unwind at the next resume point
+	dead   bool       // the process goroutine has finished
+	wl     waiterList // wait list the process is currently parked on, if any
 }
+
+// waiterList is implemented by every blocking primitive that parks processes
+// (Resource, Chan, Cond, Event, Handle), so Kill can unregister a parked
+// process without the primitive later waking a corpse.
+type waiterList interface {
+	removeWaiter(p *Proc) bool
+}
+
+// procKilled is the panic value that unwinds a killed process goroutine. The
+// spawn wrapper recovers it and turns it into a normal process exit, so the
+// process's own defers run — the supported way to release held resources.
+type procKilled struct{ p *Proc }
 
 // SetDaemon marks the process as a daemon: a service loop (disk servicer,
 // writeback thread, sampler) that legitimately blocks forever once the
@@ -98,9 +114,11 @@ func (p *Proc) Name() string { return p.name }
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.env.now }
 
-// Handle lets other processes wait for a spawned process to finish.
+// Handle lets other processes wait for a spawned process to finish, and
+// request its cancellation with Kill.
 type Handle struct {
 	env     *Env
+	proc    *Proc
 	done    bool
 	waiters []*Proc
 }
@@ -114,7 +132,44 @@ func (h *Handle) Wait(p *Proc) {
 		return
 	}
 	h.waiters = append(h.waiters, p)
-	p.block()
+	p.blockOn(h)
+}
+
+func (h *Handle) removeWaiter(p *Proc) bool {
+	for i, w := range h.waiters {
+		if w == p {
+			h.waiters = append(h.waiters[:i], h.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Kill requests cancellation of the handle's process: the process unwinds
+// (running its defers) at its next resume point. A process parked on a wait
+// list (Resource, Cond, Event, Chan, Handle) is unregistered and dies
+// immediately; a sleeping process dies when its sleep expires; a process
+// that never started dies without running. Kill on a finished process is a
+// no-op. Note that a killed process does not release resources it holds
+// unless it arranged release with defer — kill service loops and waiters,
+// not resource holders.
+func (h *Handle) Kill() {
+	p := h.proc
+	if h.done || p.killed {
+		return
+	}
+	p.killed = true
+	if p.wl != nil {
+		p.wl.removeWaiter(p)
+		p.wl = nil
+		if !p.daemon {
+			p.env.blocked--
+		}
+		p.env.schedule(event{at: p.env.now, p: p})
+	}
+	// Otherwise the process is sleeping, ready, or running: exactly one
+	// resume is already pending (or it is on the CPU now), and the killed
+	// flag unwinds it at that point.
 }
 
 // Go spawns fn as a new process starting at the current virtual time.
@@ -122,14 +177,19 @@ func (h *Handle) Wait(p *Proc) {
 func (e *Env) Go(name string, fn func(*Proc)) *Handle {
 	h := &Handle{env: e}
 	p := &Proc{env: e, name: name, resume: make(chan struct{}), handle: h}
+	h.proc = p
 	e.live++
 	go func() {
 		<-p.resume // wait for the kernel to start us
 		// The final yield is deferred so that a process goroutine killed by
 		// runtime.Goexit (e.g. a test helper's t.Fatal/t.Skip inside the
 		// process) still returns control to the kernel instead of hanging
-		// the simulation.
+		// the simulation. A procKilled panic (Handle.Kill) is recovered and
+		// becomes a normal exit; any other panic is re-raised after control
+		// returns to the kernel.
 		defer func() {
+			r := recover()
+			p.dead = true
 			e.live--
 			h.done = true
 			for _, w := range h.waiters {
@@ -137,8 +197,15 @@ func (e *Env) Go(name string, fn func(*Proc)) *Handle {
 			}
 			h.waiters = nil
 			e.yield <- struct{}{} // return control to the kernel
+			if r != nil {
+				if _, ok := r.(procKilled); !ok {
+					panic(r)
+				}
+			}
 		}()
-		fn(p)
+		if !p.killed { // killed before first run: die without executing fn
+			fn(p)
+		}
 	}()
 	e.schedule(event{at: e.now, p: p})
 	return h
@@ -151,6 +218,40 @@ func (e *Env) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	e.schedule(event{at: e.at(d), fn: fn})
+}
+
+// Timer is a cancellable one-shot callback created with AfterFunc.
+type Timer struct {
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer. It reports whether the cancellation took effect
+// (false if the callback already ran).
+func (t *Timer) Stop() bool {
+	if t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Fired reports whether the callback ran.
+func (t *Timer) Fired() bool { return t.fired }
+
+// AfterFunc schedules fn like After but returns a Timer whose Stop cancels
+// the callback if it has not fired yet — the primitive behind revocable
+// fault events and timeouts.
+func (e *Env) AfterFunc(d time.Duration, fn func()) *Timer {
+	t := &Timer{}
+	e.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
 }
 
 // wake schedules p to resume at the current time.
@@ -169,6 +270,16 @@ func (p *Proc) block() {
 	}
 	p.env.yield <- struct{}{}
 	<-p.resume
+	p.wl = nil
+	if p.killed {
+		panic(procKilled{p})
+	}
+}
+
+// blockOn parks the process on wl and blocks, so Kill can unregister it.
+func (p *Proc) blockOn(wl waiterList) {
+	p.wl = wl
+	p.block()
 }
 
 // Sleep suspends the process for d of virtual time. Negative d sleeps 0.
@@ -180,6 +291,9 @@ func (p *Proc) Sleep(d time.Duration) {
 	e.schedule(event{at: e.at(d), p: p})
 	e.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(procKilled{p})
+	}
 }
 
 // Run executes the simulation until the event heap is empty or until limit
@@ -202,6 +316,11 @@ func (e *Env) Run(limit time.Duration) time.Duration {
 		e.now = ev.at
 		if ev.fn != nil {
 			ev.fn()
+			continue
+		}
+		if ev.p.dead {
+			// A resume raced with the process's death (it was killed and
+			// unwound before this event fired); nobody is listening.
 			continue
 		}
 		ev.p.resume <- struct{}{}

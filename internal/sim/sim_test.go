@@ -543,3 +543,159 @@ func TestGoexitInProcessDoesNotHangKernel(t *testing.T) {
 		t.Errorf("end = %v, want 2s", end)
 	}
 }
+
+func TestKillBlockedOnCondDiesImmediately(t *testing.T) {
+	e := New(1)
+	c := NewCond(e)
+	var reached bool
+	h := e.Go("victim", func(p *Proc) {
+		c.Wait(p)
+		reached = true
+	})
+	e.Go("killer", func(p *Proc) {
+		p.Sleep(time.Second)
+		h.Kill()
+	})
+	end := e.Run(0)
+	if reached {
+		t.Error("victim ran past its wait after Kill")
+	}
+	if !h.Done() {
+		t.Error("killed process not marked done")
+	}
+	if end != time.Second {
+		t.Errorf("end = %v, want 1s", end)
+	}
+	// The cond's waiter list must not retain the corpse.
+	c.Broadcast() // would wake a dead proc and hang Run if it did
+	e.Run(0)
+}
+
+func TestKillSleepingProcessDiesAtWakeup(t *testing.T) {
+	e := New(1)
+	var reached bool
+	h := e.Go("sleeper", func(p *Proc) {
+		p.Sleep(10 * time.Second)
+		reached = true
+	})
+	e.Go("killer", func(p *Proc) {
+		p.Sleep(time.Second)
+		h.Kill()
+	})
+	e.Run(0)
+	if reached {
+		t.Error("sleeper ran past its sleep after Kill")
+	}
+	if !h.Done() {
+		t.Error("killed sleeper not done")
+	}
+}
+
+func TestKillRunsDefersAndWakesWaiters(t *testing.T) {
+	e := New(1)
+	c := NewCond(e)
+	var cleaned, waited bool
+	h := e.Go("victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		c.Wait(p)
+	})
+	e.Go("waiter", func(p *Proc) {
+		h.Wait(p)
+		waited = true
+	})
+	e.Go("killer", func(p *Proc) {
+		p.Sleep(time.Second)
+		h.Kill()
+	})
+	e.Run(0)
+	if !cleaned {
+		t.Error("defer did not run on kill")
+	}
+	if !waited {
+		t.Error("Handle.Wait not released by kill")
+	}
+}
+
+func TestKillBeforeFirstRunSkipsBody(t *testing.T) {
+	e := New(1)
+	var ran bool
+	h := e.Go("never", func(p *Proc) { ran = true })
+	h.Kill()
+	e.Run(0)
+	if ran {
+		t.Error("killed-before-start process ran")
+	}
+	if !h.Done() {
+		t.Error("killed-before-start process not done")
+	}
+}
+
+func TestKillUnregistersResourceWaiter(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "r", 1)
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(5 * time.Second)
+		r.Release(1)
+	})
+	h := e.Go("queued", func(p *Proc) {
+		p.Sleep(time.Millisecond) // queue behind the holder
+		r.Acquire(p, 1)
+		t.Error("killed waiter acquired the resource")
+	})
+	e.Go("third", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		r.Acquire(p, 1) // queued behind "queued"
+		r.Release(1)
+	})
+	e.Go("killer", func(p *Proc) {
+		p.Sleep(time.Second)
+		h.Kill()
+	})
+	e.Run(0)
+	if r.InUse() != 0 {
+		t.Errorf("resource leaked: inUse=%d", r.InUse())
+	}
+}
+
+func TestKillFinishedProcessIsNoop(t *testing.T) {
+	e := New(1)
+	h := e.Go("quick", func(p *Proc) {})
+	e.Run(0)
+	h.Kill() // must not panic or corrupt state
+	e.Go("after", func(p *Proc) { p.Sleep(time.Second) })
+	if end := e.Run(0); end != time.Second {
+		t.Errorf("end = %v, want 1s", end)
+	}
+}
+
+func TestAfterFuncStop(t *testing.T) {
+	e := New(1)
+	var fired bool
+	tm := e.AfterFunc(2*time.Second, func() { fired = true })
+	e.After(time.Second, func() {
+		if !tm.Stop() {
+			t.Error("Stop before expiry should report true")
+		}
+	})
+	e.Run(0)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if tm.Fired() {
+		t.Error("Fired() true on stopped timer")
+	}
+}
+
+func TestAfterFuncFires(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	tm := e.AfterFunc(3*time.Second, func() { at = e.Now() })
+	e.Run(0)
+	if at != 3*time.Second {
+		t.Errorf("fired at %v, want 3s", at)
+	}
+	if !tm.Fired() || tm.Stop() {
+		t.Error("post-fire state wrong")
+	}
+}

@@ -225,7 +225,10 @@ func (km *KMeans) seedCenters(p *sim.Proc, fs *hdfs.FS, inputs []string, client 
 	if err != nil {
 		return nil, err
 	}
-	data := rd.ReadAt(p, 0, int64(km.K*km.Dims*24+1024))
+	data, err := rd.ReadAt(p, 0, int64(km.K*km.Dims*24+1024))
+	if err != nil {
+		return nil, err
+	}
 	var centers [][]float64
 	datagen.Lines(data, func(line []byte) {
 		if len(centers) >= km.K {
@@ -251,7 +254,10 @@ func (km *KMeans) readCenters(p *sim.Proc, fs *hdfs.FS, dir, client string, prev
 		if err != nil {
 			return nil, err
 		}
-		data := rd.ReadAt(p, 0, rd.Size())
+		data, err := rd.ReadAt(p, 0, rd.Size())
+		if err != nil {
+			return nil, err
+		}
 		for len(data) > 0 {
 			k, v, rest := mapred.NextKV(data)
 			data = rest

@@ -196,7 +196,10 @@ func (pr *PageRank) ReadRanks(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster) map
 		if err != nil {
 			panic(err)
 		}
-		data := rd.ReadAt(p, 0, rd.Size())
+		data, err := rd.ReadAt(p, 0, rd.Size())
+		if err != nil {
+			panic(err)
+		}
 		for len(data) > 0 {
 			k, v, rest := mapred.NextKV(data)
 			data = rest

@@ -52,7 +52,10 @@ func sampleSplitters(p *sim.Proc, fs *hdfs.FS, inputs []string, client string, r
 		if err != nil {
 			return nil, err
 		}
-		data := rd.ReadAt(p, 0, perFile)
+		data, err := rd.ReadAt(p, 0, perFile)
+		if err != nil {
+			return nil, err
+		}
 		for off := 0; off+datagen.RecordSize <= len(data); off += datagen.RecordSize {
 			keys = append(keys, append([]byte(nil), datagen.Key(data, off)...))
 		}

@@ -24,11 +24,17 @@ type rig struct {
 
 func newRig() *rig {
 	env := sim.New(1)
-	cl := cluster.New(env, cluster.DefaultHardware(16384), 4)
+	cl, err := cluster.New(env, cluster.DefaultHardware(16384), 4)
+	if err != nil {
+		panic(err)
+	}
 	fs := hdfs.New(env, hdfs.DefaultConfig(16384), cl.Net, cl.Slaves)
 	cfg := mapred.DefaultConfig(16384)
 	cfg.MapSlots, cfg.ReduceSlots = 4, 2
-	rt := mapred.New(env, cl, fs, cl.Net, cfg)
+	rt, err := mapred.New(env, cl, fs, cl.Net, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return &rig{env: env, cl: cl, fs: fs, rt: rt}
 }
 
@@ -62,7 +68,10 @@ func (r *rig) readKVOutput(t *testing.T, dir string) [][2][]byte {
 				t.Errorf("open %s: %v", path, err)
 				return
 			}
-			data := rd.ReadAt(p, 0, rd.Size())
+			data, err := rd.ReadAt(p, 0, rd.Size())
+			if err != nil {
+				panic(err)
+			}
 			for len(data) > 0 {
 				k, v, rest := mapred.NextKV(data)
 				out = append(out, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
@@ -121,7 +130,10 @@ func TestTeraSortProducesGloballySortedOutput(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			data := rd.ReadAt(p, 0, rd.Size())
+			data, err := rd.ReadAt(p, 0, rd.Size())
+			if err != nil {
+				panic(err)
+			}
 			for len(data) > 0 {
 				k, _, rest := mapred.NextKV(data)
 				if prev != nil && bytes.Compare(prev, k) > 0 {

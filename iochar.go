@@ -26,8 +26,10 @@ package iochar
 
 import (
 	"io"
+	"time"
 
 	"iochar/internal/core"
+	"iochar/internal/faults"
 	"iochar/internal/report"
 )
 
@@ -119,7 +121,22 @@ func RenderTableCSV(w io.Writer, s *Suite, n int) error {
 	return nil
 }
 
-// Summarize renders one run's job counters and byte totals to w.
+// FaultPlan is a deterministic, seeded schedule of failures (disk, node,
+// network) injected into a run via Options.Faults.
+type FaultPlan = faults.Plan
+
+// ParseFaultPlan parses the fault-plan string syntax, e.g.
+// "kill-datanode@15s:node=slave-02;drop-shuffle@5s:until=20s,prob=0.3".
+func ParseFaultPlan(s string) (FaultPlan, error) { return faults.ParsePlan(s) }
+
+// RandomFaultPlan samples n fault events over [0, window) against the named
+// nodes, deterministically for a seed.
+func RandomFaultPlan(seed int64, nodes []string, window time.Duration, n int) FaultPlan {
+	return faults.RandomPlan(seed, nodes, window, n)
+}
+
+// Summarize renders one run's job counters and byte totals to w, including
+// the fault/recovery block for runs that injected failures.
 func Summarize(w io.Writer, rep *RunReport) { report.JobSummary(w, rep) }
 
 // RenderAttribution renders the per-stage I/O demand breakdown of every
