@@ -106,7 +106,7 @@ func BenchmarkTable7(b *testing.B) { benchTable(b, 7) }
 // iteration on a fresh testbed — the raw cost of the simulation itself.
 func BenchmarkWorkloads(b *testing.B) {
 	for _, wkey := range core.WorkloadOrder {
-		b.Run(wkey, func(b *testing.B) {
+		b.Run(wkey.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rep, err := core.RunOne(wkey, core.SlotsRuns[0], benchOpts)
 				if err != nil {
@@ -136,7 +136,7 @@ func BenchmarkAblationCompression(b *testing.B) {
 			var rep *core.RunReport
 			var err error
 			for i := 0; i < b.N; i++ {
-				rep, err = suite().Run("TS", f)
+				rep, err = suite().Run(core.TS, f)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -155,7 +155,7 @@ func BenchmarkAblationMemory(b *testing.B) {
 			var rep *core.RunReport
 			var err error
 			for i := 0; i < b.N; i++ {
-				rep, err = suite().Run("TS", f)
+				rep, err = suite().Run(core.TS, f)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -9,15 +9,23 @@
 //	iochar -all               # every figure and table
 //	iochar -figure 3 -csv     # CSV instead of terminal rendering
 //	iochar -scale 8192        # smaller/faster testbed (default 4096)
+//	iochar -all -parallel 4   # fan experiment cells out across 4 workers
+//	iochar -all -cache-dir ~/.cache/iochar  # persist cells across runs
 //
 // Runs are cached within one invocation, so -all executes each experiment
-// cell exactly once even though figures share runs.
+// cell exactly once even though figures share runs. With -cache-dir the
+// cells additionally persist on disk: a repeat invocation under the same
+// configuration loads every cell from the cache and renders byte-identical
+// output without simulating anything. Ctrl-C cancels a sweep mid-cell.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"iochar"
@@ -25,21 +33,33 @@ import (
 
 func main() {
 	var (
-		figure  = flag.Int("figure", 0, "regenerate paper figure N (1-12)")
-		table   = flag.Int("table", 0, "regenerate paper table N (5-7)")
-		all     = flag.Bool("all", false, "regenerate every figure and table")
-		attr    = flag.Bool("attr", false, "print the per-stage I/O demand breakdown (extension)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of terminal charts")
-		scale   = flag.Int64("scale", 4096, "capacity divisor vs the paper's testbed")
-		slaves  = flag.Int("slaves", 10, "number of slave nodes")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		frac    = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
-		verbose = flag.Bool("v", false, "progress to stderr")
+		figure   = flag.Int("figure", 0, "regenerate paper figure N (1-12)")
+		table    = flag.Int("table", 0, "regenerate paper table N (5-7)")
+		all      = flag.Bool("all", false, "regenerate every figure and table")
+		attr     = flag.Bool("attr", false, "print the per-stage I/O demand breakdown (extension)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of terminal charts")
+		scale    = flag.Int64("scale", 4096, "capacity divisor vs the paper's testbed")
+		slaves   = flag.Int("slaves", 10, "number of slave nodes")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		frac     = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
+		parallel = flag.Int("parallel", 0, "experiment cells to simulate concurrently (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persist experiment cells under this directory")
+		verbose  = flag.Bool("v", false, "per-cell progress to stderr")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac}
-	s := iochar.NewSuite(opts)
+	sopts := []iochar.SuiteOption{iochar.WithParallelism(*parallel)}
+	if *cacheDir != "" {
+		sopts = append(sopts, iochar.WithCacheDir(*cacheDir))
+	}
+	if *verbose {
+		sopts = append(sopts, iochar.WithProgress(progressLine))
+	}
+	s := iochar.NewSuite(opts, sopts...)
 
 	var figures, tables []int
 	switch {
@@ -57,6 +77,12 @@ func main() {
 	}
 
 	start := time.Now()
+	// Resolve every needed cell up front across the worker pool; rendering
+	// below then serves purely from memory.
+	if err := prewarm(ctx, s, figures, tables); err != nil {
+		fmt.Fprintln(os.Stderr, "iochar:", err)
+		os.Exit(1)
+	}
 	for _, n := range figures {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "figure %d...\n", n)
@@ -97,4 +123,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "done in %v (%d experiment cells)\n",
 			time.Since(start).Round(time.Second), s.CachedRuns())
 	}
+}
+
+// prewarm resolves the cells the requested outputs need, in parallel. -all
+// sweeps the full matrix; single figures/tables sweep just their own cells.
+func prewarm(ctx context.Context, s *iochar.Suite, figures, tables []int) error {
+	if len(figures) == len(iochar.Figures()) && len(tables) == len(iochar.Tables()) {
+		return s.RunAll(ctx)
+	}
+	var cells []iochar.Cell
+	for _, n := range figures {
+		fc, err := iochar.FigureCells(n)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, fc...)
+	}
+	for _, n := range tables {
+		tc, err := iochar.TableCells(n)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, tc...)
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	return s.Prewarm(ctx, cells)
+}
+
+// progressLine renders one resolved cell to stderr, e.g.
+//
+//	cell 3/20 TS_1_8 mem=16G compress=true: executed
+//	cell 4/20 KM_2_16 mem=16G compress=true: cache
+func progressLine(ev iochar.ProgressEvent) {
+	src := "executed"
+	if ev.Source == iochar.SourceDisk {
+		src = "cache"
+	}
+	total := ""
+	if ev.Total > 0 {
+		total = fmt.Sprintf("/%d", ev.Total)
+	}
+	status := src
+	if ev.Err != nil {
+		status = src + " FAILED: " + ev.Err.Error()
+	}
+	fmt.Fprintf(os.Stderr, "cell %d%s %s mem=%dG compress=%v: %s\n",
+		ev.Done, total, ev.Factors.Label(ev.Workload), ev.Factors.MemoryGB,
+		ev.Factors.Compress, status)
 }

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"iochar"
 	"iochar/internal/disk"
@@ -36,6 +39,14 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w, err := iochar.ParseWorkload(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrrun:", err)
+		os.Exit(2)
+	}
 	var sc iochar.SlotsConfig
 	switch *slots {
 	case "1_8":
@@ -60,7 +71,7 @@ func main() {
 		collector = trace.NewCollector()
 		opts.TraceAttach = func(dev string, d *disk.Disk) { collector.Attach(d, dev) }
 	}
-	rep, err := iochar.Run(*workload, iochar.Factors{
+	rep, err := iochar.RunContext(ctx, w, iochar.Factors{
 		Slots: sc, MemoryGB: *mem, Compress: *compress,
 	}, opts)
 	if err != nil {

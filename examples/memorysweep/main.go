@@ -21,7 +21,7 @@ func main() {
 	fmt.Println("TeraSort vs node memory (slots 1_8, compression off, scale 1/8192):")
 	fmt.Printf("%8s %12s %12s %12s %12s\n", "mem(GB)", "MR requests", "MR %util", "HDFS rMB/s", "runtime")
 	for _, gb := range []int{8, 16, 24, 32, 48} {
-		rep, err := iochar.Run("TS", iochar.Factors{
+		rep, err := iochar.Run(iochar.TS, iochar.Factors{
 			Slots:    iochar.Slots1x8,
 			MemoryGB: gb,
 			Compress: false,

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	rep, err := iochar.Run("TS", iochar.Factors{
+	rep, err := iochar.Run(iochar.TS, iochar.Factors{
 		Slots:    iochar.Slots1x8,
 		MemoryGB: 16,
 		Compress: true,

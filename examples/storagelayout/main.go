@@ -30,7 +30,7 @@ func main() {
 	fmt.Println("shared (6 pooled disks/node), 1/8192 scale, 16 GB nodes:")
 	fmt.Println()
 	fmt.Printf("%-4s %-10s %12s %14s %14s\n", "", "layout", "runtime", "await (ms)", "avgrq-sz")
-	for _, wk := range []string{"TS", "AGG"} {
+	for _, wk := range []iochar.Workload{iochar.TS, iochar.AGG} {
 		var base time.Duration
 		for _, shared := range []bool{false, true} {
 			rep, err := iochar.Run(wk, iochar.Factors{

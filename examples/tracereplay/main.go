@@ -27,7 +27,7 @@ func main() {
 		TraceAttach: func(dev string, d *disk.Disk) { collector.Attach(d, dev) },
 	}
 	fmt.Println("running TeraSort (1_8, 16G, compression off) with block tracing...")
-	rep, err := iochar.Run("TS", iochar.Factors{
+	rep, err := iochar.Run(iochar.TS, iochar.Factors{
 		Slots: iochar.Slots1x8, MemoryGB: 16, Compress: false,
 	}, opts)
 	if err != nil {

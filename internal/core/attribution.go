@@ -14,7 +14,7 @@ import (
 // Bytes are logical (as issued by the stage); HDFS writes additionally fan
 // out by the replication factor at the device level.
 type Attribution struct {
-	Workload string
+	Workload Workload
 	Factors  Factors
 
 	HDFSInputRead   int64 // map-task split reads
@@ -45,8 +45,8 @@ func (a *Attribution) MRShare() float64 {
 }
 
 // attribution folds job counters into the breakdown.
-func attribution(wkey string, f Factors, jobs []*mapred.Result) *Attribution {
-	a := &Attribution{Workload: wkey, Factors: f}
+func attribution(w Workload, f Factors, jobs []*mapred.Result) *Attribution {
+	a := &Attribution{Workload: w, Factors: f}
 	for _, j := range jobs {
 		a.HDFSInputRead += j.MapInputBytes
 		a.HDFSOutputWrite += j.ReduceOutputBytes
@@ -62,12 +62,12 @@ func attribution(wkey string, f Factors, jobs []*mapred.Result) *Attribution {
 
 // Attribution runs (or reuses) the workload's baseline cell and returns the
 // per-stage I/O breakdown.
-func (s *Suite) Attribution(wkey string, f Factors) (*Attribution, error) {
-	rep, err := s.Run(wkey, f)
+func (s *Suite) Attribution(w Workload, f Factors) (*Attribution, error) {
+	rep, err := s.Run(w, f)
 	if err != nil {
 		return nil, err
 	}
-	return attribution(wkey, f, rep.Jobs), nil
+	return attribution(w, f, rep.Jobs), nil
 }
 
 // AttributionTable renders the breakdown of every workload under the
@@ -91,9 +91,9 @@ func (s *Suite) AttributionTable() (*TableData, error) {
 	t := &TableData{
 		ID:     0,
 		Title:  "Sources of I/O demand (logical MB and share of workload total; extension of the paper's future work)",
-		Header: append([]string{"stage"}, WorkloadOrder...),
+		Header: append([]string{"stage"}, workloadHeader()...),
 	}
-	atts := map[string]*Attribution{}
+	atts := map[Workload]*Attribution{}
 	for _, wkey := range WorkloadOrder {
 		a, err := s.Attribution(wkey, SlotsRuns[0])
 		if err != nil {

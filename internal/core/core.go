@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,12 +58,12 @@ type Factors struct {
 }
 
 // Label renders the paper's run naming, e.g. "AGG_1_8".
-func (f Factors) Label(workloadKey string) string {
-	return workloadKey + "_" + f.Slots.Name
+func (f Factors) Label(w Workload) string {
+	return w.String() + "_" + f.Slots.Name
 }
 
-func (f Factors) cacheKey(wkey string) string {
-	return fmt.Sprintf("%s/%s/m%d/c%v", wkey, f.Slots.Name, f.MemoryGB, f.Compress)
+func (f Factors) cacheKey(w Workload) string {
+	return fmt.Sprintf("%s/%s/m%d/c%v", w, f.Slots.Name, f.MemoryGB, f.Compress)
 }
 
 // Options configures the simulated testbed.
@@ -189,7 +190,7 @@ func (o Options) blockBytes() int64 {
 
 // RunReport is the outcome of one workload × factors execution.
 type RunReport struct {
-	Workload string
+	Workload Workload
 	Factors  Factors
 	HDFS     *iostat.Report
 	MR       *iostat.Report
@@ -220,9 +221,19 @@ const (
 )
 
 // RunOne builds a fresh testbed and executes one experiment cell.
-func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
+func RunOne(w Workload, f Factors, opts Options) (*RunReport, error) {
+	return RunOneContext(context.Background(), w, f, opts)
+}
+
+// RunOneContext is RunOne with cancellation: the context is threaded into
+// the discrete-event loop, so a long cell aborts promptly when ctx is
+// cancelled (returning ctx's error) instead of simulating to completion.
+func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*RunReport, error) {
 	opts = opts.withDefaults()
-	w, err := workloads.ByKey(wkey)
+	if !w.Valid() {
+		return nil, fmt.Errorf("core: invalid workload %d (use the Workload constants or ParseWorkload)", uint8(w))
+	}
+	wl, err := workloads.ByKey(w.String())
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +317,7 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 		}
 	}
 
-	w.Prepare(fs, cl, opts.inputBytes(w), opts.Seed)
+	wl.Prepare(fs, cl, opts.inputBytes(wl), opts.Seed)
 
 	mon := iostat.NewMonitor(opts.SampleInterval)
 	mon.AddGroup(GroupHDFS, cl.AllHDFSDisks()...)
@@ -316,7 +327,7 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 	cpu := cpustat.NewMonitor(opts.SampleInterval, cl.Slaves)
 	cpu.Start(env)
 
-	rep := &RunReport{Workload: w.Key(), Factors: f}
+	rep := &RunReport{Workload: w, Factors: f}
 	var runErr error
 	env.Go("driver", func(p *sim.Proc) {
 		// The injector and recovery loops must stop even when the workload
@@ -328,7 +339,7 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 			}
 		}()
 		start := p.Now()
-		jobs, err := w.Run(p, rt, fs, cl)
+		jobs, err := wl.Run(p, rt, fs, cl)
 		if err != nil {
 			runErr = err
 			mon.Stop(p.Now())
@@ -349,9 +360,12 @@ func RunOne(wkey string, f Factors, opts Options) (*RunReport, error) {
 			opts.Inspect(p, fs, cl)
 		}
 	})
-	env.Run(0)
+	if _, err := env.RunContext(ctx, 0); err != nil {
+		// The simulation was abandoned mid-flight; nothing in rep is usable.
+		return nil, fmt.Errorf("core: %s: %w", f.cacheKey(w), err)
+	}
 	if runErr != nil {
-		return nil, fmt.Errorf("core: %s %s: %w", wkey, f.cacheKey(wkey), runErr)
+		return nil, fmt.Errorf("core: %s: %w", f.cacheKey(w), runErr)
 	}
 	rep.HDFS = mon.Report(GroupHDFS)
 	rep.MR = mon.Report(GroupMR)
@@ -407,37 +421,8 @@ func addFaultGroups(mon *iostat.Monitor, cl *cluster.Cluster, plan faults.Plan) 
 	return names
 }
 
-// Suite caches experiment cells so figures sharing runs (e.g. Figures 1, 4,
-// 7 and 10 all use the slots runs) execute each cell once.
-type Suite struct {
-	Opts  Options
-	cache map[string]*RunReport
-}
-
-// NewSuite creates a suite.
-func NewSuite(opts Options) *Suite {
-	return &Suite{Opts: opts.withDefaults(), cache: map[string]*RunReport{}}
-}
-
-// Run returns the cached or freshly executed cell.
-func (s *Suite) Run(wkey string, f Factors) (*RunReport, error) {
-	key := f.cacheKey(wkey)
-	if r, ok := s.cache[key]; ok {
-		return r, nil
-	}
-	r, err := RunOne(wkey, f, s.Opts)
-	if err != nil {
-		return nil, err
-	}
-	s.cache[key] = r
-	return r, nil
-}
-
-// CachedRuns returns the number of executed cells.
-func (s *Suite) CachedRuns() int { return len(s.cache) }
-
 // WorkloadOrder is the paper's figure ordering.
-var WorkloadOrder = []string{"AGG", "TS", "KM", "PR"}
+var WorkloadOrder = []Workload{AGG, TS, KM, PR}
 
 // Factor settings for the three experiment families (baselines per the
 // paper's figure captions).

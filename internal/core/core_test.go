@@ -19,7 +19,7 @@ var fastOpts = Options{
 // sharedSuite caches cells across the tests in this package.
 var sharedSuite = NewSuite(fastOpts)
 
-func mustRun(t *testing.T, wkey string, f Factors) *RunReport {
+func mustRun(t *testing.T, wkey Workload, f Factors) *RunReport {
 	t.Helper()
 	rep, err := sharedSuite.Run(wkey, f)
 	if err != nil {
@@ -53,8 +53,8 @@ func TestSampleIntervalScalesWithScale(t *testing.T) {
 }
 
 func TestRunOneProducesWellFormedReport(t *testing.T) {
-	rep := mustRun(t, "TS", SlotsRuns[0])
-	if rep.Workload != "TS" {
+	rep := mustRun(t, TS, SlotsRuns[0])
+	if rep.Workload != TS {
 		t.Errorf("Workload = %s", rep.Workload)
 	}
 	if len(rep.Jobs) != 1 {
@@ -77,19 +77,22 @@ func TestRunOneProducesWellFormedReport(t *testing.T) {
 	}
 }
 
-func TestRunOneUnknownWorkload(t *testing.T) {
-	if _, err := RunOne("NOPE", SlotsRuns[0], fastOpts); err == nil {
+func TestRunOneInvalidWorkload(t *testing.T) {
+	if _, err := RunOne(Workload(99), SlotsRuns[0], fastOpts); err == nil {
 		t.Error("want error")
+	}
+	if _, err := RunOne(Workload(0), SlotsRuns[0], fastOpts); err == nil {
+		t.Error("zero Workload must be rejected")
 	}
 }
 
 func TestSuiteCachesCells(t *testing.T) {
 	s := NewSuite(fastOpts)
-	if _, err := s.Run("KM", SlotsRuns[0]); err != nil {
+	if _, err := s.Run(KM, SlotsRuns[0]); err != nil {
 		t.Fatal(err)
 	}
 	n := s.CachedRuns()
-	if _, err := s.Run("KM", SlotsRuns[0]); err != nil {
+	if _, err := s.Run(KM, SlotsRuns[0]); err != nil {
 		t.Fatal(err)
 	}
 	if s.CachedRuns() != n {
@@ -98,11 +101,11 @@ func TestSuiteCachesCells(t *testing.T) {
 }
 
 func TestDeterministicAcrossSuites(t *testing.T) {
-	a, err := RunOne("AGG", SlotsRuns[0], fastOpts)
+	a, err := RunOne(AGG, SlotsRuns[0], fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := mustRun(t, "AGG", SlotsRuns[0])
+	b := mustRun(t, AGG, SlotsRuns[0])
 	if a.Wall != b.Wall {
 		t.Errorf("runtime differs across identical runs: %v vs %v", a.Wall, b.Wall)
 	}
@@ -116,7 +119,7 @@ func TestDeterministicAcrossSuites(t *testing.T) {
 // Observation 1: task slots leave the four I/O metrics essentially
 // unchanged.
 func TestObservation1SlotsLeaveIOMetricsUnchanged(t *testing.T) {
-	for _, wkey := range []string{"AGG", "TS"} {
+	for _, wkey := range []Workload{AGG, TS} {
 		a := mustRun(t, wkey, SlotsRuns[0])
 		b := mustRun(t, wkey, SlotsRuns[1])
 		within := func(name string, x, y, tol float64) {
@@ -137,8 +140,8 @@ func TestObservation1SlotsLeaveIOMetricsUnchanged(t *testing.T) {
 // intermediate-disk pressure (spill-heavy TS), and raises HDFS read
 // bandwidth for large inputs.
 func TestObservation2MemoryReducesIO(t *testing.T) {
-	lo := mustRun(t, "TS", MemoryRuns[0])
-	hi := mustRun(t, "TS", MemoryRuns[1])
+	lo := mustRun(t, TS, MemoryRuns[0])
+	hi := mustRun(t, TS, MemoryRuns[1])
 	loReq := lo.MR.TotalReads + lo.MR.TotalWrites
 	hiReq := hi.MR.TotalReads + hi.MR.TotalWrites
 	if hiReq >= loReq {
@@ -152,8 +155,8 @@ func TestObservation2MemoryReducesIO(t *testing.T) {
 			lo.HDFS.RMBs.Mean(), hi.HDFS.RMBs.Mean())
 	}
 	// Small-output workloads see little write-side change (paper: K-means).
-	kmLo := mustRun(t, "KM", MemoryRuns[0])
-	kmHi := mustRun(t, "KM", MemoryRuns[1])
+	kmLo := mustRun(t, KM, MemoryRuns[0])
+	kmHi := mustRun(t, KM, MemoryRuns[1])
 	_ = kmLo
 	_ = kmHi
 }
@@ -161,8 +164,8 @@ func TestObservation2MemoryReducesIO(t *testing.T) {
 // Observation 3: compression shrinks MapReduce intermediate I/O but leaves
 // HDFS I/O (bytes moved) untouched.
 func TestObservation3CompressionIsMapReduceOnly(t *testing.T) {
-	off := mustRun(t, "TS", CompressRuns[0])
-	on := mustRun(t, "TS", CompressRuns[1])
+	off := mustRun(t, TS, CompressRuns[0])
+	on := mustRun(t, TS, CompressRuns[1])
 	if on.MR.TotalWrittenBytes >= off.MR.TotalWrittenBytes {
 		t.Errorf("compression did not shrink intermediate writes: %d -> %d",
 			off.MR.TotalWrittenBytes, on.MR.TotalWrittenBytes)
@@ -185,7 +188,7 @@ func TestObservation3CompressionIsMapReduceOnly(t *testing.T) {
 // small-random — avgrq-sz tells them apart for every workload with real
 // intermediate traffic.
 func TestObservation4AccessPatternContrast(t *testing.T) {
-	for _, wkey := range []string{"TS", "KM", "PR"} {
+	for _, wkey := range []Workload{TS, KM, PR} {
 		rep := mustRun(t, wkey, SlotsRuns[0])
 		h := rep.HDFS.AvgrqSz.MeanNonzero()
 		m := rep.MR.AvgrqSz.MeanNonzero()
@@ -200,13 +203,13 @@ func TestObservation4AccessPatternContrast(t *testing.T) {
 
 // Table 6/7 shape: AGG leads HDFS busy fractions; TS leads MapReduce's.
 func TestTablesBusyFractionOrdering(t *testing.T) {
-	reps := map[string]*RunReport{}
+	reps := map[Workload]*RunReport{}
 	for _, wkey := range WorkloadOrder {
 		reps[wkey] = mustRun(t, wkey, SlotsRuns[0])
 	}
-	aggBusy := reps["AGG"].HDFS.Util.Mean()
-	tsBusyMR := reps["TS"].MR.Util.Mean()
-	for _, wkey := range []string{"KM", "PR"} {
+	aggBusy := reps[AGG].HDFS.Util.Mean()
+	tsBusyMR := reps[TS].MR.Util.Mean()
+	for _, wkey := range []Workload{KM, PR} {
 		if got := reps[wkey].HDFS.Util.Mean(); got > aggBusy {
 			t.Errorf("HDFS mean util: %s (%.2f) above AGG (%.2f)", wkey, got, aggBusy)
 		}
@@ -297,7 +300,7 @@ func TestFactorLabel(t *testing.T) {
 
 func TestLabelMatchesPaperNaming(t *testing.T) {
 	f := Factors{Slots: Slots1x8}
-	if got := f.Label("AGG"); got != "AGG_1_8" {
+	if got := f.Label(AGG); got != "AGG_1_8" {
 		t.Errorf("Label = %s", got)
 	}
 }
@@ -314,11 +317,11 @@ func TestBlockBytesBounds(t *testing.T) {
 }
 
 func TestAttributionShapes(t *testing.T) {
-	agg, err := sharedSuite.Attribution("AGG", SlotsRuns[0])
+	agg, err := sharedSuite.Attribution(AGG, SlotsRuns[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, err := sharedSuite.Attribution("TS", SlotsRuns[0])
+	ts, err := sharedSuite.Attribution(TS, SlotsRuns[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,9 +361,9 @@ func TestAttributionTableShape(t *testing.T) {
 // asserted — AGG keeps the cores busier than TS (CPU-bound), while TS keeps
 // the intermediate disks busier than anyone (I/O-bound).
 func TestTable3BottleneckClassification(t *testing.T) {
-	agg := mustRun(t, "AGG", SlotsRuns[0])
-	ts := mustRun(t, "TS", SlotsRuns[0])
-	pr := mustRun(t, "PR", SlotsRuns[0])
+	agg := mustRun(t, AGG, SlotsRuns[0])
+	ts := mustRun(t, TS, SlotsRuns[0])
+	pr := mustRun(t, PR, SlotsRuns[0])
 	if agg.CPUUtil == nil || agg.CPUUtil.Len() == 0 {
 		t.Fatal("no CPU samples")
 	}
@@ -378,10 +381,10 @@ func TestTable3BottleneckClassification(t *testing.T) {
 // the hit — the straggler disk also serves shuffle reads) and inflate the
 // iostat await signature an operator would diagnose with.
 func TestFaultSlowDiskVisibleEndToEnd(t *testing.T) {
-	healthy := mustRun(t, "TS", SlotsRuns[0])
+	healthy := mustRun(t, TS, SlotsRuns[0])
 	opts := fastOpts
 	opts.FaultSlowDisk = 8
-	degraded, err := RunOne("TS", SlotsRuns[0], opts)
+	degraded, err := RunOne(TS, SlotsRuns[0], opts)
 	if err != nil {
 		t.Fatal(err)
 	}

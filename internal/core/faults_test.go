@@ -29,15 +29,15 @@ type goldenRun struct {
 	speculative           int64
 }
 
-var seedGolden = map[string]goldenRun{
-	"TS": {
+var seedGolden = map[Workload]goldenRun{
+	TS: {
 		wall: 1098495440, hdfsR: 34062336, hdfsW: 34283520,
 		mrR: 33792000, mrW: 41414656,
 		mapIn: 335540, mapOut: 33554000, spills: 100,
 		shuffle: 15228370, redOut: 33889540,
 		localMaps: 49, remoteMaps: 1, speculative: 0,
 	},
-	"AGG": {
+	AGG: {
 		wall: 449967576, hdfsR: 17137664, hdfsW: 122880,
 		mrR: 696320, mrW: 0,
 		mapIn: 447993, mapOut: 4601883, spills: 46,
@@ -128,7 +128,7 @@ func runTS(t *testing.T, planStr string) *tsOutcome {
 		}
 		out.underRep = fs.UnderReplicated()
 	}
-	rep, err := RunOne("TS", tsFaultFactors, opts)
+	rep, err := RunOne(TS, tsFaultFactors, opts)
 	if err != nil {
 		t.Fatalf("TS with plan %q: %v", planStr, err)
 	}
@@ -240,7 +240,7 @@ func TestJobFailsCleanlyWhenClusterDies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = RunOne("TS", tsFaultFactors, opts)
+	_, err = RunOne(TS, tsFaultFactors, opts)
 	if err == nil {
 		t.Fatal("job survived the loss of every slave")
 	}

@@ -95,7 +95,7 @@ func (s *Suite) panel(fam family, m metric, sc scenario) (Panel, error) {
 			}
 			series := m.sel(sc.sel(rep))
 			row := SeriesRow{
-				Label:    wkey + "_" + FactorLabel(fam.key, f),
+				Label:    wkey.String() + "_" + FactorLabel(fam.key, f),
 				Mean:     series.Mean(),
 				MeanBusy: series.MeanNonzero(),
 				Peak:     series.Max(),
@@ -214,7 +214,7 @@ func (s *Suite) table5() (*TableData, error) {
 		Header: []string{"Workload", "1_8", "2_16"},
 	}
 	for _, wkey := range WorkloadOrder {
-		row := []string{wkey}
+		row := []string{wkey.String()}
 		for _, f := range SlotsRuns {
 			rep, err := s.Run(wkey, f)
 			if err != nil {
@@ -233,7 +233,7 @@ func (s *Suite) utilTable(id int, title string, sc scenario) (*TableData, error)
 	t := &TableData{
 		ID:     id,
 		Title:  title,
-		Header: append([]string{""}, WorkloadOrder...),
+		Header: append([]string{""}, workloadHeader()...),
 	}
 	thresholds := []float64{90, 95, 99}
 	rows := make([][]string, len(thresholds))
@@ -254,6 +254,15 @@ func (s *Suite) utilTable(id int, title string, sc scenario) (*TableData, error)
 	}
 	t.Rows = rows
 	return t, nil
+}
+
+// workloadHeader renders WorkloadOrder as table-header cells.
+func workloadHeader() []string {
+	out := make([]string, len(WorkloadOrder))
+	for i, w := range WorkloadOrder {
+		out[i] = w.String()
+	}
+	return out
 }
 
 // Figures lists the reproducible figure numbers.

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"iochar/internal/cluster"
+	"iochar/internal/hdfs"
+	"iochar/internal/runcache"
+	"iochar/internal/sim"
+)
+
+// tinyOpts is the smallest testbed that still exercises the full pipeline —
+// executor tests below run many cells and care about scheduling, not shape.
+var tinyOpts = Options{Scale: 262144, Slaves: 3, MapTaskTarget: 8}
+
+// reportJSON canonicalizes a report for equality checks: byte-identical
+// JSON means byte-identical figures, since rendering reads only these
+// fields.
+func reportJSON(t *testing.T, rep *RunReport) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// countingProgress tallies progress events by source, concurrency-safely.
+type countingProgress struct {
+	executed atomic.Int64
+	disk     atomic.Int64
+}
+
+func (c *countingProgress) fn(ev ProgressEvent) {
+	switch ev.Source {
+	case SourceExecuted:
+		c.executed.Add(1)
+	case SourceDisk:
+		c.disk.Add(1)
+	}
+}
+
+// TestSuiteSingleflightDedup drives one cell from many goroutines at once:
+// exactly one execution may happen, everyone shares its report. Run under
+// -race this is also the concurrency-safety test for the Suite cache the
+// old implementation lacked.
+func TestSuiteSingleflightDedup(t *testing.T) {
+	var prog countingProgress
+	s := NewSuite(tinyOpts, WithParallelism(4), WithProgress(prog.fn))
+	const callers = 8
+	var wg sync.WaitGroup
+	reps := make([]*RunReport, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i], errs[i] = s.Run(KM, SlotsRuns[0])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if reps[i] != reps[0] {
+			t.Errorf("caller %d got a different report instance", i)
+		}
+	}
+	if got := prog.executed.Load(); got != 1 {
+		t.Errorf("cell executed %d times, want exactly 1 (singleflight)", got)
+	}
+	if s.CachedRuns() != 1 {
+		t.Errorf("CachedRuns = %d", s.CachedRuns())
+	}
+}
+
+// TestSuiteConcurrentDistinctCells exercises the executor's worker pool
+// with more cells than workers, from concurrent callers — the -race test
+// for a Suite shared across goroutines.
+func TestSuiteConcurrentDistinctCells(t *testing.T) {
+	s := NewSuite(tinyOpts, WithParallelism(2))
+	cells, err := FigureCells(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prewarm(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	if s.CachedRuns() != len(cells) {
+		t.Errorf("CachedRuns = %d, want %d", s.CachedRuns(), len(cells))
+	}
+}
+
+// TestParallelMatchesSequential pins the determinism contract at the report
+// level: the same cell resolved under a parallel sweep is byte-identical to
+// a sequential standalone execution.
+func TestParallelMatchesSequential(t *testing.T) {
+	par := NewSuite(tinyOpts, WithParallelism(4))
+	cells := []Cell{
+		{TS, SlotsRuns[0]}, {AGG, SlotsRuns[0]},
+		{TS, MemoryRuns[1]}, {KM, SlotsRuns[1]},
+	}
+	if err := par.Prewarm(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		seq, err := RunOne(c.Workload, c.Factors, tinyOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Run(c.Workload, c.Factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reportJSON(t, got) != reportJSON(t, seq) {
+			t.Errorf("%s: parallel report differs from sequential", c.Factors.cacheKey(c.Workload))
+		}
+	}
+}
+
+// TestDiskCacheRoundTrip: a second suite over the same cache directory must
+// serve every cell from disk, byte-identical to the executed original.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var cold countingProgress
+	a := NewSuite(tinyOpts, WithCacheDir(dir), WithProgress(cold.fn))
+	repA, err := a.Run(TS, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.executed.Load() != 1 || cold.disk.Load() != 0 {
+		t.Fatalf("cold run: executed=%d disk=%d", cold.executed.Load(), cold.disk.Load())
+	}
+
+	var warm countingProgress
+	b := NewSuite(tinyOpts, WithCacheDir(dir), WithProgress(warm.fn))
+	repB, err := b.Run(TS, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.executed.Load() != 0 || warm.disk.Load() != 1 {
+		t.Errorf("warm run: executed=%d disk=%d, want pure disk hit",
+			warm.executed.Load(), warm.disk.Load())
+	}
+	if reportJSON(t, repA) != reportJSON(t, repB) {
+		t.Error("disk round trip changed the report")
+	}
+	// The typed fields must survive serialization, not just compare equal.
+	if repB.Workload != TS || repB.HDFS.TotalReadBytes == 0 || repB.CPUUtil.Len() == 0 {
+		t.Errorf("deserialized report lost data: %+v", repB.Workload)
+	}
+}
+
+// TestDiskCacheCorruptionReExecutes is the end-to-end corruption story: a
+// truncated entry is re-executed (never a panic, never a wrong figure) and
+// the slot is rewritten valid.
+func TestDiskCacheCorruptionReExecutes(t *testing.T) {
+	dir := t.TempDir()
+	a := NewSuite(tinyOpts, WithCacheDir(dir))
+	repA, err := a.Run(AGG, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate every entry in the cache directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir entries=%d err=%v", len(entries), err)
+	}
+	for _, e := range entries {
+		p := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, b[:len(b)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prog countingProgress
+	b := NewSuite(tinyOpts, WithCacheDir(dir), WithProgress(prog.fn))
+	repB, err := b.Run(AGG, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.executed.Load() != 1 || prog.disk.Load() != 0 {
+		t.Errorf("corrupt entry not re-executed: executed=%d disk=%d",
+			prog.executed.Load(), prog.disk.Load())
+	}
+	if reportJSON(t, repA) != reportJSON(t, repB) {
+		t.Error("re-executed report differs from the original")
+	}
+	// The slot must now be valid again: a third suite hits disk.
+	var prog2 countingProgress
+	c := NewSuite(tinyOpts, WithCacheDir(dir), WithProgress(prog2.fn))
+	if _, err := c.Run(AGG, SlotsRuns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if prog2.disk.Load() != 1 {
+		t.Error("corrupt entry was not rewritten after re-execution")
+	}
+}
+
+// TestDiskCacheSchemaVersionMismatch: entries written by another schema
+// version must be invisible, not deserialized.
+func TestDiskCacheSchemaVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a := NewSuite(tinyOpts, WithCacheDir(dir))
+	if _, err := a.Run(KM, SlotsRuns[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the entry under a stale version, as a pre-bump binary would
+	// have left it (same key, older envelope version).
+	staleStore, err := runcache.Open(dir, SchemaVersion-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := runcache.Key(keyMaterial(KM, SlotsRuns[0], NewSuite(tinyOpts).Opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep RunReport
+	cur, _ := runcache.Open(dir, SchemaVersion)
+	if !cur.Get(key, &rep) {
+		t.Fatal("entry missing under the computed key — key material drifted?")
+	}
+	if err := staleStore.Put(key, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var prog countingProgress
+	b := NewSuite(tinyOpts, WithCacheDir(dir), WithProgress(prog.fn))
+	if _, err := b.Run(KM, SlotsRuns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if prog.executed.Load() != 1 {
+		t.Error("stale-version entry was served instead of re-executing")
+	}
+}
+
+// TestCacheKeySeparatesConfigurations: any change to the run configuration
+// must land in a different slot.
+func TestCacheKeySeparatesConfigurations(t *testing.T) {
+	base := NewSuite(tinyOpts).Opts
+	baseKey, err := runcache.Key(keyMaterial(TS, SlotsRuns[0], base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]Options{}
+	o := base
+	o.Seed = 2
+	variants["seed"] = o
+	o = base
+	o.Scale = base.Scale * 2
+	variants["scale"] = o
+	o = base
+	o.InputFraction = 0.5
+	variants["input-fraction"] = o
+	o = base
+	o.SharedDataDisks = true
+	variants["shared-disks"] = o
+	o = base
+	o.FaultSlowDisk = 4
+	variants["slow-disk"] = o
+	for name, opts := range variants {
+		k, err := runcache.Key(keyMaterial(TS, SlotsRuns[0], opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == baseKey {
+			t.Errorf("%s change did not change the cache key", name)
+		}
+	}
+	// Different workload and factors also separate.
+	if k, _ := runcache.Key(keyMaterial(AGG, SlotsRuns[0], base)); k == baseKey {
+		t.Error("workload not in the key")
+	}
+	if k, _ := runcache.Key(keyMaterial(TS, SlotsRuns[1], base)); k == baseKey {
+		t.Error("factors not in the key")
+	}
+}
+
+// TestHookedRunsBypassDiskCache: runs with live hooks must not be persisted
+// or served from disk — their effects are not in the serialized report.
+func TestHookedRunsBypassDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	opts := tinyOpts
+	inspected := 0
+	opts.Inspect = func(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster) { inspected++ }
+	var prog countingProgress
+	s := NewSuite(opts, WithCacheDir(dir), WithProgress(prog.fn))
+	if _, err := s.Run(TS, SlotsRuns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if inspected != 1 {
+		t.Fatalf("Inspect ran %d times", inspected)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Errorf("hooked run persisted %d cache entries, want none", len(entries))
+	}
+	// A second suite re-executes (and re-runs the hook) rather than serving
+	// a report that silently skipped it.
+	var prog2 countingProgress
+	s2 := NewSuite(opts, WithCacheDir(dir), WithProgress(prog2.fn))
+	if _, err := s2.Run(TS, SlotsRuns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if prog2.executed.Load() != 1 || prog2.disk.Load() != 0 {
+		t.Errorf("hooked run served from cache: executed=%d disk=%d",
+			prog2.executed.Load(), prog2.disk.Load())
+	}
+}
+
+func TestSuiteRunContextCancelled(t *testing.T) {
+	s := NewSuite(tinyOpts)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, TS, SlotsRuns[0]); err == nil {
+		t.Error("want cancellation error")
+	}
+	if s.CachedRuns() != 0 {
+		t.Error("cancelled cell must stay unresolved")
+	}
+	// The cell is retryable after cancellation.
+	if _, err := s.Run(TS, SlotsRuns[0]); err != nil {
+		t.Fatalf("retry after cancel: %v", err)
+	}
+}
+
+func TestMatrixCellsDedupAndCoverage(t *testing.T) {
+	cells := MatrixCells()
+	// 4 workloads × 5 distinct factor settings (two baselines are shared
+	// between families).
+	if len(cells) != 20 {
+		t.Fatalf("matrix has %d cells, want 20", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		key := c.Factors.cacheKey(c.Workload)
+		if seen[key] {
+			t.Errorf("duplicate cell %s", key)
+		}
+		seen[key] = true
+	}
+	// Every cell any figure needs is in the matrix.
+	for n := 1; n <= 12; n++ {
+		fc, err := FigureCells(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range fc {
+			if !seen[c.Factors.cacheKey(c.Workload)] {
+				t.Errorf("figure %d cell %s missing from matrix", n, c.Factors.cacheKey(c.Workload))
+			}
+		}
+	}
+	for _, n := range []int{5, 6, 7} {
+		tc, err := TableCells(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range tc {
+			if !seen[c.Factors.cacheKey(c.Workload)] {
+				t.Errorf("table %d cell %s missing from matrix", n, c.Factors.cacheKey(c.Workload))
+			}
+		}
+	}
+}
+
+func TestFigureTableCellsUnknown(t *testing.T) {
+	if _, err := FigureCells(13); err == nil {
+		t.Error("figure 13 should error")
+	}
+	if _, err := TableCells(4); err == nil {
+		t.Error("table 4 should error")
+	}
+}
+
+// TestBadCacheDirFailsLoudly: an unusable cache directory is a
+// configuration error, not a silent fall-through to re-execution.
+func TestBadCacheDirFailsLoudly(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(tinyOpts, WithCacheDir(filepath.Join(f, "cache")))
+	if _, err := s.Run(TS, SlotsRuns[0]); err == nil {
+		t.Error("want error for cache dir under a regular file")
+	}
+}

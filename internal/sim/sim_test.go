@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"testing/quick"
@@ -697,5 +698,68 @@ func TestAfterFuncFires(t *testing.T) {
 	}
 	if !tm.Fired() || tm.Stop() {
 		t.Error("post-fire state wrong")
+	}
+}
+
+func TestRunContextCompletesUncancelled(t *testing.T) {
+	e := New(1)
+	e.Go("worker", func(p *Proc) { p.Sleep(5 * time.Second) })
+	end, err := e.RunContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 5*time.Second {
+		t.Errorf("end = %v, want 5s", end)
+	}
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	e := New(1)
+	e.Go("worker", func(p *Proc) { p.Sleep(time.Second) })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, 0); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock advanced to %v after pre-cancelled run", e.Now())
+	}
+}
+
+func TestRunContextCancelsMidSimulation(t *testing.T) {
+	e := New(1)
+	// A long-lived ticker: without cancellation this simulates 1000 virtual
+	// seconds across a million events.
+	e.Go("ticker", func(p *Proc) {
+		for i := 0; i < 1_000_000; i++ {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from inside the simulation at a known virtual time; the loop
+	// must notice within one poll stride.
+	e.After(10*time.Second, cancel)
+	end, err := e.RunContext(ctx, 0)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if end < 10*time.Second || end > 10*time.Second+2*cancelStride*time.Millisecond {
+		t.Errorf("stopped at %v, want shortly after 10s", end)
+	}
+}
+
+func TestRunAfterRunContextLimitResumes(t *testing.T) {
+	// RunContext with a limit behaves like Run: it pauses, and a later call
+	// resumes from the pause point.
+	e := New(1)
+	var done bool
+	e.Go("worker", func(p *Proc) { p.Sleep(4 * time.Second); done = true })
+	at, err := e.RunContext(context.Background(), 2*time.Second)
+	if err != nil || at != 2*time.Second || done {
+		t.Fatalf("pause: at=%v err=%v done=%v", at, err, done)
+	}
+	e.Run(0)
+	if !done {
+		t.Error("worker never finished after resume")
 	}
 }

@@ -8,15 +8,20 @@
 //
 // The one-call entry points:
 //
-//	suite := iochar.NewSuite(iochar.Options{Scale: 4096})
+//	suite := iochar.NewSuite(iochar.Options{Scale: 4096},
+//	    iochar.WithParallelism(4),          // fan cells out across 4 workers
+//	    iochar.WithCacheDir(".iochar-cache")) // persist results across runs
 //	iochar.RenderFigure(os.Stdout, suite, 1)    // Figure 1 of the paper
 //	iochar.RenderTable(os.Stdout, suite, 6)     // Table 6 of the paper
 //
 // or run a single experiment cell:
 //
-//	rep, err := iochar.Run("TS", iochar.Factors{
+//	rep, err := iochar.Run(iochar.TS, iochar.Factors{
 //	    Slots: iochar.Slots1x8, MemoryGB: 32, Compress: true,
 //	}, iochar.Options{})
+//
+// Long sweeps are cancellable: RunContext and Suite.RunContext thread a
+// context.Context down into the discrete-event loop.
 //
 // The building blocks live under internal/: the simulation kernel (sim),
 // the disk and page-cache models (disk, pagecache), the filesystems
@@ -25,6 +30,7 @@
 package iochar
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -62,17 +68,104 @@ var (
 // MapReduce-intermediate disk groups plus per-job counters.
 type RunReport = core.RunReport
 
-// Suite caches experiment cells across figures and tables.
+// Workload is a typed benchmark identifier; use the TS/AGG/KM/PR constants
+// (or Join for the extension) instead of magic strings. It serializes as
+// the paper abbreviation and implements fmt.Stringer.
+type Workload = core.Workload
+
+// The paper's four workloads and the Join extension.
+const (
+	TS   = core.TS   // TeraSort
+	AGG  = core.AGG  // Hive Aggregation
+	KM   = core.KM   // K-means
+	PR   = core.PR   // PageRank
+	Join = core.Join // Hive Join (extension)
+)
+
+// ParseWorkload resolves a workload name ("TS", "terasort", ... in any
+// case) to its typed identifier.
+func ParseWorkload(s string) (Workload, error) { return core.ParseWorkload(s) }
+
+// Workloads returns the paper's four workloads in figure order.
+func Workloads() []Workload { return core.PaperWorkloads() }
+
+// Suite is the experiment executor: it resolves cells against an in-memory
+// result map, an optional persistent on-disk cache, and fresh execution on
+// a bounded worker pool, deduplicating concurrent requests so figures that
+// share baseline runs never execute a cell twice. Suites are safe for
+// concurrent use.
 type Suite = core.Suite
 
-// NewSuite creates an experiment suite.
-func NewSuite(opts Options) *Suite { return core.NewSuite(opts) }
+// SuiteOption configures executor behaviour on NewSuite.
+type SuiteOption = core.SuiteOption
 
-// Run executes one workload ("TS", "AGG", "KM", "PR") under one factor
-// setting on a fresh simulated cluster.
-func Run(workload string, f Factors, opts Options) (*RunReport, error) {
-	return core.RunOne(workload, f, opts)
+// ProgressEvent reports one experiment cell resolving (executed or loaded
+// from the persistent cache); see WithProgress.
+type ProgressEvent = core.ProgressEvent
+
+// WithParallelism bounds the suite's worker pool: at most n experiment
+// cells simulate concurrently (n < 1 selects GOMAXPROCS). Results are
+// byte-identical at every parallelism level.
+func WithParallelism(n int) SuiteOption { return core.WithParallelism(n) }
+
+// WithCacheDir persists resolved cells as versioned JSON under dir, so
+// repeat invocations skip completed cells entirely. Corrupt, truncated or
+// schema-stale entries are treated as misses and rewritten.
+func WithCacheDir(dir string) SuiteOption { return core.WithCacheDir(dir) }
+
+// WithProgress installs a callback fired as cells resolve (possibly from
+// concurrent worker goroutines).
+func WithProgress(fn func(ProgressEvent)) SuiteOption { return core.WithProgress(fn) }
+
+// NewSuite creates an experiment suite. With no SuiteOptions it executes
+// sequentially and keeps results only in memory.
+func NewSuite(opts Options, sopts ...SuiteOption) *Suite { return core.NewSuite(opts, sopts...) }
+
+// Run executes one workload under one factor setting on a fresh simulated
+// cluster.
+func Run(w Workload, f Factors, opts Options) (*RunReport, error) {
+	return core.RunOne(w, f, opts)
 }
+
+// RunContext is Run with cancellation: ctx is threaded into the
+// discrete-event loop, so cancelling it aborts the simulation promptly.
+func RunContext(ctx context.Context, w Workload, f Factors, opts Options) (*RunReport, error) {
+	return core.RunOneContext(ctx, w, f, opts)
+}
+
+// RunNamed executes a workload named by string ("TS", "AGG", "KM", "PR").
+//
+// Deprecated: transitional shim for the pre-typed API; use ParseWorkload
+// and Run. It will be removed one release after the typed Workload API.
+func RunNamed(workload string, f Factors, opts Options) (*RunReport, error) {
+	w, err := ParseWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	return Run(w, f, opts)
+}
+
+// Cell is one (workload, factors) coordinate of the experiment matrix.
+type Cell = core.Cell
+
+// RunSource says where a resolved cell came from (see ProgressEvent).
+type RunSource = core.RunSource
+
+// The cell resolution sources.
+const (
+	SourceExecuted = core.SourceExecuted // simulated fresh
+	SourceDisk     = core.SourceDisk     // loaded from the persistent cache
+)
+
+// MatrixCells returns every distinct cell of the paper's experiment matrix
+// (baseline cells shared between factor families listed once).
+func MatrixCells() []Cell { return core.MatrixCells() }
+
+// FigureCells returns the cells paper Figure n renders from.
+func FigureCells(n int) ([]Cell, error) { return core.FigureCells(n) }
+
+// TableCells returns the cells paper Table n renders from.
+func TableCells(n int) ([]Cell, error) { return core.TableCells(n) }
 
 // Figures returns the reproducible figure numbers (1-12).
 func Figures() []int { return core.Figures() }

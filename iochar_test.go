@@ -11,11 +11,11 @@ import (
 var facadeOpts = Options{Scale: 65536, Slaves: 4, MapTaskTarget: 24}
 
 func TestRunFacade(t *testing.T) {
-	rep, err := Run("AGG", Factors{Slots: Slots1x8, MemoryGB: 32}, facadeOpts)
+	rep, err := Run(AGG, Factors{Slots: Slots1x8, MemoryGB: 32}, facadeOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Workload != "AGG" || rep.Wall <= 0 {
+	if rep.Workload != AGG || rep.Wall <= 0 {
 		t.Errorf("unexpected report: %s %v", rep.Workload, rep.Wall)
 	}
 	var buf bytes.Buffer
@@ -25,9 +25,12 @@ func TestRunFacade(t *testing.T) {
 	}
 }
 
-func TestRunFacadeUnknownWorkload(t *testing.T) {
-	if _, err := Run("XX", Factors{Slots: Slots1x8, MemoryGB: 16}, facadeOpts); err == nil {
+func TestRunFacadeInvalidWorkload(t *testing.T) {
+	if _, err := Run(Workload(0), Factors{Slots: Slots1x8, MemoryGB: 16}, facadeOpts); err == nil {
 		t.Error("want error")
+	}
+	if _, err := RunNamed("XX", Factors{Slots: Slots1x8, MemoryGB: 16}, facadeOpts); err == nil {
+		t.Error("want error from the string shim")
 	}
 }
 
