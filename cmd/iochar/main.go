@@ -11,6 +11,8 @@
 //	iochar -scale 8192        # smaller/faster testbed (default 4096)
 //	iochar -all -parallel 4   # fan experiment cells out across 4 workers
 //	iochar -all -cache-dir ~/.cache/iochar  # persist cells across runs
+//	iochar -hist              # per-request latency/size distributions
+//	iochar -trace-out t.csv   # stream baseline block traces to a file
 //
 // Runs are cached within one invocation, so -all executes each experiment
 // cell exactly once even though figures share runs. With -cache-dir the
@@ -25,10 +27,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"iochar"
+	"iochar/internal/disk"
+	"iochar/internal/trace"
 )
 
 func main() {
@@ -37,6 +42,8 @@ func main() {
 		table    = flag.Int("table", 0, "regenerate paper table N (5-7)")
 		all      = flag.Bool("all", false, "regenerate every figure and table")
 		attr     = flag.Bool("attr", false, "print the per-stage I/O demand breakdown (extension)")
+		hist     = flag.Bool("hist", false, "print per-request latency/size distributions for the baseline cells (extension)")
+		traceOut = flag.String("trace-out", "", "stream the baseline workloads' block traces to this file (CSV, or NDJSON if the name ends in .ndjson)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of terminal charts")
 		scale    = flag.Int64("scale", 4096, "capacity divisor vs the paper's testbed")
 		slaves   = flag.Int("slaves", 10, "number of slave nodes")
@@ -51,7 +58,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac}
+	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac, Histograms: *hist}
 	sopts := []iochar.SuiteOption{iochar.WithParallelism(*parallel)}
 	if *cacheDir != "" {
 		sopts = append(sopts, iochar.WithCacheDir(*cacheDir))
@@ -69,7 +76,7 @@ func main() {
 		figures = []int{*figure}
 	case *table != 0:
 		tables = []int{*table}
-	case *attr:
+	case *attr, *hist, *traceOut != "":
 		// handled below
 	default:
 		flag.Usage()
@@ -119,10 +126,53 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *hist {
+		if err := iochar.RenderLatencyTable(os.Stdout, s); err != nil {
+			fmt.Fprintln(os.Stderr, "iochar:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := streamTraces(ctx, *traceOut, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "iochar:", err)
+			os.Exit(1)
+		}
+	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "done in %v (%d experiment cells)\n",
 			time.Since(start).Round(time.Second), s.CachedRuns())
 	}
+}
+
+// streamTraces runs every paper workload at the baseline cell with a
+// streaming trace sink attached, writing one combined file whose device
+// names are prefixed by workload ("TS:slave-03.mr1"). The sink encodes
+// records as they complete, so memory stays flat however long the traces
+// get. Trace runs bypass the suite cache by construction (live observers
+// cannot be serialized).
+func streamTraces(ctx context.Context, path string, opts iochar.Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	format := trace.FormatCSV
+	if strings.HasSuffix(path, ".ndjson") {
+		format = trace.FormatNDJSON
+	}
+	sink := trace.NewStreamCollectorFormat(f, format)
+	for _, w := range iochar.Workloads() {
+		prefix := w.String() + ":"
+		opts.TraceAttach = func(dev string, d *disk.Disk) { sink.Attach(d, prefix+dev) }
+		if _, err := iochar.RunContext(ctx, w, iochar.SlotsRuns[0], opts); err != nil {
+			return err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamed %d trace records to %s\n", sink.Len(), path)
+	return nil
 }
 
 // prewarm resolves the cells the requested outputs need, in parallel. -all

@@ -7,6 +7,7 @@
 //
 //	mrrun -workload TS -slots 2_16 -mem 16 -compress
 //	mrrun -workload AGG -scale 8192
+//	mrrun -workload TS -hist -trace-out ts.csv   # histograms AND a trace
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 
 	"iochar"
@@ -26,16 +28,18 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "TS", "TS | AGG | KM | PR | JOIN (extension)")
-		slots    = flag.String("slots", "1_8", "task slots config: 1_8 | 2_16")
-		mem      = flag.Int("mem", 32, "node memory in GB (paper used 16 or 32)")
-		compress = flag.Bool("compress", false, "compress intermediate data")
-		scale    = flag.Int64("scale", 4096, "capacity divisor vs the paper's testbed")
-		slaves   = flag.Int("slaves", 10, "number of slave nodes")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		frac     = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
-		traceOut = flag.String("trace", "", "write a block-level I/O trace (CSV) to this file")
-		faultStr = flag.String("faults", "", `fault plan, e.g. "kill-datanode@15s:node=slave-02;drop-shuffle@5s:until=20s,prob=0.3"`)
+		workload  = flag.String("workload", "TS", "TS | AGG | KM | PR | JOIN (extension)")
+		slots     = flag.String("slots", "1_8", "task slots config: 1_8 | 2_16")
+		mem       = flag.Int("mem", 32, "node memory in GB (paper used 16 or 32)")
+		compress  = flag.Bool("compress", false, "compress intermediate data")
+		scale     = flag.Int64("scale", 4096, "capacity divisor vs the paper's testbed")
+		slaves    = flag.Int("slaves", 10, "number of slave nodes")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		frac      = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
+		traceFile = flag.String("trace", "", "buffer a block-level I/O trace in memory, write CSV to this file (deprecated; prefer -trace-out)")
+		streamOut = flag.String("trace-out", "", "stream a block-level I/O trace to this file as requests complete (CSV, or NDJSON if the name ends in .ndjson); O(1) memory")
+		hist      = flag.Bool("hist", false, "collect per-request await/svctm/size histograms and print p50/p95/p99/max rows")
+		faultStr  = flag.String("faults", "", `fault plan, e.g. "kill-datanode@15s:node=slave-02;drop-shuffle@5s:until=20s,prob=0.3"`)
 	)
 	flag.Parse()
 
@@ -57,7 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mrrun: unknown slots config %q (want 1_8 or 2_16)\n", *slots)
 		os.Exit(2)
 	}
-	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac}
+	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac, Histograms: *hist}
 	if *faultStr != "" {
 		plan, err := iochar.ParseFaultPlan(*faultStr)
 		if err != nil {
@@ -66,11 +70,43 @@ func main() {
 		}
 		opts.Faults = plan
 	}
+
+	// All observers ride the same per-disk bus, so any combination of the
+	// in-memory collector, the streaming sink, the per-stage accumulator and
+	// -hist histograms can watch one run.
 	var collector *trace.Collector
-	if *traceOut != "" {
+	var stream *trace.StreamCollector
+	var streamFile *os.File
+	var phys *iochar.PhysicalAttribution
+	if *traceFile != "" {
 		collector = trace.NewCollector()
-		opts.TraceAttach = func(dev string, d *disk.Disk) { collector.Attach(d, dev) }
 	}
+	if *streamOut != "" {
+		f, err := os.Create(*streamOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrrun:", err)
+			os.Exit(1)
+		}
+		streamFile = f
+		format := trace.FormatCSV
+		if strings.HasSuffix(*streamOut, ".ndjson") {
+			format = trace.FormatNDJSON
+		}
+		stream = trace.NewStreamCollectorFormat(f, format)
+	}
+	if collector != nil || stream != nil {
+		phys = iochar.NewPhysicalAttribution()
+		opts.TraceAttach = func(dev string, d *disk.Disk) {
+			if collector != nil {
+				collector.Attach(d, dev)
+			}
+			if stream != nil {
+				stream.Attach(d, dev)
+			}
+			phys.Attach(d)
+		}
+	}
+
 	rep, err := iochar.RunContext(ctx, w, iochar.Factors{
 		Slots: sc, MemoryGB: *mem, Compress: *compress,
 	}, opts)
@@ -79,7 +115,7 @@ func main() {
 		os.Exit(1)
 	}
 	if collector != nil {
-		f, err := os.Create(*traceOut)
+		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mrrun:", err)
 			os.Exit(1)
@@ -89,7 +125,15 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("wrote %d trace records to %s\n", collector.Len(), *traceOut)
+		fmt.Printf("wrote %d trace records to %s\n", collector.Len(), *traceFile)
+	}
+	if stream != nil {
+		if err := stream.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mrrun:", err)
+			os.Exit(1)
+		}
+		streamFile.Close()
+		fmt.Printf("streamed %d trace records to %s\n", stream.Len(), *streamOut)
 	}
 	iochar.Summarize(os.Stdout, rep)
 
@@ -114,5 +158,14 @@ func main() {
 	sort.Strings(names)
 	for _, n := range names {
 		printGroup(n, rep.FaultGroups[n])
+	}
+	if *hist {
+		fmt.Println("\nper-request distributions (p50/p95/p99/max):")
+		iochar.LatencyDists(os.Stdout, "HDFS", rep.HDFS.Hists)
+		iochar.LatencyDists(os.Stdout, "MapReduce", rep.MR.Hists)
+	}
+	if phys != nil {
+		fmt.Println()
+		iochar.RenderPhysicalAttribution(os.Stdout, phys)
 	}
 }

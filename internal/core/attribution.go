@@ -2,8 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 
+	"iochar/internal/disk"
+	"iochar/internal/iostat"
 	"iochar/internal/mapred"
+	"iochar/internal/stats"
 )
 
 // Attribution breaks one workload's logical I/O volume down by pipeline
@@ -113,6 +117,111 @@ func (s *Suite) AttributionTable() (*TableData, error) {
 			row = append(row, fmt.Sprintf("%.1f (%2.0f%%)", float64(v)/(1<<20), share))
 		}
 		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// PhysicalAttribution accumulates device-level per-stage totals from
+// stage-tagged request completions — the physical counterpart of
+// Attribution's logical byte counts. The two differ by exactly the layers in
+// between: the page cache absorbs re-reads and short-lived spills, writeback
+// clusters small appends into large requests, and HDFS writes fan out by the
+// replication factor. Attach it to data disks via Options.TraceAttach.
+type PhysicalAttribution struct {
+	Reads      [disk.NumStages]uint64
+	Writes     [disk.NumStages]uint64
+	ReadBytes  [disk.NumStages]int64
+	WriteBytes [disk.NumStages]int64
+}
+
+// NewPhysicalAttribution returns an empty accumulator.
+func NewPhysicalAttribution() *PhysicalAttribution { return &PhysicalAttribution{} }
+
+// Attach subscribes the accumulator to a disk; the returned function
+// unsubscribes it.
+func (pa *PhysicalAttribution) Attach(d *disk.Disk) func() {
+	return d.Subscribe(pa.Observe)
+}
+
+// Observe folds one completed request into the per-stage totals.
+func (pa *PhysicalAttribution) Observe(c disk.Completion) {
+	bytes := int64(c.Count) * disk.SectorSize
+	if c.Op == disk.Read {
+		pa.Reads[c.Stage]++
+		pa.ReadBytes[c.Stage] += bytes
+	} else {
+		pa.Writes[c.Stage]++
+		pa.WriteBytes[c.Stage] += bytes
+	}
+}
+
+// Table renders the accumulated per-stage physical totals; stages with no
+// traffic are omitted. The "-" row is traffic no stage claimed (setup,
+// tests, direct volume users).
+func (pa *PhysicalAttribution) Table() *TableData {
+	t := &TableData{
+		ID:     0,
+		Title:  "Physical I/O by pipeline stage (device-level: post-cache, post-merge, replicated)",
+		Header: []string{"stage", "reads", "read MB", "writes", "write MB"},
+	}
+	for st := disk.Stage(0); int(st) < disk.NumStages; st++ {
+		if pa.Reads[st] == 0 && pa.Writes[st] == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			st.String(),
+			fmt.Sprintf("%d", pa.Reads[st]),
+			fmt.Sprintf("%.1f", float64(pa.ReadBytes[st])/(1<<20)),
+			fmt.Sprintf("%d", pa.Writes[st]),
+			fmt.Sprintf("%.1f", float64(pa.WriteBytes[st])/(1<<20)),
+		})
+	}
+	return t
+}
+
+// LatencyTable renders per-request await/svctm/request-size distributions
+// (p50/p95/p99/max) for every workload's baseline cell — the tail companion
+// to Table 4's interval means. It requires Options.Histograms; the
+// distributions serialize with the report, so the table is served from the
+// run cache like any figure.
+func (s *Suite) LatencyTable() (*TableData, error) {
+	if !s.Opts.Histograms {
+		return nil, fmt.Errorf("core: LatencyTable requires Options.Histograms")
+	}
+	t := &TableData{
+		ID:     0,
+		Title:  "I/O latency and request-size distributions (per physical request; extension of Table 4)",
+		Header: []string{"workload", "group", "metric", "p50", "p95", "p99", "max"},
+	}
+	for _, wkey := range WorkloadOrder {
+		rep, err := s.Run(wkey, SlotsRuns[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, gr := range []struct {
+			name string
+			r    *iostat.Report
+		}{{"HDFS", rep.HDFS}, {"MR", rep.MR}} {
+			h := gr.r.Hists
+			if h == nil || h.Requests == 0 {
+				continue
+			}
+			add := func(metric, format string, hist *stats.Histogram, max float64) {
+				// Bucketed quantiles can overshoot the observed maximum
+				// (they report the bucket's upper edge); clamp for display.
+				q := func(p float64) float64 { return math.Min(hist.Quantile(p), max) }
+				t.Rows = append(t.Rows, []string{
+					wkey.String(), gr.name, metric,
+					fmt.Sprintf(format, q(0.50)),
+					fmt.Sprintf(format, q(0.95)),
+					fmt.Sprintf(format, q(0.99)),
+					fmt.Sprintf(format, max),
+				})
+			}
+			add("await ms", "%.2f", h.Await, h.AwaitMaxMs)
+			add("svctm ms", "%.2f", h.Svctm, h.SvctmMaxMs)
+			add("rq-sz sect", "%.0f", h.Size, h.SizeMax)
+		}
 	}
 	return t, nil
 }

@@ -82,6 +82,11 @@ type Options struct {
 	// with a stable device name ("slave-03.mr1") — the hook point for
 	// internal/trace.Collector.Attach and other block-level observers.
 	TraceAttach func(dev string, d *disk.Disk)
+	// Histograms collects per-request await/svctm/size distributions for
+	// each monitored device group (RunReport.HDFS.Hists and MR.Hists) via
+	// the disk observer bus. Composes freely with TraceAttach observers;
+	// off, it costs nothing.
+	Histograms bool
 	// FaultSlowDisk, when > 1, injects a degraded drive: the first slave's
 	// first intermediate-data disk services every request this many times
 	// slower — the classic straggler fault, visible end-to-end in job
@@ -323,6 +328,9 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	mon.AddGroup(GroupHDFS, cl.AllHDFSDisks()...)
 	mon.AddGroup(GroupMR, cl.AllMRDisks()...)
 	faultGroups := addFaultGroups(mon, cl, opts.Faults)
+	if opts.Histograms {
+		mon.EnableHistograms()
+	}
 	mon.Start(env)
 	cpu := cpustat.NewMonitor(opts.SampleInterval, cl.Slaves)
 	cpu.Start(env)

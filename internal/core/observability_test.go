@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"iochar/internal/disk"
+	"iochar/internal/iostat"
+	"iochar/internal/trace"
+)
+
+// TestRunWithHistogramsAndStreamTrace runs one cell with every observer at
+// once — per-request histograms, a streaming trace sink and the physical
+// per-stage accumulator — and checks each output is complete and that the
+// trace is identical to what a stream-only run produces. This is the
+// end-to-end version of the per-disk simultaneity test in internal/trace.
+func TestRunWithHistogramsAndStreamTrace(t *testing.T) {
+	runStream := func(histograms bool) (*RunReport, *bytes.Buffer, *PhysicalAttribution) {
+		var buf bytes.Buffer
+		sink := trace.NewStreamCollector(&buf)
+		pa := NewPhysicalAttribution()
+		opts := tinyOpts
+		opts.Histograms = histograms
+		opts.TraceAttach = func(dev string, d *disk.Disk) {
+			sink.Attach(d, dev)
+			pa.Attach(d)
+		}
+		rep, err := RunOne(TS, SlotsRuns[0], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if sink.Len() == 0 {
+			t.Fatal("stream sink observed no requests")
+		}
+		return rep, &buf, pa
+	}
+
+	rep, combined, pa := runStream(true)
+	for _, gr := range []struct {
+		name string
+		h    *iostat.Hists
+	}{{"HDFS", rep.HDFS.Hists}, {"MR", rep.MR.Hists}} {
+		if gr.h == nil || gr.h.Requests == 0 {
+			t.Fatalf("%s histograms missing or empty", gr.name)
+		}
+		p50, p95, p99 := gr.h.Await.Quantile(0.50), gr.h.Await.Quantile(0.95), gr.h.Await.Quantile(0.99)
+		if !(p50 > 0 && p50 <= p95 && p95 <= p99) {
+			t.Errorf("%s await quantiles not monotone: p50=%g p95=%g p99=%g", gr.name, p50, p95, p99)
+		}
+	}
+	var physReqs uint64
+	for st := 0; st < disk.NumStages; st++ {
+		physReqs += pa.Reads[st] + pa.Writes[st]
+	}
+	if physReqs == 0 {
+		t.Error("physical attribution observed no requests")
+	}
+	if pa.Reads[disk.StageHDFS]+pa.Writes[disk.StageHDFS] == 0 {
+		t.Error("no requests attributed to the HDFS stage")
+	}
+
+	_, alone, _ := runStream(false)
+	if !bytes.Equal(combined.Bytes(), alone.Bytes()) {
+		t.Error("streamed trace differs when histograms are also enabled")
+	}
+}
+
+// TestHistogramsSurviveJSONRoundTrip guards the run cache: a report with
+// histograms must serialize and deserialize without losing distribution
+// state (quantiles are derived from the bucket counts alone).
+func TestHistogramsSurviveJSONRoundTrip(t *testing.T) {
+	opts := tinyOpts
+	opts.Histograms = true
+	rep, err := RunOne(TS, SlotsRuns[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	h, g := rep.HDFS.Hists, back.HDFS.Hists
+	if g == nil {
+		t.Fatal("Hists lost in round trip")
+	}
+	if g.Requests != h.Requests {
+		t.Errorf("Requests = %d after round trip, want %d", g.Requests, h.Requests)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := g.Await.Quantile(q), h.Await.Quantile(q); got != want {
+			t.Errorf("Await q%.0f = %g after round trip, want %g", q*100, got, want)
+		}
+	}
+	if got, want := reportJSON(t, &back), string(b); got != want {
+		t.Error("re-marshalled report differs; round trip is lossy")
+	}
+}
+
+// TestLatencyTableRequiresHistograms checks both the guard and the happy
+// path of the suite-level distribution table.
+func TestLatencyTableRequiresHistograms(t *testing.T) {
+	if _, err := sharedSuite.LatencyTable(); err == nil {
+		t.Error("LatencyTable without Options.Histograms: want error")
+	}
+	opts := tinyOpts
+	opts.Histograms = true
+	s := NewSuite(opts, WithParallelism(2))
+	td, err := s.LatencyTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Rows) == 0 {
+		t.Fatal("LatencyTable produced no rows")
+	}
+	perWorkload := map[string]int{}
+	for _, row := range td.Rows {
+		perWorkload[row[0]]++
+	}
+	for _, w := range WorkloadOrder {
+		// Two groups x three metrics per workload.
+		if perWorkload[w.String()] != 6 {
+			t.Errorf("workload %s has %d rows, want 6", w, perWorkload[w.String()])
+		}
+	}
+}

@@ -15,7 +15,7 @@ import (
 // reports stale — a new counter, a renamed field, a behavioural fix that
 // shifts byte totals — so old cache entries degrade to misses instead of
 // resurfacing outdated figures.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // RunSource says where a resolved experiment cell came from.
 type RunSource string
@@ -261,6 +261,7 @@ type runKeyMaterial struct {
 	InputFraction   float64
 	FaultSlowDisk   float64
 	SharedDataDisks bool
+	Histograms      bool
 	Faults          string // Plan.String(): the canonical plan syntax
 	FaultSeed       int64
 	Recovery        hdfs.RecoveryConfig
@@ -281,6 +282,7 @@ func keyMaterial(w Workload, f Factors, opts Options) runKeyMaterial {
 		InputFraction:   opts.InputFraction,
 		FaultSlowDisk:   opts.FaultSlowDisk,
 		SharedDataDisks: opts.SharedDataDisks,
+		Histograms:      opts.Histograms,
 		Faults:          opts.Faults.String(),
 		FaultSeed:       opts.Faults.Seed,
 		Recovery:        opts.Recovery,

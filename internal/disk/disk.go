@@ -39,6 +39,61 @@ func (o Op) String() string {
 	return "write"
 }
 
+// Stage identifies the MapReduce pipeline stage that issued a request, for
+// per-stage physical attribution (the paper's §3.3 decomposition of disk
+// traffic into intermediate-data and HDFS traffic, at block-trace
+// resolution). StageNone marks untagged traffic.
+type Stage uint8
+
+// Pipeline stages. The four named stages are the ones the paper's workloads
+// exercise: map-side/reduce-side spills, multi-pass merges, shuffle serving,
+// and HDFS block I/O (input reads, output and replication writes).
+const (
+	StageNone Stage = iota
+	StageHDFS
+	StageSpill
+	StageMerge
+	StageShuffle
+
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageHDFS:
+		return "hdfs"
+	case StageSpill:
+		return "spill"
+	case StageMerge:
+		return "merge"
+	case StageShuffle:
+		return "shuffle"
+	default:
+		return "-"
+	}
+}
+
+// NumStages is the number of distinct Stage values, for dense per-stage
+// accumulator arrays.
+const NumStages = int(numStages)
+
+// ParseStage is the inverse of Stage.String. "-" and "" parse as StageNone.
+func ParseStage(s string) (Stage, error) {
+	switch s {
+	case "", "-":
+		return StageNone, nil
+	case "hdfs":
+		return StageHDFS, nil
+	case "spill":
+		return StageSpill, nil
+	case "merge":
+		return StageMerge, nil
+	case "shuffle":
+		return StageShuffle, nil
+	}
+	return StageNone, fmt.Errorf("disk: unknown stage %q", s)
+}
+
 // Sched selects the request scheduler.
 type Sched uint8
 
@@ -118,7 +173,8 @@ type Stats struct {
 type Request struct {
 	Op     Op
 	Sector int64
-	Count  int // sectors
+	Count  int   // sectors
+	Stage  Stage // pipeline stage of the first (absorbing) sub-request
 
 	arrived     time.Duration
 	subArrivals []time.Duration // arrival times of merged sub-requests
@@ -150,14 +206,83 @@ type Disk struct {
 	fullRot time.Duration
 	avgRot  time.Duration
 
-	// trace, when set, observes every completed request (block-level
-	// tracing, as blktrace would provide). See internal/trace.
-	trace func(op Op, sector int64, count int, arrived, done time.Duration)
+	// obs are the completion observers (block-level tracing, as blktrace
+	// would provide — see internal/trace — plus latency histograms in
+	// internal/iostat). Every completed request fans out to all of them.
+	obs        []observer
+	nextObsID  uint64
+	traceUnsub func() // the SetTrace shim's current subscription
+}
+
+// Completion describes one completed block-layer request as delivered to
+// observers. A merged request completes as a single Completion; Arrived is
+// the arrival of its first sub-request, so Done-Arrived is the residence
+// time iostat calls await and Done-Start is the pure device service time
+// (svctm).
+type Completion struct {
+	Op     Op
+	Sector int64
+	Count  int   // sectors
+	Stage  Stage // pipeline stage of the absorbing sub-request
+
+	Arrived time.Duration // submission time of the first merged sub-request
+	Start   time.Duration // when the device began servicing the request
+	Done    time.Duration // completion time
+}
+
+type observer struct {
+	id uint64
+	fn func(Completion)
+}
+
+// Subscribe registers fn to observe every completed request and returns a
+// function that removes the subscription. Any number of observers may be
+// attached concurrently; each completion is delivered to all of them in
+// subscription order. With no observers attached the completion path does no
+// extra work.
+//
+// The simulation is strictly serialized, so observers need no locking.
+// Unsubscribing from inside an observer callback is safe; it takes effect
+// for the next completion. Unsubscribe is idempotent.
+func (d *Disk) Subscribe(fn func(Completion)) (unsubscribe func()) {
+	if fn == nil {
+		panic("disk: Subscribe with nil observer")
+	}
+	id := d.nextObsID
+	d.nextObsID++
+	d.obs = append(d.obs, observer{id: id, fn: fn})
+	return func() {
+		for i := range d.obs {
+			if d.obs[i].id != id {
+				continue
+			}
+			// Copy-on-write so a dispatch loop holding the old slice
+			// header is unaffected by the removal.
+			next := make([]observer, 0, len(d.obs)-1)
+			next = append(next, d.obs[:i]...)
+			next = append(next, d.obs[i+1:]...)
+			d.obs = next
+			return
+		}
+	}
 }
 
 // SetTrace installs a completion observer. Pass nil to disable.
+//
+// Deprecated: SetTrace is a single-slot shim kept for older callers; each
+// call silently replaces the previously installed trace. Use Subscribe,
+// which supports any number of concurrent observers.
 func (d *Disk) SetTrace(fn func(op Op, sector int64, count int, arrived, done time.Duration)) {
-	d.trace = fn
+	if d.traceUnsub != nil {
+		d.traceUnsub()
+		d.traceUnsub = nil
+	}
+	if fn == nil {
+		return
+	}
+	d.traceUnsub = d.Subscribe(func(c Completion) {
+		fn(c.Op, c.Sector, c.Count, c.Arrived, c.Done)
+	})
 }
 
 // New creates a disk and starts its service process.
@@ -203,6 +328,14 @@ func (d *Disk) InFlight() int { return d.inflight }
 // Submit enqueues a request without blocking. The returned Request can be
 // waited on with Wait. Count must be positive and the range in-bounds.
 func (d *Disk) Submit(op Op, sector int64, count int) *Request {
+	return d.SubmitStaged(op, sector, count, StageNone)
+}
+
+// SubmitStaged is Submit with a pipeline-stage tag attached to the request.
+// When contiguous requests from different stages merge, the absorbing
+// request's stage wins — same as Linux, where a merged bio inherits the
+// identity of the request it merged into.
+func (d *Disk) SubmitStaged(op Op, sector int64, count int, stage Stage) *Request {
 	if count <= 0 {
 		panic(fmt.Sprintf("disk %s: non-positive request size %d", d.P.Name, count))
 	}
@@ -220,6 +353,7 @@ func (d *Disk) Submit(op Op, sector int64, count int) *Request {
 		Op:         op,
 		Sector:     sector,
 		Count:      count,
+		Stage:      stage,
 		arrived:    d.env.Now(),
 		completion: sim.NewEvent(d.env),
 	}
@@ -280,8 +414,9 @@ func (d *Disk) serve(p *sim.Proc) {
 		}
 		d.setBusy(true)
 		r := d.pick()
+		start := d.env.Now()
 		p.Sleep(d.Service(r.Sector, r.Count))
-		d.complete(r)
+		d.complete(r, start)
 	}
 }
 
@@ -356,8 +491,9 @@ func (d *Disk) Service(sector int64, count int) time.Duration {
 // at or below 1 restore healthy timing.
 func (d *Disk) SetSlowFactor(f float64) { d.P.SlowFactor = f }
 
-// complete finalizes accounting for r and wakes its waiters.
-func (d *Disk) complete(r *Request) {
+// complete finalizes accounting for r and wakes its waiters. start is the
+// time the device began servicing r.
+func (d *Disk) complete(r *Request, start time.Duration) {
 	d.accrueWeighted()
 	now := d.env.Now()
 	d.headPos = r.end()
@@ -375,8 +511,22 @@ func (d *Disk) complete(r *Request) {
 		d.stats.TimeWriting += residence
 	}
 	d.inflight -= 1 + len(r.subArrivals)
-	if d.trace != nil {
-		d.trace(r.Op, r.Sector, r.Count, r.arrived, now)
+	if len(d.obs) != 0 {
+		c := Completion{
+			Op:      r.Op,
+			Sector:  r.Sector,
+			Count:   r.Count,
+			Stage:   r.Stage,
+			Arrived: r.arrived,
+			Start:   start,
+			Done:    now,
+		}
+		// Snapshot the slice header: unsubscribing mid-dispatch replaces
+		// d.obs (copy-on-write), leaving this loop's view intact.
+		obs := d.obs
+		for i := range obs {
+			obs[i].fn(c)
+		}
 	}
 	r.completion.Fire()
 }

@@ -424,3 +424,89 @@ func TestDegradedDiskSlowsGroupAndShowsInAwait(t *testing.T) {
 		t.Errorf("degraded await %v vs healthy %v; iostat signature missing", degradedAwait, healthyAwait)
 	}
 }
+
+func TestSubscribeFansOutToAllObservers(t *testing.T) {
+	env := sim.New(1)
+	d := newTestDisk(env)
+	var a, b []Completion
+	unsubA := d.Subscribe(func(c Completion) { a = append(a, c) })
+	d.Subscribe(func(c Completion) { b = append(b, c) })
+	env.Go("io", func(p *sim.Proc) {
+		d.Do(p, Read, 0, 64)
+		d.Do(p, Write, 1<<20, 128)
+		d.Do(p, Read, 1<<21, 8)
+		// Unsubscribing mid-run stops a alone; b keeps observing.
+		unsubA()
+		unsubA() // idempotent
+		d.Do(p, Write, 1<<22, 16)
+	})
+	env.Run(0)
+	if len(a) != 3 {
+		t.Fatalf("unsubscribed observer saw %d completions, want 3", len(a))
+	}
+	if len(b) != 4 {
+		t.Fatalf("second observer saw %d completions, want 4", len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("completion %d differs between observers: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i, c := range b {
+		if c.Done <= c.Arrived || c.Done < c.Start || c.Start < c.Arrived {
+			t.Errorf("completion %d has inconsistent timestamps: %+v", i, c)
+		}
+	}
+	if b[3].Op != Write || b[3].Count != 16 {
+		t.Errorf("post-unsubscribe completion = %+v, want the 16-sector write", b[3])
+	}
+}
+
+func TestUnsubscribeDuringDispatch(t *testing.T) {
+	// An observer removing itself from inside its own callback must not
+	// disturb the fan-out to the remaining observers.
+	env := sim.New(1)
+	d := newTestDisk(env)
+	var selfRemoved, other int
+	var unsub func()
+	unsub = d.Subscribe(func(Completion) {
+		selfRemoved++
+		unsub()
+	})
+	d.Subscribe(func(Completion) { other++ })
+	env.Go("io", func(p *sim.Proc) {
+		d.Do(p, Read, 0, 8)
+		d.Do(p, Read, 1<<20, 8)
+	})
+	env.Run(0)
+	if selfRemoved != 1 {
+		t.Errorf("self-removing observer fired %d times, want 1", selfRemoved)
+	}
+	if other != 2 {
+		t.Errorf("surviving observer fired %d times, want 2", other)
+	}
+}
+
+func TestSetTraceReplacesPreviousTrace(t *testing.T) {
+	// The deprecated single-slot API keeps its replacement semantics on top
+	// of the bus, without displacing Subscribe observers.
+	env := sim.New(1)
+	d := newTestDisk(env)
+	var first, second, bus int
+	d.Subscribe(func(Completion) { bus++ })
+	d.SetTrace(func(Op, int64, int, time.Duration, time.Duration) { first++ })
+	d.SetTrace(func(Op, int64, int, time.Duration, time.Duration) { second++ })
+	env.Go("io", func(p *sim.Proc) {
+		d.Do(p, Write, 0, 32)
+	})
+	env.Run(0)
+	if first != 0 {
+		t.Errorf("replaced trace fn fired %d times, want 0", first)
+	}
+	if second != 1 {
+		t.Errorf("current trace fn fired %d times, want 1", second)
+	}
+	if bus != 1 {
+		t.Errorf("bus observer fired %d times, want 1", bus)
+	}
+}

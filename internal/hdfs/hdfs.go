@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"iochar/internal/cluster"
+	"iochar/internal/disk"
 	"iochar/internal/localfs"
 	"iochar/internal/sim"
 )
@@ -340,6 +341,7 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 					return
 				}
 				f := dn.node.NextHDFSVol().Create(blockFileName(id))
+				f.SetStage(disk.StageHDFS)
 				f.Append(hp, content)
 				if dn.crashed {
 					// Crashed while appending: bytes are on a dead node.
@@ -396,6 +398,7 @@ func (fs *FS) Load(path string, firstNode string, data []byte) {
 		fs.blockByID[id] = b
 		for _, dn := range replicas {
 			f := dn.node.NextHDFSVol().Create(blockFileName(id))
+			f.SetStage(disk.StageHDFS)
 			f.Install(data[off:end])
 			dn.blocks[id] = storedBlock{file: f, vol: f.FS()}
 		}

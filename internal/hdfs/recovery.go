@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"iochar/internal/disk"
 	"iochar/internal/localfs"
 	"iochar/internal/sim"
 )
@@ -300,6 +301,7 @@ func (fs *FS) copyBlock(p *sim.Proc, b *blockMeta) (copied, retry bool) {
 		return false, !b.gone
 	}
 	f := dst.node.NextHDFSVol().Create(blockFileName(b.id))
+	f.SetStage(disk.StageHDFS)
 	f.Append(p, content)
 	dst.blocks[b.id] = storedBlock{file: f, vol: f.FS()}
 	b.replicas = append(b.replicas, dst)

@@ -65,6 +65,61 @@ type Report struct {
 	TotalWrittenBytes uint64
 	TotalReads        uint64
 	TotalWrites       uint64
+
+	// Hists holds per-request distributions when the Monitor was started
+	// with EnableHistograms; nil otherwise. Interval means (the series
+	// above) answer Table 4; the distributions answer tail questions the
+	// paper poses in §3.2 — what p95/p99 await looks like, not just the
+	// average.
+	Hists *Hists
+}
+
+// Hists are per-request latency and size distributions for one device group,
+// observed from every completed request via the disk observer bus. Unlike
+// the interval series, which average over whole seconds, these see each
+// request individually, so tail percentiles are exact up to bucket width.
+type Hists struct {
+	Await *stats.Histogram // residence time per request (await), milliseconds
+	Svctm *stats.Histogram // device service time per request, milliseconds
+	Size  *stats.Histogram // request size, sectors
+
+	// Exact extrema and counts, since the histograms quantize to bucket
+	// upper bounds.
+	AwaitMaxMs float64
+	SvctmMaxMs float64
+	SizeMax    float64
+	Requests   uint64
+}
+
+// NewHists builds empty distributions sized for the simulated drives:
+// latencies from 10 µs to 10 s, request sizes from 1 sector to twice the
+// 512 KiB merge ceiling.
+func NewHists() *Hists {
+	return &Hists{
+		Await: stats.NewHistogram(0.01, 10_000, 48),
+		Svctm: stats.NewHistogram(0.01, 10_000, 48),
+		Size:  stats.NewHistogram(1, 2048, 24),
+	}
+}
+
+// Observe folds one completed request into the distributions.
+func (h *Hists) Observe(c disk.Completion) {
+	awaitMs := (c.Done - c.Arrived).Seconds() * 1000
+	svctmMs := (c.Done - c.Start).Seconds() * 1000
+	size := float64(c.Count)
+	h.Await.Observe(awaitMs)
+	h.Svctm.Observe(svctmMs)
+	h.Size.Observe(size)
+	if awaitMs > h.AwaitMaxMs {
+		h.AwaitMaxMs = awaitMs
+	}
+	if svctmMs > h.SvctmMaxMs {
+		h.SvctmMaxMs = svctmMs
+	}
+	if size > h.SizeMax {
+		h.SizeMax = size
+	}
+	h.Requests++
 }
 
 func newReport(name string) *Report {
@@ -172,6 +227,18 @@ type Monitor struct {
 	byName   map[string]*group
 	stopped  bool
 	started  bool
+	hists    bool
+	unsubs   []func()
+}
+
+// EnableHistograms makes Start attach a per-request observer to every group
+// device (via disk.Subscribe, so it composes with any number of trace
+// sinks), populating Report.Hists. Call before Start.
+func (m *Monitor) EnableHistograms() {
+	if m.started {
+		panic("iostat: EnableHistograms after Start")
+	}
+	m.hists = true
 }
 
 // NewMonitor creates a monitor with the given sampling interval (the paper
@@ -210,6 +277,13 @@ func (m *Monitor) Start(env *sim.Env) {
 	for _, g := range m.groups {
 		g.last = g.combined()
 		g.lastAt = now
+		if m.hists {
+			h := NewHists()
+			g.report.Hists = h
+			for _, d := range g.disks {
+				m.unsubs = append(m.unsubs, d.Subscribe(h.Observe))
+			}
+		}
 	}
 	env.Go("iostat", func(p *sim.Proc) {
 		for !m.stopped {
@@ -222,7 +296,9 @@ func (m *Monitor) Start(env *sim.Env) {
 // Stop ends sampling; a final partial interval is flushed if at least a
 // tenth of the interval has elapsed since the last sample (shorter tails
 // produce noisy rate estimates and are dropped, as iostat users do by
-// ignoring the last line).
+// ignoring the last line). The run totals are always refreshed from the
+// final counters, dropped tail or not — I/O completing in the last sliver of
+// a run must still count toward whole-run volume.
 func (m *Monitor) Stop(now time.Duration) {
 	if m.stopped {
 		return
@@ -231,8 +307,14 @@ func (m *Monitor) Stop(now time.Duration) {
 	for _, g := range m.groups {
 		if now-g.lastAt >= m.interval/10 {
 			m.sampleGroup(g, now)
+		} else {
+			g.refreshTotals(g.combined())
 		}
 	}
+	for _, u := range m.unsubs {
+		u()
+	}
+	m.unsubs = nil
 }
 
 func (m *Monitor) sampleAll(now time.Duration) {
@@ -257,7 +339,12 @@ func (m *Monitor) sampleGroup(g *group, now time.Duration) {
 	}
 	g.last = cur
 	g.lastAt = now
+	g.refreshTotals(cur)
+}
 
+// refreshTotals updates the report's whole-run totals from a combined
+// counter snapshot.
+func (g *group) refreshTotals(cur disk.Stats) {
 	r := g.report
 	r.TotalReadBytes = cur.SectorsRead * disk.SectorSize
 	r.TotalWrittenBytes = cur.SectorsWritten * disk.SectorSize

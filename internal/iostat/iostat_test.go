@@ -266,3 +266,81 @@ func TestUtilPoolRecordsPerDiskSamples(t *testing.T) {
 		t.Error("per-disk pool should see more >90%% samples than the group average")
 	}
 }
+
+func TestStopRefreshesTotalsOnDroppedTail(t *testing.T) {
+	// I/O completing in a tail shorter than interval/10 is dropped from the
+	// interval series (too noisy for rates) but must still count toward the
+	// whole-run totals.
+	env := sim.New(1)
+	d := testDisk(env)
+	m := NewMonitor(100 * time.Millisecond)
+	m.AddGroup("g", d)
+	m.Start(env)
+	env.Go("load", func(p *sim.Proc) {
+		d.Do(p, disk.Write, 0, 1024)
+		p.Sleep(205*time.Millisecond - p.Now()) // wake just past the t=200ms sample
+		d.Do(p, disk.Write, 1024, 64)           // contiguous: completes in well under 10ms
+		m.Stop(p.Now())
+	})
+	env.Run(0)
+	rep := m.Report("g")
+	if got := rep.WMBs.Len(); got != 2 {
+		t.Fatalf("sampled %d intervals, want 2 (tail must be dropped)", got)
+	}
+	if want := uint64(1024+64) * disk.SectorSize; rep.TotalWrittenBytes != want {
+		t.Errorf("TotalWrittenBytes = %d, want %d (tail write lost)", rep.TotalWrittenBytes, want)
+	}
+	if rep.TotalWrites != 2 {
+		t.Errorf("TotalWrites = %d, want 2", rep.TotalWrites)
+	}
+	if got, want := rep.TotalWrittenBytes, d.Stats().SectorsWritten*disk.SectorSize; got != want {
+		t.Errorf("report totals %d disagree with disk.Stats %d", got, want)
+	}
+}
+
+func TestMonitorHistograms(t *testing.T) {
+	env := sim.New(1)
+	d := testDisk(env)
+	m := NewMonitor(100 * time.Millisecond)
+	m.AddGroup("g", d)
+	m.EnableHistograms()
+	m.Start(env)
+	env.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			d.Do(p, disk.Read, int64(i)<<16, 64)
+		}
+		m.Stop(p.Now())
+		d.Do(p, disk.Read, 1<<22, 64) // after Stop: must not be observed
+	})
+	env.Run(0)
+	h := m.Report("g").Hists
+	if h == nil {
+		t.Fatal("Hists nil after EnableHistograms")
+	}
+	if h.Requests != 16 {
+		t.Fatalf("Requests = %d, want 16 (the post-Stop request must not be observed)", h.Requests)
+	}
+	p50, p95 := h.Await.Quantile(0.50), h.Await.Quantile(0.95)
+	if !(p50 > 0 && p50 <= p95 && p95 <= h.AwaitMaxMs*1.5) {
+		t.Errorf("await quantiles inconsistent: p50=%g p95=%g max=%g", p50, p95, h.AwaitMaxMs)
+	}
+	if h.Svctm.Quantile(0.5) <= 0 || h.Size.Quantile(0.5) <= 0 {
+		t.Error("svctm/size histograms empty")
+	}
+}
+
+func TestMonitorWithoutHistogramsHasNilHists(t *testing.T) {
+	env := sim.New(1)
+	d := testDisk(env)
+	m := NewMonitor(100 * time.Millisecond)
+	m.AddGroup("g", d)
+	m.Start(env)
+	env.Go("load", func(p *sim.Proc) {
+		d.Do(p, disk.Read, 0, 64)
+		m.Stop(p.Now())
+	})
+	env.Run(0)
+	if m.Report("g").Hists != nil {
+		t.Error("Hists non-nil without EnableHistograms; observers-off must stay zero-cost")
+	}
+}

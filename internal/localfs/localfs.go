@@ -130,10 +130,21 @@ func (fs *FS) List() []string {
 // File is an open handle. Writers append; readers use ReadAt with a
 // per-handle readahead state.
 type File struct {
-	fs *FS
-	f  *file
-	rs pagecache.ReadState
+	fs    *FS
+	f     *file
+	rs    pagecache.ReadState
+	stage disk.Stage
 }
+
+// SetStage tags this handle with the pipeline stage on whose behalf it does
+// I/O. Subsequent Append and ReadAt calls carry the tag down to the physical
+// requests they cause (including deferred writeback of the dirtied pages).
+// The tag is per handle, not per file: a spill file re-read by the merge pass
+// retags its handle rather than the data.
+func (h *File) SetStage(s disk.Stage) { h.stage = s }
+
+// Stage returns the handle's current pipeline-stage tag.
+func (h *File) Stage() disk.Stage { return h.stage }
 
 // Create creates an empty file and returns a handle. Creating an existing
 // name truncates it (the MapReduce runtime never does; tests may).
@@ -212,7 +223,7 @@ func (h *File) Append(p *sim.Proc, data []byte) {
 		h.fs.grow(h.f, needSectors-h.f.alloced)
 	}
 	for _, r := range h.f.sectorRanges(start, int64(len(data))) {
-		h.fs.cache.Write(p, r.sector, int(r.sectors))
+		h.fs.cache.WriteStaged(p, r.sector, int(r.sectors), h.stage)
 	}
 }
 
@@ -242,7 +253,7 @@ func (h *File) ReadAt(p *sim.Proc, off, length int64) []byte {
 	}
 	for _, r := range h.f.sectorRanges(off, length) {
 		h.rs.Limit = h.f.extentEnd(r.sector)
-		h.fs.cache.Read(p, &h.rs, r.sector, int(r.sectors))
+		h.fs.cache.ReadStaged(p, &h.rs, r.sector, int(r.sectors), h.stage)
 	}
 	h.fs.stats.BytesRead += uint64(length)
 	return h.f.data[off : off+length]

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"iochar/internal/cluster"
+	"iochar/internal/disk"
 	"iochar/internal/localfs"
 	"iochar/internal/sim"
 )
@@ -208,6 +209,7 @@ func (ms *mapState) spill(p *sim.Proc) {
 
 	vol := ms.node.NextMRVol()
 	f := vol.Create(fmt.Sprintf("%s.spill%d", ms.spillBase, len(ms.spills)))
+	f.SetStage(disk.StageSpill)
 	sf := &spillFile{vol: vol, file: f}
 	var off int64
 	i := 0
@@ -284,16 +286,24 @@ func (ms *mapState) finish(p *sim.Proc, taskIdx int) *mapOutput {
 		// Mapper emitted nothing: an empty output with empty segments.
 		vol := ms.node.NextMRVol()
 		f := vol.Create(ms.spillBase + ".out")
+		f.SetStage(disk.StageShuffle)
 		return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: vol, file: f, segs: make([]segment, ms.job.NumReduces)}
 	}
 	if len(ms.spills) == 1 {
+		// The lone spill file IS the map output; from here on its reads
+		// serve the shuffle.
 		sf := ms.spills[0]
+		sf.file.SetStage(disk.StageShuffle)
 		return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: sf.vol, file: sf.file, segs: sf.segs}
 	}
 	// Multi-spill merge: per partition, read every spill's segment back,
 	// decompress, k-way merge, recompress, append to the final file.
 	vol := ms.node.NextMRVol()
 	f := vol.Create(ms.spillBase + ".out")
+	f.SetStage(disk.StageMerge)
+	for _, sf := range ms.spills {
+		sf.file.SetStage(disk.StageMerge)
+	}
 	segs := make([]segment, 0, ms.job.NumReduces)
 	var off int64
 	for part := 0; part < ms.job.NumReduces; part++ {
@@ -330,5 +340,7 @@ func (ms *mapState) finish(p *sim.Proc, taskIdx int) *mapOutput {
 			panic(err)
 		}
 	}
+	// Merge writes are done; subsequent reads of this handle serve fetchers.
+	f.SetStage(disk.StageShuffle)
 	return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: vol, file: f, segs: segs}
 }

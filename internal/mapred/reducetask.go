@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"iochar/internal/cluster"
+	"iochar/internal/disk"
 	"iochar/internal/localfs"
 	"iochar/internal/sim"
 )
@@ -48,6 +49,7 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 		vol := node.NextMRVol()
 		name := fmt.Sprintf("r_%06d.run%d", part, idx)
 		f := vol.Create(name)
+		f.SetStage(disk.StageSpill)
 		f.Append(sp, enc)
 		runWrite += int64(len(enc))
 		diskRuns = append(diskRuns, diskRun{vol: vol, file: f, name: name, clen: int64(len(enc)), raw: int64(len(merged))})
@@ -120,6 +122,7 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	// memory.
 	runs := memRuns
 	for _, dr := range diskRuns {
+		dr.file.SetStage(disk.StageMerge)
 		enc := dr.file.ReadAt(p, 0, dr.clen)
 		runRead += dr.clen
 		raw := cfg.Codec.Decompress(enc)

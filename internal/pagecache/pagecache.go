@@ -73,6 +73,7 @@ type page struct {
 	num     int64 // page number on the device
 	dirty   bool
 	dirtyAt time.Duration // when the page last became dirty
+	stage   disk.Stage    // pipeline stage that last wrote (or read) the page
 	pending *sim.Event    // in-flight disk read filling this page, if any
 	elem    *list.Element
 }
@@ -164,6 +165,13 @@ func pageRange(sector int64, nsect int) (int64, int64) {
 // miss pattern allows; sequential streams additionally prefetch a doubling
 // readahead window asynchronously.
 func (c *Cache) Read(p *sim.Proc, rs *ReadState, sector int64, nsect int) {
+	c.ReadStaged(p, rs, sector, nsect, disk.StageNone)
+}
+
+// ReadStaged is Read with a pipeline-stage tag: disk reads issued on behalf
+// of this access (demand fetches and the readahead they trigger) carry the
+// tag for per-stage physical attribution.
+func (c *Cache) ReadStaged(p *sim.Proc, rs *ReadState, sector int64, nsect int, stage disk.Stage) {
 	first, last := pageRange(sector, nsect)
 
 	// Readahead window bookkeeping.
@@ -192,7 +200,7 @@ func (c *Cache) Read(p *sim.Proc, rs *ReadState, sector int64, nsect int) {
 		if runStart < 0 {
 			return
 		}
-		ev := c.fetch(runStart, end)
+		ev := c.fetch(runStart, end, stage)
 		waits = append(waits, ev)
 		runStart = -1
 	}
@@ -230,7 +238,7 @@ func (c *Cache) Read(p *sim.Proc, rs *ReadState, sector int64, nsect int) {
 		}
 		if raLast > raFirst {
 			c.stats.ReadaheadPages += uint64(raLast - raFirst)
-			c.fetch(raFirst, raLast)
+			c.fetch(raFirst, raLast, stage)
 		}
 	}
 
@@ -242,13 +250,13 @@ func (c *Cache) Read(p *sim.Proc, rs *ReadState, sector int64, nsect int) {
 // fetch inserts pending pages [first,last) and submits one disk read for
 // them, returning the completion event. Pages become clean residents once
 // the read completes.
-func (c *Cache) fetch(first, last int64) *sim.Event {
+func (c *Cache) fetch(first, last int64, stage disk.Stage) *sim.Event {
 	ev := sim.NewEvent(c.env)
 	for n := first; n < last; n++ {
-		pg := &page{num: n, pending: ev}
+		pg := &page{num: n, stage: stage, pending: ev}
 		c.insert(pg)
 	}
-	req := c.d.Submit(disk.Read, first*PageSectors, int(last-first)*PageSectors)
+	req := c.d.SubmitStaged(disk.Read, first*PageSectors, int(last-first)*PageSectors, stage)
 	c.env.Go("fill", func(p *sim.Proc) {
 		c.d.Wait(p, req)
 		for n := first; n < last; n++ {
@@ -265,6 +273,14 @@ func (c *Cache) fetch(first, last int64) *sim.Event {
 // ratio exceeds the hard limit, the writer is throttled until writeback
 // catches up — the mechanism that couples memory size to write behaviour.
 func (c *Cache) Write(p *sim.Proc, sector int64, nsect int) {
+	c.WriteStaged(p, sector, nsect, disk.StageNone)
+}
+
+// WriteStaged is Write with a pipeline-stage tag. The tag is recorded on the
+// dirtied pages (last writer wins) and travels with them to the eventual
+// writeback request, so deferred flushes are still attributed to the stage
+// that produced the data rather than to the flusher.
+func (c *Cache) WriteStaged(p *sim.Proc, sector int64, nsect int, stage disk.Stage) {
 	first, last := pageRange(sector, nsect)
 	for n := first; n < last; n++ {
 		pg := c.lookup(n)
@@ -272,6 +288,7 @@ func (c *Cache) Write(p *sim.Proc, sector int64, nsect int) {
 			pg = &page{num: n}
 			c.insert(pg)
 		}
+		pg.stage = stage
 		if !pg.dirty {
 			pg.dirty = true
 			pg.dirtyAt = c.env.Now()
@@ -382,12 +399,13 @@ func (c *Cache) dirtyRunAround(n int64) []int64 {
 // Used under memory pressure; the caller is the cache-internal path, so the
 // disk write is fire-and-forget (the request is already queued and counted).
 func (c *Cache) flushRunAndDrop(run []int64) {
+	stage := c.pages[run[0]].stage
 	for _, n := range run {
 		pg := c.pages[n]
 		c.remove(pg)
 	}
 	c.stats.FlushedPages += uint64(len(run))
-	c.d.Submit(disk.Write, run[0]*PageSectors, len(run)*PageSectors)
+	c.d.SubmitStaged(disk.Write, run[0]*PageSectors, len(run)*PageSectors, stage)
 }
 
 // writebackLoop is the background flusher. It parks on a condition while the
@@ -429,13 +447,14 @@ func (c *Cache) flushExpired(p *sim.Proc) {
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
 	var reqs []*disk.Request
 	for _, run := range clusterRuns(nums, c.d.P.MaxReqSect/PageSectors) {
+		stage := c.pages[run[0]].stage
 		for _, n := range run {
 			pg := c.pages[n]
 			pg.dirty = false
 			c.dirty--
 		}
 		c.stats.FlushedPages += uint64(len(run))
-		reqs = append(reqs, c.d.Submit(disk.Write, run[0]*PageSectors, len(run)*PageSectors))
+		reqs = append(reqs, c.d.SubmitStaged(disk.Write, run[0]*PageSectors, len(run)*PageSectors, stage))
 	}
 	for _, r := range reqs {
 		c.d.Wait(p, r)
@@ -472,13 +491,14 @@ func (c *Cache) flushDown(p *sim.Proc, target int) {
 		}
 		var reqs []*disk.Request
 		for _, run := range runs {
+			stage := c.pages[run[0]].stage
 			for _, n := range run {
 				pg := c.pages[n]
 				pg.dirty = false
 				c.dirty--
 			}
 			c.stats.FlushedPages += uint64(len(run))
-			reqs = append(reqs, c.d.Submit(disk.Write, run[0]*PageSectors, len(run)*PageSectors))
+			reqs = append(reqs, c.d.SubmitStaged(disk.Write, run[0]*PageSectors, len(run)*PageSectors, stage))
 		}
 		for _, r := range reqs {
 			c.d.Wait(p, r)

@@ -192,11 +192,12 @@ func (m *Summary) Stddev() float64 {
 }
 
 // Histogram is a fixed-bucket histogram over [0, +inf) with geometric bucket
-// boundaries, suitable for request sizes and latencies.
+// boundaries, suitable for request sizes and latencies. All state is in the
+// exported fields, so a Histogram survives a JSON round trip intact (run
+// reports carrying histograms are persisted by internal/runcache).
 type Histogram struct {
 	Bounds []float64 // ascending upper bounds; final bucket is overflow
 	Counts []uint64
-	total  uint64
 }
 
 // NewHistogram builds a histogram with nbuckets geometric buckets spanning
@@ -220,22 +221,28 @@ func NewHistogram(min, max float64, nbuckets int) *Histogram {
 
 // Observe adds one value.
 func (h *Histogram) Observe(v float64) {
-	h.total++
 	i := sort.SearchFloat64s(h.Bounds, v)
 	h.Counts[i]++
 }
 
 // Total returns the number of observations.
-func (h *Histogram) Total() uint64 { return h.total }
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
 
 // Quantile returns an upper-bound estimate of the q-th quantile (0..1).
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.total == 0 {
+	total := h.Total()
+	if total == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.total))
-	if target >= h.total {
-		target = h.total - 1
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
 	}
 	var cum uint64
 	for i, c := range h.Counts {

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"iochar/internal/disk"
+)
+
+// Format selects the streaming encoding.
+type Format uint8
+
+// Supported stream encodings. CSV matches WriteCSV's layout; NDJSON emits
+// one JSON object per line for downstream tools that prefer it.
+const (
+	FormatCSV Format = iota
+	FormatNDJSON
+)
+
+// StreamCollector encodes completed requests to a writer as they happen,
+// holding only a small reusable buffer — memory use is independent of trace
+// length, unlike Collector's in-RAM []Record. The simulation is serialized,
+// so no locking is needed; writer errors are sticky and surface from Err and
+// Close rather than interrupting the run.
+type StreamCollector struct {
+	bw     *bufio.Writer
+	format Format
+	buf    []byte // reusable per-record encode buffer
+	n      int
+	err    error
+}
+
+// NewStreamCollector returns a CSV stream sink writing to w, header
+// included.
+func NewStreamCollector(w io.Writer) *StreamCollector {
+	return NewStreamCollectorFormat(w, FormatCSV)
+}
+
+// NewStreamCollectorFormat returns a stream sink with an explicit format.
+func NewStreamCollectorFormat(w io.Writer, f Format) *StreamCollector {
+	s := &StreamCollector{bw: bufio.NewWriter(w), format: f, buf: make([]byte, 0, 128)}
+	if f == FormatCSV {
+		_, s.err = s.bw.WriteString(csvHeader + "\n")
+	}
+	return s
+}
+
+// Attach subscribes the sink to a disk under the given device name and
+// returns the unsubscribe function. Like Collector.Attach it composes with
+// any other observers on the same disk.
+func (s *StreamCollector) Attach(d *disk.Disk, dev string) func() {
+	return d.Subscribe(func(c disk.Completion) { s.record(dev, c) })
+}
+
+// Len returns the number of records encoded so far.
+func (s *StreamCollector) Len() int { return s.n }
+
+// Err returns the first writer error, if any.
+func (s *StreamCollector) Err() error { return s.err }
+
+// Flush drains the internal writer buffer to the underlying writer.
+func (s *StreamCollector) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Close flushes the sink. The underlying writer, if it needs closing, is
+// the caller's to close.
+func (s *StreamCollector) Close() error { return s.Flush() }
+
+func (s *StreamCollector) record(dev string, c disk.Completion) {
+	if s.err != nil {
+		return
+	}
+	op := byte('R')
+	if c.Op == disk.Write {
+		op = 'W'
+	}
+	b := s.buf[:0]
+	if s.format == FormatCSV {
+		b = append(b, dev...)
+		b = append(b, ',', op, ',')
+		b = strconv.AppendInt(b, c.Sector, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(c.Count), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(c.Arrived), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(c.Done), 10)
+		b = append(b, ',')
+		b = append(b, c.Stage.String()...)
+		b = append(b, '\n')
+	} else {
+		b = append(b, `{"dev":`...)
+		b = strconv.AppendQuote(b, dev)
+		b = append(b, `,"op":"`...)
+		b = append(b, op, '"')
+		b = append(b, `,"sector":`...)
+		b = strconv.AppendInt(b, c.Sector, 10)
+		b = append(b, `,"count":`...)
+		b = strconv.AppendInt(b, int64(c.Count), 10)
+		b = append(b, `,"arrived_ns":`...)
+		b = strconv.AppendInt(b, int64(c.Arrived), 10)
+		b = append(b, `,"done_ns":`...)
+		b = strconv.AppendInt(b, int64(c.Done), 10)
+		b = append(b, `,"stage":`...)
+		b = strconv.AppendQuote(b, c.Stage.String())
+		b = append(b, '}', '\n')
+	}
+	s.buf = b
+	s.n++
+	_, s.err = s.bw.Write(b)
+}

@@ -26,6 +26,7 @@ type Record struct {
 	Op      disk.Op
 	Sector  int64
 	Count   int
+	Stage   disk.Stage    // pipeline stage that issued the request
 	Arrived time.Duration // submission time
 	Done    time.Duration // completion time
 }
@@ -33,7 +34,9 @@ type Record struct {
 // Latency returns the request's residence time.
 func (r Record) Latency() time.Duration { return r.Done - r.Arrived }
 
-// Collector accumulates records from subscribed disks.
+// Collector accumulates records in memory from subscribed disks. For long
+// runs prefer StreamCollector, which writes records out as they complete
+// instead of retaining them.
 type Collector struct {
 	recs []Record
 }
@@ -41,11 +44,15 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
 
-// Attach subscribes the collector to a disk under the given device name.
-func (c *Collector) Attach(d *disk.Disk, dev string) {
-	d.SetTrace(func(op disk.Op, sector int64, count int, arrived, done time.Duration) {
+// Attach subscribes the collector to a disk under the given device name and
+// returns the unsubscribe function. Attaching does not displace other
+// observers: any number of collectors, histogram monitors, and stream sinks
+// can watch the same disk.
+func (c *Collector) Attach(d *disk.Disk, dev string) func() {
+	return d.Subscribe(func(cp disk.Completion) {
 		c.recs = append(c.recs, Record{
-			Dev: dev, Op: op, Sector: sector, Count: count, Arrived: arrived, Done: done,
+			Dev: dev, Op: cp.Op, Sector: cp.Sector, Count: cp.Count,
+			Stage: cp.Stage, Arrived: cp.Arrived, Done: cp.Done,
 		})
 	})
 }
@@ -57,10 +64,14 @@ func (c *Collector) Records() []Record { return c.recs }
 // Len returns the number of collected records.
 func (c *Collector) Len() int { return len(c.recs) }
 
-// WriteCSV serializes records as "dev,op,sector,count,arrived_ns,done_ns".
+// csvHeader is the column layout of a serialized trace. The stage column was
+// added later; ReadCSV still accepts the older six-field layout.
+const csvHeader = "dev,op,sector,count,arrived_ns,done_ns,stage"
+
+// WriteCSV serializes records under the csvHeader layout.
 func WriteCSV(w io.Writer, recs []Record) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "dev,op,sector,count,arrived_ns,done_ns"); err != nil {
+	if _, err := fmt.Fprintln(bw, csvHeader); err != nil {
 		return err
 	}
 	for _, r := range recs {
@@ -68,15 +79,19 @@ func WriteCSV(w io.Writer, recs []Record) error {
 		if r.Op == disk.Write {
 			op = "W"
 		}
-		if _, err := fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%d\n",
-			r.Dev, op, r.Sector, r.Count, int64(r.Arrived), int64(r.Done)); err != nil {
+		if _, err := fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%d,%s\n",
+			r.Dev, op, r.Sector, r.Count, int64(r.Arrived), int64(r.Done), r.Stage); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
+// ReadCSV parses a trace written by WriteCSV. The header line is recognized
+// by content, so headerless traces (a common product of grep/split
+// pipelines) keep their first record. Records whose completion precedes
+// their arrival are rejected: no replay or latency analysis can make sense
+// of them.
 func ReadCSV(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -85,12 +100,12 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
-		if line == 1 || text == "" {
-			continue // header
+		if text == "" || strings.HasPrefix(text, "dev,op,") {
+			continue // blank or header
 		}
 		f := strings.Split(text, ",")
-		if len(f) != 6 {
-			return nil, fmt.Errorf("trace: line %d: %d fields, want 6", line, len(f))
+		if len(f) != 6 && len(f) != 7 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 6 or 7", line, len(f))
 		}
 		var rec Record
 		rec.Dev = f[0]
@@ -116,6 +131,14 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		d, err := strconv.ParseInt(f[5], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: done: %v", line, err)
+		}
+		if d < a {
+			return nil, fmt.Errorf("trace: line %d: done %d precedes arrived %d", line, d, a)
+		}
+		if len(f) == 7 {
+			if rec.Stage, err = disk.ParseStage(f[6]); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			}
 		}
 		rec.Arrived, rec.Done = time.Duration(a), time.Duration(d)
 		out = append(out, rec)
@@ -149,6 +172,14 @@ func Replay(recs []Record, dev string, p disk.Params) (*ReplayResult, error) {
 	sort.Slice(mine, func(i, j int) bool { return mine[i].Arrived < mine[j].Arrived })
 	base := mine[0].Arrived
 
+	// Validate before starting the simulation: a request that cannot fit on
+	// the replay disk at all is a caller error, not something to clamp.
+	for _, r := range mine {
+		if int64(r.Count) > p.Sectors {
+			return nil, fmt.Errorf("trace: request [%d,+%d) larger than replay disk (%d sectors)", r.Sector, r.Count, p.Sectors)
+		}
+	}
+
 	env := sim.New(1)
 	d := disk.New(env, p)
 	var reqs []*disk.Request
@@ -157,9 +188,14 @@ func Replay(recs []Record, dev string, p disk.Params) (*ReplayResult, error) {
 			pr.Sleep(r.Arrived - base - (pr.Now() - 0))
 			sector, count := r.Sector, r.Count
 			if sector+int64(count) > p.Sectors {
-				sector = sector % (p.Sectors - int64(count))
+				// Wrap out-of-range sectors onto the smaller replay disk.
+				// The modulus p.Sectors-count+1 is always >= 1 (count <=
+				// Sectors was checked above), so a request exactly the size
+				// of the disk lands at sector 0 rather than dividing by
+				// zero, and nothing ever goes negative.
+				sector = sector % (p.Sectors - int64(count) + 1)
 			}
-			reqs = append(reqs, d.Submit(r.Op, sector, count))
+			reqs = append(reqs, d.SubmitStaged(r.Op, sector, count, r.Stage))
 		}
 		for _, rq := range reqs {
 			d.Wait(pr, rq)

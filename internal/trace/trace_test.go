@@ -189,3 +189,87 @@ func TestQuickCSVRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReadCSVHeaderless(t *testing.T) {
+	recs := collectSome(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	_, body, ok := strings.Cut(buf.String(), "\n")
+	if !ok {
+		t.Fatal("no header line")
+	}
+	got, err := ReadCSV(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("headerless trace: %d records, want %d (first data line swallowed?)", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("rec %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadCSVLegacySixFields(t *testing.T) {
+	// Pre-stage traces have six columns; they must parse with StageNone.
+	in := "dev,op,sector,count,arrived_ns,done_ns\nsda,W,128,64,1000,2000\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("%d records, want 1", len(got))
+	}
+	want := Record{Dev: "sda", Op: disk.Write, Sector: 128, Count: 64,
+		Stage: disk.StageNone, Arrived: 1000, Done: 2000}
+	if got[0] != want {
+		t.Errorf("got %+v, want %+v", got[0], want)
+	}
+}
+
+func TestReadCSVRejectsDoneBeforeArrived(t *testing.T) {
+	in := "sda,R,0,8,2000,1000,hdfs\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Error("want error for done < arrived")
+	} else if !strings.Contains(err.Error(), "precedes") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestReplayRequestFillsWholeDisk(t *testing.T) {
+	// A request exactly the size of the replay disk used to divide by zero
+	// in the wrap modulus; it must clamp to sector 0 and replay cleanly.
+	recs := []Record{
+		{Dev: "sda", Op: disk.Read, Sector: 4096, Count: 1024, Arrived: 0, Done: time.Millisecond},
+		{Dev: "sda", Op: disk.Write, Sector: 9000, Count: 512, Arrived: time.Millisecond, Done: 2 * time.Millisecond},
+	}
+	p := disk.SeagateST1000NM0011()
+	p.Sectors = 1024
+	res, err := Replay(recs, "sda", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 2 {
+		t.Errorf("Requests = %d, want 2", res.Requests)
+	}
+	if got := res.DiskStats.SectorsRead + res.DiskStats.SectorsWritten; got != 1024+512 {
+		t.Errorf("sectors moved = %d, want 1536", got)
+	}
+}
+
+func TestReplayOversizedRequestErrors(t *testing.T) {
+	recs := []Record{
+		{Dev: "sda", Op: disk.Read, Sector: 0, Count: 2048, Arrived: 0, Done: time.Millisecond},
+	}
+	p := disk.SeagateST1000NM0011()
+	p.Sectors = 1024
+	if _, err := Replay(recs, "sda", p); err == nil {
+		t.Error("want error for request larger than the replay disk")
+	} else if !strings.Contains(err.Error(), "larger than replay disk") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}

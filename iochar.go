@@ -36,6 +36,7 @@ import (
 
 	"iochar/internal/core"
 	"iochar/internal/faults"
+	"iochar/internal/iostat"
 	"iochar/internal/report"
 )
 
@@ -241,4 +242,36 @@ func RenderAttribution(w io.Writer, s *Suite) error {
 	}
 	report.WriteTable(w, td)
 	return nil
+}
+
+// RenderLatencyTable renders per-request latency/size distributions
+// (p50/p95/p99/max of await, svctm and request size) for every workload's
+// baseline cell. The suite must be built with Options.Histograms set.
+func RenderLatencyTable(w io.Writer, s *Suite) error {
+	td, err := s.LatencyTable()
+	if err != nil {
+		return err
+	}
+	report.WriteTable(w, td)
+	return nil
+}
+
+// PhysicalAttribution accumulates device-level per-stage I/O totals from
+// stage-tagged request completions; attach it to data disks via
+// Options.TraceAttach and render with its Table method.
+type PhysicalAttribution = core.PhysicalAttribution
+
+// NewPhysicalAttribution returns an empty physical per-stage accumulator.
+func NewPhysicalAttribution() *PhysicalAttribution { return core.NewPhysicalAttribution() }
+
+// RenderPhysicalAttribution renders the accumulated physical per-stage
+// totals to w.
+func RenderPhysicalAttribution(w io.Writer, pa *PhysicalAttribution) {
+	report.WriteTable(w, pa.Table())
+}
+
+// LatencyDists renders one monitored group's per-request distributions
+// (collected under Options.Histograms) as p50/p95/p99/max rows.
+func LatencyDists(w io.Writer, name string, h *iostat.Hists) {
+	report.WriteLatencyDists(w, name, h)
 }
