@@ -1,0 +1,287 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iochar/internal/core"
+	"iochar/internal/faults"
+	"iochar/internal/mapred"
+)
+
+// testOpts is the smallest testbed with enough slaves for interesting
+// schedules (node kills need survivors above the replication factor).
+func testOpts() Options {
+	return Options{
+		Core:      core.Options{Scale: 262144, Slaves: 5, MapTaskTarget: 8, Seed: 1},
+		MaxFaults: 3,
+	}
+}
+
+// TestChaosTeraSortSurvivesSeeds: the recovery machinery survives a spread
+// of generated schedules with every oracle green — the harness's baseline
+// contract against the current code.
+func TestChaosTeraSortSurvivesSeeds(t *testing.T) {
+	h := New(testOpts())
+	verdicts, err := h.RunSeeds(context.Background(), core.TS, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if !v.Survived {
+			t.Errorf("seed %d (%s): %v", v.Schedule.ChaosSeed, v.Schedule.Plan, v.Findings)
+		}
+		if v.Schedule.Plan == "" {
+			t.Errorf("seed %d generated an empty plan", v.Schedule.ChaosSeed)
+		}
+		if v.Wall == 0 {
+			t.Errorf("seed %d verdict carries no wall time", v.Schedule.ChaosSeed)
+		}
+	}
+}
+
+// TestChaosKMeansFloatTolerance: K-means writes full-precision float sums
+// whose low bits legitimately depend on value arrival order; a chaos run
+// must judge those numerically instead of failing on reassociated sums.
+func TestChaosKMeansFloatTolerance(t *testing.T) {
+	h := New(testOpts())
+	v, err := h.RunSeed(context.Background(), core.KM, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Survived {
+		t.Errorf("KM seed 3 (%s): %v", v.Schedule.Plan, v.Findings)
+	}
+}
+
+// TestChaosDeterministicAcrossParallelism is the determinism contract: one
+// seed yields byte-identical schedule JSON, counters, and verdicts, whether
+// seeds run one at a time or concurrently.
+func TestChaosDeterministicAcrossParallelism(t *testing.T) {
+	marshal := func(vs []*Verdict) string {
+		t.Helper()
+		b, err := json.Marshal(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	opts := testOpts()
+	seq, err := New(opts).RunSeeds(context.Background(), core.TS, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 4
+	par, err := New(opts).RunSeeds(context.Background(), core.TS, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := marshal(seq), marshal(par); a != b {
+		t.Errorf("verdicts diverged across parallelism:\n seq %s\n par %s", a, b)
+	}
+	for i, v := range seq {
+		a, err := v.Schedule.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par[i].Schedule.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("schedule JSON for seed %d not byte-identical", v.Schedule.ChaosSeed)
+		}
+	}
+}
+
+// TestBrokenRecoveryCaughtAndShrunk deliberately disables the map
+// re-execution budget (one attempt, Hadoop's retry machinery off) and
+// asserts the harness catches the resulting failures and shrinks the
+// schedule to a minimal reproduction of at most two faults.
+func TestBrokenRecoveryCaughtAndShrunk(t *testing.T) {
+	opts := testOpts()
+	opts.ShrinkBudget = 16
+	opts.Core.TuneMapred = func(c *mapred.Config) { c.MaxTaskAttempts = 1 }
+	h := New(opts)
+	for seed := int64(1); seed <= 12; seed++ {
+		v, err := h.RunSeed(context.Background(), core.TS, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Survived {
+			continue
+		}
+		if v.Shrunk == nil {
+			t.Fatalf("seed %d failed without a shrunk schedule: %v", seed, v.Findings)
+		}
+		pl, err := faults.ParsePlan(v.Shrunk.Plan)
+		if err != nil {
+			t.Fatalf("shrunk plan does not parse: %v", err)
+		}
+		if len(pl.Events) > 2 {
+			t.Errorf("seed %d shrunk to %d faults (%s), want <= 2", seed, len(pl.Events), v.Shrunk.Plan)
+		}
+		if len(pl.Events) == 0 {
+			t.Errorf("seed %d shrunk to an empty plan", seed)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..12 tripped the broken recovery budget")
+}
+
+// TestReplayCheckedInSchedules replays every schedule under testdata/chaos —
+// survived schedules saved by past chaos runs, kept as regressions against
+// the recovery paths they exercised.
+func TestReplayCheckedInSchedules(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "chaos", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no schedules under testdata/chaos")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := ParseSchedule(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := Replay(context.Background(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Survived {
+				t.Errorf("%s (%s): %v", s.Workload, s.Plan, v.Findings)
+			}
+		})
+	}
+}
+
+// TestGeneratePlanDeterministic: plan generation is a pure function of the
+// seed, and respects the schedule-size cap.
+func TestGeneratePlanDeterministic(t *testing.T) {
+	nodes := Nodes(5)
+	for seed := int64(1); seed <= 50; seed++ {
+		a := GeneratePlan(seed, nodes, 100_000_000, 3)
+		b := GeneratePlan(seed, nodes, 100_000_000, 3)
+		if a.String() != b.String() || a.Seed != b.Seed {
+			t.Fatalf("seed %d: %q != %q", seed, a, b)
+		}
+		if n := len(a.Events); n < 1 || n > 3 {
+			t.Fatalf("seed %d: %d events, want 1..3", seed, n)
+		}
+		// Generated plans must survive a serialize/parse round trip.
+		pl, err := faults.ParsePlan(a.String())
+		if err != nil {
+			t.Fatalf("seed %d: generated plan does not parse: %v", seed, err)
+		}
+		if pl.String() != a.String() {
+			t.Fatalf("seed %d: round trip changed the plan", seed)
+		}
+	}
+	if GeneratePlan(1, nodes, 100_000_000, 3).String() == GeneratePlan(2, nodes, 100_000_000, 3).String() {
+		t.Error("seeds 1 and 2 generated identical plans")
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	s := Schedule{
+		Workload: "TS", ChaosSeed: 7, Plan: "kill-node@300ms:node=slave-02",
+		PlanSeed: 7, Scale: 262144, Slaves: 5, Seed: 1, MapTaskTarget: 8,
+	}
+	b, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSchedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("round trip changed the schedule:\n %+v\n %+v", got, s)
+	}
+	if _, err := ParseSchedule([]byte(`{"workload":"TS","plan":"explode@1s"}`)); err == nil {
+		t.Error("bad plan syntax accepted")
+	}
+	if _, err := ParseSchedule([]byte(`{"workload":"nope","plan":""}`)); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// kv builds a KV stream from alternating key, value strings.
+func kv(t *testing.T, pairs ...string) []byte {
+	t.Helper()
+	if len(pairs)%2 != 0 {
+		t.Fatal("kv wants key/value pairs")
+	}
+	var out []byte
+	for i := 0; i < len(pairs); i += 2 {
+		out = mapred.AppendKV(out, []byte(pairs[i]), []byte(pairs[i+1]))
+	}
+	return out
+}
+
+func TestCompareOutputsExact(t *testing.T) {
+	want := map[string]string{"/bench/TS/out/part-r-00000": "aa", "/bench/TS/out/part-r-00001": "bb"}
+	got := map[string]string{"/bench/TS/out/part-r-00000": "aa", "/bench/TS/out/part-r-00002": "cc"}
+	fs := CompareOutputs(want, got, nil, nil)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v, want a missing and an unexpected output", fs)
+	}
+	joined := strings.Join(fs, "\n")
+	for _, frag := range []string{"missing output", "unexpected output"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("findings %v lack %q", fs, frag)
+		}
+	}
+	if fs := CompareOutputs(want, want, nil, nil); len(fs) != 0 {
+		t.Errorf("identical sums produced findings: %v", fs)
+	}
+	got["/bench/TS/out/part-r-00001"] = "xx"
+	delete(got, "/bench/TS/out/part-r-00002")
+	fs = CompareOutputs(want, got, nil, nil)
+	if len(fs) != 1 || !strings.Contains(fs[0], "checksum mismatch") {
+		t.Errorf("findings = %v, want one checksum mismatch", fs)
+	}
+}
+
+func TestCompareOutputsFloatTolerant(t *testing.T) {
+	const p = "/bench/KM/out-iter0/part-r-00000"
+	want := map[string]string{p: "aa"}
+	got := map[string]string{p: "bb"}
+
+	// Low-bit drift in a float field is tolerated.
+	wraw := map[string][]byte{p: kv(t, "c1", "5;1000.0000000001;2.5", "c2", "0.5|a,b")}
+	graw := map[string][]byte{p: kv(t, "c2", "0.5|a,b", "c1", "5;1000.0000000002;2.5")}
+	if fs := CompareOutputs(want, got, wraw, graw); len(fs) != 0 {
+		t.Errorf("low-bit float drift flagged: %v", fs)
+	}
+	// Real numeric divergence is not.
+	graw[p] = kv(t, "c1", "5;1001;2.5", "c2", "0.5|a,b")
+	if fs := CompareOutputs(want, got, wraw, graw); len(fs) != 1 {
+		t.Errorf("diverged sum not flagged: %v", fs)
+	}
+	// Non-numeric fields must stay byte-exact even on tolerant paths.
+	graw[p] = kv(t, "c1", "5;1000.0000000001;2.5", "c2", "0.5|a,X")
+	if fs := CompareOutputs(want, got, wraw, graw); len(fs) != 1 {
+		t.Errorf("adjacency corruption not flagged: %v", fs)
+	}
+	// Different counts, different shape, missing captures: all findings.
+	graw[p] = kv(t, "c1", "6;1000.0000000001;2.5", "c2", "0.5|a,b")
+	if fs := CompareOutputs(want, got, wraw, graw); len(fs) != 1 {
+		t.Errorf("count drift not flagged: %v", fs)
+	}
+	if fs := CompareOutputs(want, got, wraw, map[string][]byte{}); len(fs) != 1 {
+		t.Errorf("missing capture not flagged: %v", fs)
+	}
+}

@@ -1,0 +1,129 @@
+// Fault-schedule generation and serialization. A Schedule is the replayable
+// unit: everything needed to rebuild the testbed and re-inject the exact
+// fault sequence — workload, testbed shape, seeds, and the plan in the
+// canonical internal/faults syntax. Shrunk schedules from failed seeds are
+// written as JSON and checked into testdata as regressions.
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"iochar/internal/core"
+	"iochar/internal/faults"
+)
+
+// Schedule is one serialized chaos experiment.
+type Schedule struct {
+	Workload string `json:"workload"`
+	// ChaosSeed is the seed the generator drew the plan from (0 for
+	// hand-written or shrunk-then-edited schedules; replay never needs it).
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+	// Plan is the fault schedule in internal/faults' plan syntax.
+	Plan string `json:"plan"`
+	// PlanSeed drives the drop-shuffle coin flips during injection.
+	PlanSeed int64 `json:"plan_seed"`
+	// Testbed shape: the run is only reproducible on the same cluster.
+	Scale         int64 `json:"scale"`
+	Slaves        int   `json:"slaves"`
+	Seed          int64 `json:"seed"` // testbed seed (workload data, placement)
+	MapTaskTarget int64 `json:"map_task_target,omitempty"`
+}
+
+// Marshal renders the schedule as indented JSON, newline-terminated — the
+// on-disk format of testdata/chaos regressions and `cmd/chaos -out` files.
+func (s Schedule) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseSchedule decodes a schedule and validates its plan syntax.
+func ParseSchedule(data []byte) (Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Schedule{}, fmt.Errorf("chaos: bad schedule: %w", err)
+	}
+	if _, err := core.ParseWorkload(s.Workload); err != nil {
+		return Schedule{}, err
+	}
+	if _, err := faults.ParsePlan(s.Plan); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// schedule captures a plan plus the harness's testbed shape.
+func (h *Harness) schedule(w core.Workload, seed int64, plan faults.Plan) Schedule {
+	return Schedule{
+		Workload:      w.String(),
+		ChaosSeed:     seed,
+		Plan:          plan.String(),
+		PlanSeed:      plan.Seed,
+		Scale:         h.opts.Core.Scale,
+		Slaves:        h.opts.Core.Slaves,
+		Seed:          h.opts.Core.Seed,
+		MapTaskTarget: h.opts.Core.MapTaskTarget,
+	}
+}
+
+// Nodes returns the slave names of an n-slave testbed — the targets fault
+// schedules draw from.
+func Nodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("slave-%02d", i)
+	}
+	return out
+}
+
+// GeneratePlan draws the seed's randomized fault schedule: 1..maxFaults
+// events sampled over the golden run's duration against the given nodes.
+// Deterministic: one seed, one schedule.
+func GeneratePlan(seed int64, nodes []string, window time.Duration, maxFaults int) faults.Plan {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(maxFaults)
+	return faults.RandomPlan(seed, nodes, window, n)
+}
+
+// Replay re-runs a serialized schedule under the full oracle set — how a
+// shrunk schedule from a past failure becomes a regression test. The golden
+// reference is rebuilt from the schedule's testbed shape, so a replay is
+// self-contained.
+func Replay(ctx context.Context, s Schedule) (*Verdict, error) {
+	w, err := core.ParseWorkload(s.Workload)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := faults.ParsePlan(s.Plan)
+	if err != nil {
+		return nil, err
+	}
+	plan.Seed = s.PlanSeed
+	h := New(Options{Core: core.Options{
+		Scale:         s.Scale,
+		Slaves:        s.Slaves,
+		Seed:          s.Seed,
+		MapTaskTarget: s.MapTaskTarget,
+	}})
+	g, err := h.goldenFor(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	findings, rep, err := h.check(ctx, w, plan, g)
+	if err != nil {
+		return nil, err
+	}
+	v := &Verdict{Schedule: s, Survived: len(findings) == 0, Findings: findings}
+	if rep != nil {
+		v.Wall = rep.Wall
+		v.Recovery = rep.Recovery
+		v.Counters = sumCounters(rep)
+	}
+	return v, nil
+}

@@ -1,0 +1,192 @@
+// Post-run invariant auditing — the oracles the chaos harness checks after
+// a faulted run drains. The audit cross-checks every durable layer of the
+// testbed: HDFS must be fully replicated with no orphaned replicas, the
+// local filesystems must not have leaked extents, the page caches must hold
+// no dirty pages after the end-of-run sync, and every job output must be
+// readable with a canonical content checksum for comparison against a
+// fault-free golden run. On a healthy run the audit is trivially clean; a
+// violation after recovery has quiesced means a fault-handling path lost,
+// leaked, or corrupted data.
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"iochar/internal/cluster"
+	"iochar/internal/hdfs"
+	"iochar/internal/localfs"
+	"iochar/internal/mapred"
+	"iochar/internal/sim"
+)
+
+// auditPrefix is the HDFS namespace scanned for job outputs: every workload
+// stages its data under /bench/<KEY>/, with inputs in .../in and output
+// directories whose names start with "out" (out, out-iterN, out-stateN).
+const auditPrefix = "/bench/"
+
+// AuditReport is the outcome of the post-run invariant audit, produced when
+// Options.Audit is set. It is JSON-serializable so fault-run results can be
+// cached and shrunk chaos schedules can pin expected values.
+type AuditReport struct {
+	// HDFSBlocks is the number of live blocks the replication audit scanned.
+	HDFSBlocks int `json:"hdfs_blocks"`
+	// HDFSViolations lists replication-audit failures: blocks below their
+	// achievable replication target, blocks with zero live replicas, and
+	// orphaned replica files (see hdfs.ReplicationAudit).
+	HDFSViolations []string `json:"hdfs_violations,omitempty"`
+	// LeakedSectors is the total allocator slack across every data volume:
+	// sectors neither free nor owned by a live file. Nonzero means a
+	// recovery path dropped a file without releasing its extents.
+	LeakedSectors int64 `json:"leaked_sectors"`
+	// DirtyPages counts dirty pages remaining after the end-of-run SyncAll
+	// across the volumes that sync covers (live nodes, unfailed volumes).
+	// Nonzero means writeback was lost or the sync barrier has a hole.
+	DirtyPages int `json:"dirty_pages"`
+	// OutputSums maps each job-output file to a canonical content checksum:
+	// SHA-256 over its key/value pairs in sorted order, so two runs that
+	// produced the same multiset of pairs hash identically even if faults
+	// reordered reduce-side value arrival.
+	OutputSums map[string]string `json:"output_sums"`
+	// Unreadable lists output files whose bytes could not be read back
+	// (typically every replica of some block is gone) — a data-loss oracle
+	// failure even when the NameNode's metadata looks consistent.
+	Unreadable []string `json:"unreadable,omitempty"`
+}
+
+// Violations renders every invariant failure in the report as a
+// human-readable finding. Output checksums are not judged here — they only
+// mean something relative to a golden run, which is the chaos harness's job.
+func (a *AuditReport) Violations() []string {
+	var v []string
+	for _, h := range a.HDFSViolations {
+		v = append(v, "hdfs: "+h)
+	}
+	if a.LeakedSectors != 0 {
+		v = append(v, fmt.Sprintf("localfs: %d sectors leaked (allocated but owned by no file)", a.LeakedSectors))
+	}
+	if a.DirtyPages != 0 {
+		v = append(v, fmt.Sprintf("pagecache: %d dirty pages after final sync", a.DirtyPages))
+	}
+	for _, u := range a.Unreadable {
+		v = append(v, "output unreadable: "+u)
+	}
+	return v
+}
+
+// Clean reports whether the audit found no invariant violations.
+func (a *AuditReport) Clean() bool { return len(a.Violations()) == 0 }
+
+// auditRun computes the report in simulation context, after monitoring has
+// stopped: the invariant checks are pure, and the output read-back only
+// spends virtual time outside the measured window.
+func auditRun(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster) *AuditReport {
+	a := &AuditReport{OutputSums: make(map[string]string)}
+
+	ra := fs.AuditReplication()
+	a.HDFSBlocks = ra.Blocks
+	for _, s := range ra.LostBlocks {
+		a.HDFSViolations = append(a.HDFSViolations, "lost "+s)
+	}
+	for _, s := range ra.UnderReplicated {
+		a.HDFSViolations = append(a.HDFSViolations, "under-replicated "+s)
+	}
+	for _, s := range ra.Orphans {
+		a.HDFSViolations = append(a.HDFSViolations, "orphan "+s)
+	}
+
+	// Allocator accounting holds on every volume — failed or not, dead node
+	// or not — because Fail() freezes a volume without disturbing its file
+	// table. Volumes are deduplicated by identity (SharedDataDisks aliases
+	// the role lists). Dirty pages are only an invariant where SyncAll
+	// reaches: a dead node's or failed volume's cache legitimately holds
+	// unwritten data, exactly as powered-off hardware would.
+	seen := make(map[*localfs.FS]bool)
+	for _, s := range cl.Slaves {
+		vols := append(append([]*localfs.FS{}, s.HDFSVols...), s.MRVols...)
+		for _, v := range vols {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			a.LeakedSectors += v.LeakedExtents()
+			if s.Alive() && !v.Failed() {
+				a.DirtyPages += v.Cache().DirtyPages()
+			}
+		}
+	}
+
+	for _, path := range fs.List(auditPrefix) {
+		if !isOutputPath(path) {
+			continue
+		}
+		r, err := fs.Open(path, cl.Master.Name)
+		if err != nil {
+			a.Unreadable = append(a.Unreadable, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		data, err := r.ReadAt(p, 0, r.Size())
+		if err != nil {
+			a.Unreadable = append(a.Unreadable, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		a.OutputSums[path] = canonicalKVSum(data)
+	}
+	return a
+}
+
+// isOutputPath reports whether an HDFS path is a job-output file: under the
+// bench namespace, inside a directory whose name starts with "out" (the
+// final output plus any per-iteration outputs a workload keeps).
+func isOutputPath(path string) bool {
+	rest := strings.TrimPrefix(path, auditPrefix)
+	if rest == path {
+		return false
+	}
+	_, rest, ok := strings.Cut(rest, "/")
+	if !ok {
+		return false
+	}
+	dir, _, ok := strings.Cut(rest, "/")
+	return ok && strings.HasPrefix(dir, "out")
+}
+
+// canonicalKVSum hashes a reduce-output KV stream as a sorted multiset of
+// pairs. Reduce outputs are key-sorted already, but values of one key can
+// legitimately arrive (and be emitted) in a different order under faults;
+// sorting by (key, value) makes the checksum order-insensitive while still
+// pinning every byte of every pair.
+func canonicalKVSum(data []byte) string {
+	type pair struct{ k, v []byte }
+	var pairs []pair
+	for len(data) > 0 {
+		k, v, rest := mapred.NextKV(data)
+		if len(rest) >= len(data) {
+			break // malformed tail; hash what framed cleanly
+		}
+		pairs = append(pairs, pair{k, v})
+		data = rest
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if c := bytes.Compare(pairs[i].k, pairs[j].k); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(pairs[i].v, pairs[j].v) < 0
+	})
+	h := sha256.New()
+	var n [8]byte
+	for _, pr := range pairs {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(pr.k)))
+		h.Write(n[:])
+		h.Write(pr.k)
+		binary.LittleEndian.PutUint64(n[:], uint64(len(pr.v)))
+		h.Write(n[:])
+		h.Write(pr.v)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

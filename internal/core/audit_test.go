@@ -1,0 +1,66 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"iochar/internal/faults"
+)
+
+// TestAuditOracles runs the post-run invariant audit on a healthy TeraSort
+// and on one that loses a node mid-job: both must come back clean, and the
+// canonical output checksums must agree — recovery restored the exact bytes.
+func TestAuditOracles(t *testing.T) {
+	opts := fastOpts
+	opts.Audit = true
+	healthy, err := RunOne(TS, tsFaultFactors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Audit == nil {
+		t.Fatal("Options.Audit set but RunReport.Audit is nil")
+	}
+	if !healthy.Audit.Clean() {
+		t.Fatalf("healthy run failed its own audit: %v", healthy.Audit.Violations())
+	}
+	if healthy.Audit.HDFSBlocks == 0 || len(healthy.Audit.OutputSums) == 0 {
+		t.Fatalf("audit scanned nothing: %d blocks, %d output files",
+			healthy.Audit.HDFSBlocks, len(healthy.Audit.OutputSums))
+	}
+	for path := range healthy.Audit.OutputSums {
+		if !isOutputPath(path) {
+			t.Errorf("non-output path %s in OutputSums", path)
+		}
+	}
+	if isOutputPath("/bench/TS/in/part-0") || isOutputPath("/other/TS/out/x") {
+		t.Error("isOutputPath misclassifies")
+	}
+
+	opts.Faults, err = faults.ParsePlan(killPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := RunOne(TS, tsFaultFactors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.Audit.Clean() {
+		t.Fatalf("recovered run failed the audit: %v", faulty.Audit.Violations())
+	}
+	if !reflect.DeepEqual(healthy.Audit.OutputSums, faulty.Audit.OutputSums) {
+		t.Errorf("canonical output checksums diverged under node loss:\n healthy %v\n faulty  %v",
+			healthy.Audit.OutputSums, faulty.Audit.OutputSums)
+	}
+}
+
+// TestAuditOffByDefault: without Options.Audit the report carries no audit —
+// part of the healthy path's zero-overhead contract.
+func TestAuditOffByDefault(t *testing.T) {
+	rep, err := RunOne(AGG, SlotsRuns[0], fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Audit != nil {
+		t.Error("RunReport.Audit set without Options.Audit")
+	}
+}

@@ -107,6 +107,16 @@ type Options struct {
 	// SampleInterval, so detection latency stays proportionate to scaled run
 	// lengths.
 	Recovery hdfs.RecoveryConfig
+	// TuneMapred, when set, adjusts the derived MapReduce configuration just
+	// before the runtime is built — the hook chaos testing uses to weaken
+	// recovery budgets on purpose and prove the oracles catch it. Runs with
+	// it set bypass the persistent cache (the closure is not serializable).
+	TuneMapred func(*mapred.Config)
+	// Audit switches on the post-run invariant audit (RunReport.Audit): HDFS
+	// replication cross-check, localfs leak accounting, dirty-page check, and
+	// canonical output checksums. It runs after monitoring stops, so measured
+	// series are unaffected; healthy runs without it carry zero extra work.
+	Audit bool
 	// Inspect, when set, runs in simulation context after the workload (and
 	// any fault recovery) completes, once monitoring has stopped — a hook for
 	// tests and tools to read back HDFS contents and block placement while
@@ -209,6 +219,9 @@ type RunReport struct {
 	Recovery       hdfs.RecoveryStats        // HDFS repair work performed
 	FaultsInjected []string                  // events that actually fired, in order
 	FaultGroups    map[string]*iostat.Report // victim/survivor disk splits
+
+	// Audit is the post-run invariant audit; nil unless Options.Audit is set.
+	Audit *AuditReport
 }
 
 // Runtime groups names for the monitored disk groups. The victim/survivor
@@ -304,6 +317,9 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	if f.Compress {
 		mcfg.Codec = compress.NewDeflate()
 	}
+	if opts.TuneMapred != nil {
+		opts.TuneMapred(&mcfg)
+	}
 	rt, err := mapred.New(env, cl, fs, cl.Net, mcfg)
 	if err != nil {
 		return nil, err
@@ -355,6 +371,13 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 			return
 		}
 		if inj != nil {
+			// A fault scheduled past the workload's natural end would fire
+			// after the recovery barrier below and leave the cluster mid-
+			// failure at audit time; run the clock past the last armed event
+			// so every fault lands before recovery is awaited.
+			if rem := inj.LastAt() + time.Millisecond - p.Now(); rem > 0 {
+				p.Sleep(rem)
+			}
 			// Let detection and re-replication finish inside the monitored
 			// window, so the iostat series shows the recovery traffic.
 			fs.WaitRecovered(p)
@@ -364,6 +387,9 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 		rep.Wall = p.Now() - start
 		mon.Stop(p.Now())
 		cpu.Stop(p.Now())
+		if opts.Audit {
+			rep.Audit = auditRun(p, fs, cl)
+		}
 		if opts.Inspect != nil {
 			opts.Inspect(p, fs, cl)
 		}

@@ -15,7 +15,7 @@ import (
 // reports stale — a new counter, a renamed field, a behavioural fix that
 // shifts byte totals — so old cache entries degrade to misses instead of
 // resurfacing outdated figures.
-const SchemaVersion = 2
+const SchemaVersion = 3
 
 // RunSource says where a resolved experiment cell came from.
 type RunSource string
@@ -240,7 +240,7 @@ func (s *Suite) diskStore(w Workload, f Factors) (*runcache.Store, string, error
 // cacheable reports whether runs under opts may be persisted: live hooks
 // observe or mutate the testbed in ways the serialized report cannot carry.
 func cacheable(opts Options) bool {
-	return opts.TraceAttach == nil && opts.Inspect == nil
+	return opts.TraceAttach == nil && opts.Inspect == nil && opts.TuneMapred == nil
 }
 
 // runKeyMaterial is everything that determines a cell's outcome. It is
@@ -265,6 +265,7 @@ type runKeyMaterial struct {
 	Faults          string // Plan.String(): the canonical plan syntax
 	FaultSeed       int64
 	Recovery        hdfs.RecoveryConfig
+	Audit           bool
 }
 
 func keyMaterial(w Workload, f Factors, opts Options) runKeyMaterial {
@@ -286,6 +287,7 @@ func keyMaterial(w Workload, f Factors, opts Options) runKeyMaterial {
 		Faults:          opts.Faults.String(),
 		FaultSeed:       opts.Faults.Seed,
 		Recovery:        opts.Recovery,
+		Audit:           opts.Audit,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"iochar/internal/cluster"
+	"iochar/internal/faults"
 	"iochar/internal/hdfs"
 	"iochar/internal/runcache"
 	"iochar/internal/sim"
@@ -243,6 +244,65 @@ func TestDiskCacheSchemaVersionMismatch(t *testing.T) {
 	}
 }
 
+// TestFaultedDiskCacheRoundTrip: a faulted, audited run persists and reloads
+// byte-identically — and lands in a different cache slot than the fault-free
+// configuration, so a faulted report can never be served for (or poison) a
+// healthy request.
+func TestFaultedDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts
+	var err error
+	opts.Faults, err = faults.ParsePlan(killPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Audit = true
+
+	var cold countingProgress
+	a := NewSuite(opts, WithCacheDir(dir), WithProgress(cold.fn))
+	repA, err := a.Run(TS, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.executed.Load() != 1 || cold.disk.Load() != 0 {
+		t.Fatalf("cold faulted run: executed=%d disk=%d", cold.executed.Load(), cold.disk.Load())
+	}
+
+	var warm countingProgress
+	b := NewSuite(opts, WithCacheDir(dir), WithProgress(warm.fn))
+	repB, err := b.Run(TS, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.executed.Load() != 0 || warm.disk.Load() != 1 {
+		t.Errorf("warm faulted run: executed=%d disk=%d, want pure disk hit",
+			warm.executed.Load(), warm.disk.Load())
+	}
+	if reportJSON(t, repA) != reportJSON(t, repB) {
+		t.Error("disk round trip changed the faulted report")
+	}
+	// The fault-run fields must survive serialization.
+	if repB.Audit == nil || !repB.Audit.Clean() || len(repB.Audit.OutputSums) == 0 {
+		t.Errorf("deserialized audit lost data: %+v", repB.Audit)
+	}
+	if len(repB.FaultsInjected) == 0 || repB.Recovery.DeadDataNodes != 1 {
+		t.Errorf("deserialized fault observability lost data: %+v", repB)
+	}
+
+	// Same cell, fault-free configuration: different content address.
+	faultedKey, err := runcache.Key(keyMaterial(TS, SlotsRuns[0], a.Opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanKey, err := runcache.Key(keyMaterial(TS, SlotsRuns[0], NewSuite(fastOpts).Opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultedKey == cleanKey {
+		t.Error("faulted run shares a cache slot with the fault-free configuration")
+	}
+}
+
 // TestCacheKeySeparatesConfigurations: any change to the run configuration
 // must land in a different slot.
 func TestCacheKeySeparatesConfigurations(t *testing.T) {
@@ -267,6 +327,17 @@ func TestCacheKeySeparatesConfigurations(t *testing.T) {
 	o = base
 	o.FaultSlowDisk = 4
 	variants["slow-disk"] = o
+	o = base
+	if o.Faults, err = faults.ParsePlan(killPlan); err != nil {
+		t.Fatal(err)
+	}
+	variants["fault-plan"] = o
+	o = base
+	o.Faults.Seed = base.Faults.Seed + 1
+	variants["fault-seed"] = o
+	o = base
+	o.Audit = true
+	variants["audit"] = o
 	for name, opts := range variants {
 		k, err := runcache.Key(keyMaterial(TS, SlotsRuns[0], opts))
 		if err != nil {

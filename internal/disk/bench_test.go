@@ -43,7 +43,8 @@ func runPattern(b *testing.B, sched Sched, noMerge bool, random bool, n int) (ti
 			}
 		})
 	}
-	return env.Run(0), d
+	end, _ := env.Run(0)
+	return end, d
 }
 
 func BenchmarkDiskSequentialStreams(b *testing.B) {

@@ -407,7 +407,7 @@ func TestDegradedDiskSlowsGroupAndShowsInAwait(t *testing.T) {
 				disks[i%3].Do(pr, Write, int64(i)*4096, 256)
 			}
 		})
-		end := env.Run(0)
+		end, _ := env.Run(0)
 		st := disks[0].Stats()
 		var await time.Duration
 		if st.WritesCompleted > 0 {

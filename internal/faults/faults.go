@@ -391,6 +391,20 @@ func (in *Injector) note(ev Event) {
 	in.fired = append(in.fired, fmt.Sprintf("t=%v %s", in.env.Now(), ev))
 }
 
+// LastAt returns the firing time of the plan's latest event — the point past
+// which no further fault will change cluster state. Drivers that audit
+// invariants after a run use it to let late-scheduled faults fire (and be
+// recovered from) before judging the cluster quiescent.
+func (in *Injector) LastAt() time.Duration {
+	var last time.Duration
+	for _, ev := range in.plan.Events {
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+	return last
+}
+
 // Stop cancels events that have not fired yet. Call it once the run (and its
 // recovery tail) is over, so Env.Run(0) is not held open by pending faults.
 func (in *Injector) Stop() {

@@ -48,7 +48,12 @@ type blockMeta struct {
 	size     int64
 	want     int // target replication factor
 	replicas []*DataNode
-	gone     bool // file deleted; drop from recovery queues
+	// landed lists every DataNode that physically stored the replica,
+	// including pipeline hops whose client died before acking them into
+	// replicas. Delete consults it so an abandoned write cannot strand a
+	// replica file on a live node.
+	landed []*DataNode
+	gone   bool // file deleted; drop from recovery queues
 }
 
 // fileMeta is one namespace entry.
@@ -173,7 +178,7 @@ func (fs *FS) Delete(path string) error {
 	for _, b := range f.blocks {
 		b.gone = true
 		delete(fs.blockByID, b.id)
-		for _, dn := range b.replicas {
+		for _, dn := range append(append([]*DataNode{}, b.replicas...), b.landed...) {
 			sb, ok := dn.blocks[b.id]
 			if !ok {
 				continue
@@ -347,7 +352,15 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 					// Crashed while appending: bytes are on a dead node.
 					return
 				}
+				if b.gone {
+					// The file was deleted mid-append (the writer died and a
+					// re-executed attempt already replaced its output); keep
+					// the stray bytes off the DataNode.
+					f.FS().Delete(f.Name())
+					return
+				}
 				dn.blocks[id] = storedBlock{file: f, vol: f.FS()}
+				b.landed = append(b.landed, dn)
 				ok[i] = true
 			}))
 			prev = dn.node.Name

@@ -115,7 +115,7 @@ func TestMonitorStopsSampling(t *testing.T) {
 		d.Do(p, disk.Read, 0, 512)
 		m.Stop(p.Now())
 	})
-	end := env.Run(0)
+	end, _ := env.Run(0)
 	// The sampler must exit promptly after Stop, not keep the sim alive.
 	if end > time.Second {
 		t.Errorf("simulation ran to %v; sampler failed to stop", end)

@@ -390,6 +390,21 @@ func (fs *FS) freeExtent(e extent) {
 // FreeExtentCount returns the size of the free list (fragmentation probe).
 func (fs *FS) FreeExtentCount() int { return len(fs.free) }
 
+// LeakedExtents returns the number of device sectors that are neither on
+// the free list nor backing a live file — allocation leaked by a delete
+// path that failed to return extents. Zero on a correct filesystem at any
+// point; the chaos harness checks it after every run.
+func (fs *FS) LeakedExtents() int64 {
+	leaked := fs.nextFree
+	for _, e := range fs.free {
+		leaked -= e.sectors
+	}
+	for _, f := range fs.files {
+		leaked -= f.alloced
+	}
+	return leaked
+}
+
 // ExtentCount returns the number of extents backing name, or 0 if absent —
 // a direct fragmentation measure.
 func (fs *FS) ExtentCount(name string) int {

@@ -67,11 +67,31 @@ func (rt *Runtime) fetchOneFaulty(fp *sim.Proc, js *jobState, st *fetchState, ou
 		js.mu(func() { js.counters.FetchRetries++ })
 		if retries > js.cfg.MaxFetchRetries {
 			js.mu(func() { js.counters.FailedFetches++ })
+			js.noteTrackerFailure(out.node.Name)
 			js.loseOutput(out)
 			return
 		}
 		fp.Sleep(js.cfg.FetchRetryDelay << (retries - 1)) // exponential backoff
 	}
+}
+
+// noteTrackerFailure charges one failed task attempt to a tracker; at
+// Config.MaxTrackerFailures the node is blacklisted — no new attempts are
+// scheduled there (Hadoop's per-job tracker blacklist), so a fail-slow node
+// stops soaking up the retry budget. Parked workers on the node are woken
+// so they observe the blacklist and vacate their slots.
+func (js *jobState) noteTrackerFailure(node string) {
+	if !js.faulty || js.blacklisted[node] {
+		return
+	}
+	js.trackerFailures[node]++
+	if js.trackerFailures[node] < js.cfg.MaxTrackerFailures {
+		return
+	}
+	js.blacklisted[node] = true
+	js.mu(func() { js.counters.BlacklistedTrackers++ })
+	js.mapWorkCond.Broadcast()
+	js.redCond.Broadcast()
 }
 
 // fail records the job's terminal error once and wakes every parked worker

@@ -54,6 +54,9 @@ func New(env *sim.Env, cl *cluster.Cluster, fs *hdfs.FS, net transferer, cfg Con
 	if cfg.MaxTaskAttempts <= 0 {
 		cfg.MaxTaskAttempts = 4
 	}
+	if cfg.MaxTrackerFailures <= 0 {
+		cfg.MaxTrackerFailures = 3
+	}
 	return &Runtime{env: env, cl: cl, fs: fs, net: net, cfg: cfg, active: make(map[*jobState]bool)}, nil
 }
 
@@ -125,6 +128,11 @@ type jobState struct {
 	redDone      []bool
 	redDoneCount int
 	redCond      *sim.Cond
+
+	// Tracker blacklisting (fault mode): failed attempts per tracker, and
+	// the trackers excluded from new scheduling after MaxTrackerFailures.
+	trackerFailures map[string]int
+	blacklisted     map[string]bool
 }
 
 // taskDone reports whether some attempt of the task already finished —
@@ -334,6 +342,8 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 		js.redClaimed = make([]bool, job.NumReduces)
 		js.redOwner = make([]string, job.NumReduces)
 		js.redDone = make([]bool, job.NumReduces)
+		js.trackerFailures = make(map[string]int)
+		js.blacklisted = make(map[string]bool)
 		rt.active[js] = true
 		defer delete(rt.active, js)
 	}
@@ -356,8 +366,8 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 				wp.Sleep(time.Duration(s) * rt.cfg.LocalityWait / 4)
 				misses := 0
 				for {
-					if rt.faulty && !node.Alive() {
-						return // tracker died; the JobTracker reassigns its work
+					if rt.faulty && (!node.Alive() || js.blacklisted[node.Name]) {
+						return // tracker died or was blacklisted; work goes elsewhere
 					}
 					idx, remain := js.pickMap(node.Name, misses >= rt.cfg.LocalityRetries)
 					if !remain {
@@ -434,7 +444,7 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 				// Fault mode: claim unowned partitions until all are done;
 				// a partition whose owner died is released for re-claiming.
 				for {
-					if !node.Alive() || js.failed != nil {
+					if !node.Alive() || js.failed != nil || js.blacklisted[node.Name] {
 						return
 					}
 					part := -1

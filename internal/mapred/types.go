@@ -173,10 +173,14 @@ type Config struct {
 	// at FetchRetryDelay; after that the map output is declared lost and its
 	// task re-executed. A map task may be attempted MaxTaskAttempts times
 	// (including speculation and re-execution) before the job fails with a
-	// *JobError — Hadoop's mapred.map.max.attempts.
-	MaxFetchRetries int
-	FetchRetryDelay time.Duration
-	MaxTaskAttempts int
+	// *JobError — Hadoop's mapred.map.max.attempts. A tracker that
+	// accumulates MaxTrackerFailures failed attempts in one job is
+	// blacklisted: no new attempts are scheduled there, so a fail-slow node
+	// stops soaking up retries (Hadoop's mapred.max.tracker.failures).
+	MaxFetchRetries    int
+	FetchRetryDelay    time.Duration
+	MaxTaskAttempts    int
+	MaxTrackerFailures int
 
 	// Framework CPU costs (virtual) — defaults mirror a 2010s JVM stack.
 	ParseNsPerRecord   float64
@@ -208,6 +212,7 @@ func DefaultConfig(scale int64) Config {
 		MaxFetchRetries:     3,
 		FetchRetryDelay:     time.Duration(int64(time.Second) * 64 / scale),
 		MaxTaskAttempts:     4,
+		MaxTrackerFailures:  3,
 		ParseNsPerRecord:    120,
 		ParseNsPerByte:      0.4,
 		SortNsPerCompare:    25,
@@ -243,9 +248,10 @@ type Counters struct {
 	SpeculativeWins     int64 // backups that beat the original
 
 	// Fault-recovery counters, nonzero only under fault injection.
-	ReExecutedMaps int64 // map tasks re-run because their output was lost
-	FetchRetries   int64 // reduce fetch attempts that were retried
-	FailedFetches  int64 // fetches abandoned after MaxFetchRetries
+	ReExecutedMaps      int64 // map tasks re-run because their output was lost
+	FetchRetries        int64 // reduce fetch attempts that were retried
+	FailedFetches       int64 // fetches abandoned after MaxFetchRetries
+	BlacklistedTrackers int64 // trackers excluded after MaxTrackerFailures
 
 	ShuffleBytes        int64 // compressed bytes moved to reducers
 	ReduceSpills        int64

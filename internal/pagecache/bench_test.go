@@ -59,7 +59,7 @@ func BenchmarkAblationReadahead(b *testing.B) {
 						cache.Read(p, rs, int64(j*4*PageSectors), 4*PageSectors)
 					}
 				})
-				vt = env.Run(0)
+				vt, _ = env.Run(0)
 			}
 			b.ReportMetric(vt.Seconds()*1000, "virtual-ms")
 		})

@@ -224,7 +224,7 @@ func TestSimulationDrainsWithIdleDaemon(t *testing.T) {
 		c.Write(p, 0, 64)
 		c.Sync(p)
 	})
-	end := env.Run(0)
+	end, _ := env.Run(0)
 	if end > time.Hour {
 		t.Errorf("simulation failed to drain: ended at %v", end)
 	}

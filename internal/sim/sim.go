@@ -19,6 +19,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -30,8 +32,9 @@ type Env struct {
 	events  eventHeap
 	yield   chan struct{}
 	running bool
-	blocked int // processes waiting on a wakeup that is NOT in the event heap
-	live    int // spawned processes that have not finished
+	blocked int                // processes waiting on a wakeup that is NOT in the event heap
+	parked  map[*Proc]struct{} // the non-daemon processes counted by blocked
+	live    int                // spawned processes that have not finished
 	rng     *rand.Rand
 }
 
@@ -40,8 +43,9 @@ type Env struct {
 // with the same seed and the same process program are identical.
 func New(seed int64) *Env {
 	return &Env{
-		yield: make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -165,6 +169,7 @@ func (h *Handle) Kill() {
 		p.wl = nil
 		if !p.daemon {
 			p.env.blocked--
+			delete(p.env.parked, p)
 		}
 		p.env.schedule(event{at: p.env.now, p: p})
 	}
@@ -259,6 +264,7 @@ func (e *Env) AfterFunc(d time.Duration, fn func()) *Timer {
 func (e *Env) wake(p *Proc) {
 	if !p.daemon {
 		e.blocked--
+		delete(e.parked, p)
 	}
 	e.schedule(event{at: e.now, p: p})
 }
@@ -268,6 +274,7 @@ func (e *Env) wake(p *Proc) {
 func (p *Proc) block() {
 	if !p.daemon {
 		p.env.blocked++
+		p.env.parked[p] = struct{}{}
 	}
 	p.env.yield <- struct{}{}
 	<-p.resume
@@ -297,13 +304,32 @@ func (p *Proc) Sleep(d time.Duration) {
 	}
 }
 
+// DeadlockError reports a simulation deadlock: the event heap drained while
+// non-daemon processes remained blocked with no pending wakeup. Blocked
+// lists the stuck processes' names, sorted, so a harness can record the
+// deadlock as a finding instead of crashing.
+type DeadlockError struct {
+	At      time.Duration // virtual time at which the simulation stalled
+	Blocked []string      // names of the blocked non-daemon processes, sorted
+}
+
+func (d *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock: %d process(es) blocked with no pending events at t=%v", len(d.Blocked), d.At)
+	if len(d.Blocked) > 0 {
+		b.WriteString(" [")
+		b.WriteString(strings.Join(d.Blocked, ", "))
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
 // Run executes the simulation until the event heap is empty or until limit
-// (if positive) is reached. It returns the final virtual time. Run panics if
-// processes remain blocked with no pending events — a simulation deadlock —
-// naming the stuck count to aid debugging.
-func (e *Env) Run(limit time.Duration) time.Duration {
-	t, _ := e.run(nil, limit)
-	return t
+// (if positive) is reached. It returns the final virtual time. If processes
+// remain blocked with no pending events — a simulation deadlock — Run
+// returns a *DeadlockError naming them.
+func (e *Env) Run(limit time.Duration) (time.Duration, error) {
+	return e.run(nil, limit)
 }
 
 // cancelStride is how many events Run processes between cancellation polls.
@@ -312,7 +338,8 @@ func (e *Env) Run(limit time.Duration) time.Duration {
 // human-visible delay.
 const cancelStride = 256
 
-// RunContext executes like Run but polls ctx between events and stops early
+// RunContext executes like Run (including returning *DeadlockError on a
+// simulation deadlock) but polls ctx between events and stops early
 // when it is cancelled, returning ctx's error. Cancellation abandons the
 // simulation mid-flight: the virtual clock stays where it was, and process
 // goroutines that were parked stay parked until the whole Env is dropped —
@@ -362,7 +389,12 @@ func (e *Env) run(ctx context.Context, limit time.Duration) (time.Duration, erro
 		<-e.yield
 	}
 	if e.blocked > 0 {
-		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%v", e.blocked, e.now))
+		names := make([]string, 0, len(e.parked))
+		for p := range e.parked {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return e.now, &DeadlockError{At: e.now, Blocked: names}
 	}
 	return e.now, nil
 }

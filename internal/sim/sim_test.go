@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"testing"
 	"testing/quick"
@@ -22,7 +23,7 @@ func TestSleepAdvancesClock(t *testing.T) {
 		p.Sleep(5 * time.Millisecond)
 		at = p.Now()
 	})
-	end := e.Run(0)
+	end, _ := e.Run(0)
 	if at != 5*time.Millisecond {
 		t.Errorf("process observed %v, want 5ms", at)
 	}
@@ -34,7 +35,7 @@ func TestSleepAdvancesClock(t *testing.T) {
 func TestNegativeSleepIsZero(t *testing.T) {
 	e := New(1)
 	e.Go("p", func(p *Proc) { p.Sleep(-time.Second) })
-	if end := e.Run(0); end != 0 {
+	if end, _ := e.Run(0); end != 0 {
 		t.Errorf("end = %v, want 0", end)
 	}
 }
@@ -134,7 +135,7 @@ func TestRunLimitStopsEarly(t *testing.T) {
 			lastSeen = p.Now()
 		}
 	})
-	end := e.Run(10 * time.Second)
+	end, _ := e.Run(10 * time.Second)
 	if end != 10*time.Second {
 		t.Errorf("Run returned %v, want 10s", end)
 	}
@@ -142,22 +143,32 @@ func TestRunLimitStopsEarly(t *testing.T) {
 		t.Errorf("last progress %v, want 10s", lastSeen)
 	}
 	// Resuming must finish the remaining work.
-	end = e.Run(0)
+	end, _ = e.Run(0)
 	if end != 100*time.Second {
 		t.Errorf("resumed Run returned %v, want 100s", end)
 	}
 }
 
-func TestDeadlockPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected deadlock panic")
-		}
-	}()
+func TestDeadlockReturnsError(t *testing.T) {
 	e := New(1)
 	c := NewCond(e)
 	e.Go("stuck", func(p *Proc) { c.Wait(p) })
-	e.Run(0)
+	e.Go("also-stuck", func(p *Proc) { c.Wait(p) })
+	_, err := e.Run(0)
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error is %T, want *DeadlockError", err)
+	}
+	want := "sim: deadlock: 2 process(es) blocked with no pending events at t=0s [also-stuck, stuck]"
+	if err.Error() != want {
+		t.Errorf("error text = %q, want %q", err.Error(), want)
+	}
+	if len(dl.Blocked) != 2 || dl.Blocked[0] != "also-stuck" || dl.Blocked[1] != "stuck" {
+		t.Errorf("Blocked = %v, want [also-stuck stuck]", dl.Blocked)
+	}
 }
 
 func TestResourceSerializesAtCapacity(t *testing.T) {
@@ -411,7 +422,7 @@ func TestQuickSleepArithmetic(t *testing.T) {
 				p.Sleep(time.Duration(r) * time.Microsecond)
 			}
 		})
-		if got := e.Run(0); got != sum {
+		if got, _ := e.Run(0); got != sum {
 			t.Logf("serial: got %v want %v", got, sum)
 			return false
 		}
@@ -421,7 +432,7 @@ func TestQuickSleepArithmetic(t *testing.T) {
 			d := time.Duration(r) * time.Microsecond
 			e2.Go("par", func(p *Proc) { p.Sleep(d) })
 		}
-		if got := e2.Run(0); got != max {
+		if got, _ := e2.Run(0); got != max {
 			t.Logf("parallel: got %v want %v", got, max)
 			return false
 		}
@@ -443,7 +454,8 @@ func TestQuickResourceSerialization(t *testing.T) {
 		for i := 0; i < procs; i++ {
 			e.Go("u", func(p *Proc) { r.Use(p, 1, d) })
 		}
-		return e.Run(0) == time.Duration(procs)*d
+		got, _ := e.Run(0)
+		return got == time.Duration(procs)*d
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -539,7 +551,7 @@ func TestGoexitInProcessDoesNotHangKernel(t *testing.T) {
 		runtime.Goexit() // simulates t.Fatal inside a process
 	})
 	e.Go("other", func(p *Proc) { p.Sleep(2 * time.Second) })
-	end := e.Run(0)
+	end, _ := e.Run(0)
 	if end != 2*time.Second {
 		t.Errorf("end = %v, want 2s", end)
 	}
@@ -557,7 +569,7 @@ func TestKillBlockedOnCondDiesImmediately(t *testing.T) {
 		p.Sleep(time.Second)
 		h.Kill()
 	})
-	end := e.Run(0)
+	end, _ := e.Run(0)
 	if reached {
 		t.Error("victim ran past its wait after Kill")
 	}
@@ -665,7 +677,7 @@ func TestKillFinishedProcessIsNoop(t *testing.T) {
 	e.Run(0)
 	h.Kill() // must not panic or corrupt state
 	e.Go("after", func(p *Proc) { p.Sleep(time.Second) })
-	if end := e.Run(0); end != time.Second {
+	if end, _ := e.Run(0); end != time.Second {
 		t.Errorf("end = %v, want 1s", end)
 	}
 }

@@ -201,7 +201,10 @@ func Replay(recs []Record, dev string, p disk.Params) (*ReplayResult, error) {
 			d.Wait(pr, rq)
 		}
 	})
-	end := env.Run(0)
+	end, err := env.Run(0)
+	if err != nil {
+		return nil, err
+	}
 
 	st := d.Stats()
 	res := &ReplayResult{

@@ -69,6 +69,12 @@ var (
 // MapReduce-intermediate disk groups plus per-job counters.
 type RunReport = core.RunReport
 
+// AuditReport is the post-run invariant audit (HDFS replication, localfs
+// leak accounting, dirty pages, canonical output checksums) attached to
+// RunReport.Audit when Options.Audit is set — the chaos harness's oracle
+// input, usable standalone for any run.
+type AuditReport = core.AuditReport
+
 // Workload is a typed benchmark identifier; use the TS/AGG/KM/PR constants
 // (or Join for the extension) instead of magic strings. It serializes as
 // the paper abbreviation and implements fmt.Stringer.
