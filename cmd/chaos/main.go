@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +53,14 @@ func main() {
 	defer stop()
 
 	if *replay != "" {
+		var set []string
+		flag.Visit(func(f *flag.Flag) { set = append(set, f.Name) })
+		if c := replayConflicts(set); len(c) > 0 {
+			fmt.Fprintf(os.Stderr, "chaos: -replay re-judges one saved schedule and cannot be combined with -%s\n",
+				strings.Join(c, ", -"))
+			flag.Usage()
+			os.Exit(2)
+		}
 		os.Exit(replayFile(ctx, *replay))
 	}
 
@@ -92,10 +101,14 @@ func main() {
 			if v.Survived {
 				survived++
 				if *verbose {
-					fmt.Printf("%-4s seed=%-6d SURVIVED  wall=%-12v reexec=%d retries=%d blacklisted=%d  [%s]\n",
+					note := ""
+					if n := len(v.ExpectedLoss); n > 0 {
+						note = fmt.Sprintf("  (%d expected repl-1 loss(es))", n)
+					}
+					fmt.Printf("%-4s seed=%-6d SURVIVED  wall=%-12v reexec=%d retries=%d blacklisted=%d  [%s]%s\n",
 						v.Schedule.Workload, v.Schedule.ChaosSeed, v.Wall,
 						v.Counters.ReExecutedMaps, v.Counters.FetchRetries,
-						v.Counters.BlacklistedTrackers, v.Schedule.Plan)
+						v.Counters.BlacklistedTrackers, v.Schedule.Plan, note)
 				}
 				continue
 			}
@@ -103,6 +116,9 @@ func main() {
 			fmt.Printf("%-4s seed=%-6d FAILED    [%s]\n", v.Schedule.Workload, v.Schedule.ChaosSeed, v.Schedule.Plan)
 			for _, f := range v.Findings {
 				fmt.Printf("      finding: %s\n", f)
+			}
+			for _, f := range v.ExpectedLoss {
+				fmt.Printf("      expected (repl-1): %s\n", f)
 			}
 			if v.Shrunk != nil {
 				fmt.Printf("      shrunk:  [%s]\n", v.Shrunk.Plan)
@@ -120,6 +136,22 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// replayConflicts returns, in order, the generation-only flags in set (the
+// explicitly passed flag names) that are meaningless next to -replay: a
+// replay runs exactly one schedule whose workload and shape come from the
+// file, so -soak, -runs, and -workload would be silently ignored — reject
+// them instead.
+func replayConflicts(set []string) []string {
+	conflicting := map[string]bool{"soak": true, "runs": true, "workload": true}
+	var out []string
+	for _, name := range set {
+		if conflicting[name] {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // replayFile re-judges one saved schedule; exit status as for generation.

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReplayConflicts(t *testing.T) {
+	cases := []struct {
+		set  []string
+		want []string
+	}{
+		{nil, nil},
+		{[]string{"replay", "v"}, nil},
+		{[]string{"replay", "runs"}, []string{"runs"}},
+		{[]string{"soak", "replay", "workload"}, []string{"soak", "workload"}},
+		{[]string{"runs", "soak", "workload"}, []string{"runs", "soak", "workload"}},
+		{[]string{"scale", "slaves", "seed", "out"}, nil},
+	}
+	for _, c := range cases {
+		if got := replayConflicts(c.set); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("replayConflicts(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}

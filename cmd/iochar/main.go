@@ -49,6 +49,8 @@ func main() {
 		slaves   = flag.Int("slaves", 10, "number of slave nodes")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		frac     = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
+		verify   = flag.Bool("verify", false, "end-to-end HDFS checksums on every cell (extension; timing-neutral)")
+		scrub    = flag.Int64("scrub", 0, "background replica scrubber: bytes/sec rate limit, -1 = unthrottled, 0 = off (implies -verify)")
 		parallel = flag.Int("parallel", 0, "experiment cells to simulate concurrently (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "persist experiment cells under this directory")
 		verbose  = flag.Bool("v", false, "per-cell progress to stderr")
@@ -58,7 +60,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac, Histograms: *hist}
+	opts := iochar.Options{
+		Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac, Histograms: *hist,
+		Integrity: *verify || *scrub != 0, ScrubRate: *scrub,
+	}
 	sopts := []iochar.SuiteOption{iochar.WithParallelism(*parallel)}
 	if *cacheDir != "" {
 		sopts = append(sopts, iochar.WithCacheDir(*cacheDir))

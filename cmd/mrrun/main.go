@@ -39,7 +39,9 @@ func main() {
 		traceFile = flag.String("trace", "", "buffer a block-level I/O trace in memory, write CSV to this file (deprecated; prefer -trace-out)")
 		streamOut = flag.String("trace-out", "", "stream a block-level I/O trace to this file as requests complete (CSV, or NDJSON if the name ends in .ndjson); O(1) memory")
 		hist      = flag.Bool("hist", false, "collect per-request await/svctm/size histograms and print p50/p95/p99/max rows")
-		faultStr  = flag.String("faults", "", `fault plan, e.g. "kill-datanode@15s:node=slave-02;drop-shuffle@5s:until=20s,prob=0.3"`)
+		faultStr  = flag.String("faults", "", `fault plan, e.g. "kill-datanode@15s:node=slave-02;restart-datanode@10s:node=slave-01,down=5s;corrupt-block@8s:path=/bench/TS/in/part-000"`)
+		verify    = flag.Bool("verify", false, "end-to-end HDFS checksums (CRC32C), verified on every read with failover and read-repair")
+		scrub     = flag.Int64("scrub", 0, "background replica scrubber: bytes/sec rate limit, -1 = unthrottled, 0 = off (implies -verify)")
 	)
 	flag.Parse()
 
@@ -61,7 +63,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mrrun: unknown slots config %q (want 1_8 or 2_16)\n", *slots)
 		os.Exit(2)
 	}
-	opts := iochar.Options{Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac, Histograms: *hist}
+	opts := iochar.Options{
+		Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac, Histograms: *hist,
+		Integrity: *verify || *scrub != 0, ScrubRate: *scrub,
+	}
 	if *faultStr != "" {
 		plan, err := iochar.ParseFaultPlan(*faultStr)
 		if err != nil {

@@ -3,6 +3,7 @@ package chaos
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -94,6 +95,60 @@ func TestChaosDeterministicAcrossParallelism(t *testing.T) {
 		}
 		if string(a) != string(b) {
 			t.Errorf("schedule JSON for seed %d not byte-identical", v.Schedule.ChaosSeed)
+		}
+	}
+}
+
+// TestCorruptionOracleAcceptance is the integrity acceptance scenario: a
+// schedule corrupting a replica of every workload's input passes every
+// oracle (read-repair or the post-run scrub heals it before judgement),
+// while the same schedule with integrity verification disabled serves the
+// rotten bytes into the job and fails the output-checksum oracle.
+func TestCorruptionOracleAcceptance(t *testing.T) {
+	ctx := context.Background()
+	h := New(testOpts())
+	for _, w := range core.WorkloadOrder {
+		// Corrupt at 100 µs — after setup loads the inputs, before any map
+		// task has streamed the first block off a disk. Several events, each
+		// flipping bytes in a randomly chosen replica of the part, so the
+		// copy the (deterministically scheduled) map actually reads is dirty
+		// no matter which replica holder the task lands on.
+		in := fmt.Sprintf("/bench/%s/in/part-00000", w)
+		plan := fmt.Sprintf(
+			"corrupt-block@100µs:path=%[1]s;corrupt-block@150µs:path=%[1]s;"+
+				"corrupt-block@200µs:path=%[1]s;corrupt-block@250µs:path=%[1]s", in)
+		pl, err := faults.ParsePlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := h.goldenFor(ctx, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, expected, rep, err := h.check(ctx, w, pl, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 || len(expected) != 0 {
+			t.Errorf("%s: corruption under integrity broke an oracle: %v %v", w, findings, expected)
+		}
+		if rep != nil && rep.Recovery.CorruptReplicas == 0 {
+			t.Errorf("%s: the corruption was never detected (read-repair and scrub both missed it)", w)
+		}
+
+		// Same schedule, verification off: the corrupted replica is read
+		// as-is, so the downstream output must diverge from the golden run.
+		opts := h.Opts().Core
+		opts.Faults = pl
+		opts.Audit = true
+		raw := map[string][]byte{}
+		opts.Inspect = captureFloatOutputs(raw)
+		rep2, err := core.RunOneContext(ctx, w, h.Opts().Factors, opts)
+		if err != nil {
+			t.Fatalf("%s without integrity: %v", w, err)
+		}
+		if fs := CompareOutputs(g.sums, rep2.Audit.OutputSums, g.raw, raw); len(fs) == 0 {
+			t.Errorf("%s: output matched the golden run despite unverified corruption — the checksum oracle has no teeth", w)
 		}
 	}
 }

@@ -115,11 +115,11 @@ func Replay(ctx context.Context, s Schedule) (*Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
-	findings, rep, err := h.check(ctx, w, plan, g)
+	findings, expected, rep, err := h.check(ctx, w, plan, g)
 	if err != nil {
 		return nil, err
 	}
-	v := &Verdict{Schedule: s, Survived: len(findings) == 0, Findings: findings}
+	v := &Verdict{Schedule: s, Survived: len(findings) == 0, Findings: findings, ExpectedLoss: expected}
 	if rep != nil {
 		v.Wall = rep.Wall
 		v.Recovery = rep.Recovery

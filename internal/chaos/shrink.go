@@ -22,7 +22,7 @@ func (h *Harness) shrink(ctx context.Context, w core.Workload, plan faults.Plan,
 			return false
 		}
 		budget--
-		findings, _, err := h.check(ctx, w, pl, g)
+		findings, _, _, err := h.check(ctx, w, pl, g)
 		return err == nil && len(findings) > 0
 	}
 
@@ -83,6 +83,12 @@ func narrowed(pl faults.Plan, i int) []faults.Plan {
 		if f := ev.Factor / 2; f > 1 {
 			e := ev
 			e.Factor = f
+			propose(e)
+		}
+	case faults.RestartDataNode, faults.RestartNode:
+		if d := ev.Down / 2; d > 0 {
+			e := ev
+			e.Down = d
 			propose(e)
 		}
 	}

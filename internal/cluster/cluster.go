@@ -104,15 +104,28 @@ type Node struct {
 	mrNext   int  // round-robin cursor for intermediate volumes
 	hdfsNext int  // round-robin cursor for HDFS volumes
 	down     bool // fail-stop crashed (fault injection)
+	inc      int  // crash count; see Incarnation
 }
 
 // Alive reports whether the node has not been fail-stopped.
 func (n *Node) Alive() bool { return !n.down }
 
+// Incarnation counts the node's crashes. A task attempt snapshots it at
+// start and treats any later change as "my machine died under me" — Alive
+// alone cannot distinguish a crash-and-restart from uninterrupted life, and
+// an attempt that sleeps through a bounce would otherwise resume against
+// intermediate files the crash truncated.
+func (n *Node) Incarnation() int { return n.inc }
+
 // SetDown marks the node crashed or recovered. Pure state; callers (the
 // fault injector) are responsible for also severing the network and
 // notifying HDFS/MapReduce control planes.
-func (n *Node) SetDown(down bool) { n.down = down }
+func (n *Node) SetDown(down bool) {
+	if down && !n.down {
+		n.inc++
+	}
+	n.down = down
+}
 
 // Compute charges d of CPU time on one core, queueing when all cores are
 // busy — the mechanism by which task-slot counts above the core count stop
@@ -137,7 +150,7 @@ func (n *Node) NextMRVol() *localfs.FS {
 			return v
 		}
 	}
-	panic("cluster: all intermediate volumes failed on " + n.Name)
+	panic(fmt.Sprintf("cluster: all intermediate volumes failed on %s (down=%v inc=%d)", n.Name, n.down, n.inc))
 }
 
 // NextHDFSVol returns HDFS data volumes round-robin, mirroring the
@@ -150,7 +163,7 @@ func (n *Node) NextHDFSVol() *localfs.FS {
 			return v
 		}
 	}
-	panic("cluster: all HDFS volumes failed on " + n.Name)
+	panic(fmt.Sprintf("cluster: all HDFS volumes failed on %s (down=%v inc=%d)", n.Name, n.down, n.inc))
 }
 
 // FindNode returns the named node (master or slave), or nil.

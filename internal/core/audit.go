@@ -14,6 +14,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -53,10 +54,32 @@ type AuditReport struct {
 	// produced the same multiset of pairs hash identically even if faults
 	// reordered reduce-side value arrival.
 	OutputSums map[string]string `json:"output_sums"`
-	// Unreadable lists output files whose bytes could not be read back
-	// (typically every replica of some block is gone) — a data-loss oracle
-	// failure even when the NameNode's metadata looks consistent.
+	// Unreadable lists output files whose bytes could not be read back for
+	// reasons other than structured data loss — a data-loss oracle failure
+	// even when the NameNode's metadata looks consistent.
 	Unreadable []string `json:"unreadable,omitempty"`
+	// DataLoss holds the structured form of read-back failures that named
+	// their lost blocks (hdfs.DataLossError): which path, which block IDs,
+	// and the replication target the file asked for. Want==1 losses after a
+	// crash are physics, not a bug — the chaos harness classifies them as
+	// expected for replication-factor-1 outputs.
+	DataLoss []DataLossRecord `json:"data_loss,omitempty"`
+	// BadChunks lists stored replicas whose bytes fail the end-to-end
+	// checksums at audit time (hdfs.AuditIntegrity). Empty unless integrity
+	// is enabled; nonzero means corruption survived read-repair and scrub.
+	BadChunks []string `json:"bad_chunks,omitempty"`
+}
+
+// DataLossRecord is one output file that could not be served because every
+// replica of one or more blocks is unreachable.
+type DataLossRecord struct {
+	Path   string  `json:"path"`
+	Blocks []int64 `json:"blocks"`
+	Want   int     `json:"want"` // the file's replication target
+}
+
+func (d DataLossRecord) String() string {
+	return fmt.Sprintf("%s: blocks %v unreachable (replication target %d)", d.Path, d.Blocks, d.Want)
 }
 
 // Violations renders every invariant failure in the report as a
@@ -75,6 +98,12 @@ func (a *AuditReport) Violations() []string {
 	}
 	for _, u := range a.Unreadable {
 		v = append(v, "output unreadable: "+u)
+	}
+	for _, d := range a.DataLoss {
+		v = append(v, "data loss: "+d.String())
+	}
+	for _, b := range a.BadChunks {
+		v = append(v, "bad chunks: "+b)
 	}
 	return v
 }
@@ -121,23 +150,36 @@ func auditRun(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster) *AuditReport {
 		}
 	}
 
+	a.BadChunks = fs.AuditIntegrity()
+
 	for _, path := range fs.List(auditPrefix) {
 		if !isOutputPath(path) {
 			continue
 		}
 		r, err := fs.Open(path, cl.Master.Name)
 		if err != nil {
-			a.Unreadable = append(a.Unreadable, fmt.Sprintf("%s: %v", path, err))
+			a.noteReadFailure(path, err)
 			continue
 		}
 		data, err := r.ReadAt(p, 0, r.Size())
 		if err != nil {
-			a.Unreadable = append(a.Unreadable, fmt.Sprintf("%s: %v", path, err))
+			a.noteReadFailure(path, err)
 			continue
 		}
 		a.OutputSums[path] = canonicalKVSum(data)
 	}
 	return a
+}
+
+// noteReadFailure files an output read-back failure under DataLoss when the
+// error names its lost blocks, and under Unreadable otherwise.
+func (a *AuditReport) noteReadFailure(path string, err error) {
+	var dl *hdfs.DataLossError
+	if errors.As(err, &dl) {
+		a.DataLoss = append(a.DataLoss, DataLossRecord{Path: path, Blocks: dl.Blocks, Want: dl.Want})
+		return
+	}
+	a.Unreadable = append(a.Unreadable, fmt.Sprintf("%s: %v", path, err))
 }
 
 // isOutputPath reports whether an HDFS path is a job-output file: under the

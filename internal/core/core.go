@@ -112,6 +112,17 @@ type Options struct {
 	// recovery budgets on purpose and prove the oracles catch it. Runs with
 	// it set bypass the persistent cache (the closure is not serializable).
 	TuneMapred func(*mapred.Config)
+	// Integrity switches on end-to-end HDFS checksumming: per-chunk CRC32C
+	// computed from the writer's bytes, verified on every streaming read,
+	// with corrupt replicas reported and read-repaired. Off by default — a
+	// healthy baseline carries no verification and is byte-identical to the
+	// seed.
+	Integrity bool
+	// ScrubRate enables the background replica scrubber (implies Integrity's
+	// machinery must be on; RunOne enforces the pairing). > 0 is a
+	// bytes-per-second rate limit; < 0 runs unthrottled passes. 0 leaves the
+	// scrubber off.
+	ScrubRate int64
 	// Audit switches on the post-run invariant audit (RunReport.Audit): HDFS
 	// replication cross-check, localfs leak accounting, dirty-page check, and
 	// canonical output checksums. It runs after monitoring stops, so measured
@@ -236,6 +247,11 @@ const (
 	GroupMRVictims     = "MapReduce-victims"
 	GroupHDFSSurvivors = "HDFS-survivors"
 	GroupMRSurvivors   = "MapReduce-survivors"
+	// Recovering groups cover nodes a restart fault takes down and brings
+	// back: their disks flatline during the outage, then absorb block-report
+	// scans, journal replays, and any re-replication catch-up on rejoin.
+	GroupHDFSRecovering = "HDFS-recovering"
+	GroupMRRecovering   = "MapReduce-recovering"
 )
 
 // RunOne builds a fresh testbed and executes one experiment cell.
@@ -303,6 +319,11 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	hcfg := hdfs.DefaultConfig(opts.Scale)
 	hcfg.BlockSize = opts.blockBytes()
 	fs := hdfs.New(env, hcfg, cl.Net, cl.Slaves)
+	if opts.Integrity || opts.ScrubRate != 0 {
+		// Enabled before Prepare so the sums are computed from the pristine
+		// input bytes, ahead of any fault.
+		fs.EnableIntegrity()
+	}
 
 	mcfg := mapred.DefaultConfig(opts.Scale)
 	mcfg.MapSlots = f.Slots.MapSlots
@@ -337,6 +358,13 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 			return nil, err
 		}
 	}
+	if opts.ScrubRate != 0 {
+		scfg := hdfs.ScrubConfig{PassInterval: scaleDur(30*time.Second, opts.Scale)}
+		if opts.ScrubRate > 0 {
+			scfg.BytesPerSec = opts.ScrubRate
+		}
+		fs.EnableScrubber(scfg)
+	}
 
 	wl.Prepare(fs, cl, opts.inputBytes(wl), opts.Seed)
 
@@ -357,6 +385,7 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 		// The injector and recovery loops must stop even when the workload
 		// fails, or their periodic events would keep Env.Run alive forever.
 		defer func() {
+			fs.StopScrubber()
 			if inj != nil {
 				inj.Stop()
 				fs.StopRecovery()
@@ -380,6 +409,14 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 			}
 			// Let detection and re-replication finish inside the monitored
 			// window, so the iostat series shows the recovery traffic.
+			fs.WaitRecovered(p)
+		}
+		if opts.ScrubRate != 0 {
+			// Wait out one full scrub pass over the settled namespace, then
+			// any read-repair it queued: silent corruption in blocks the
+			// workload never re-read is still found and fixed inside the
+			// monitored window.
+			fs.ScrubWait(p)
 			fs.WaitRecovered(p)
 		}
 		cl.SyncAll(p) // flush caches so iostat sees all writes
@@ -423,20 +460,28 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 // the healthy period before the fault fires.
 func addFaultGroups(mon *iostat.Monitor, cl *cluster.Cluster, plan faults.Plan) []string {
 	victim := map[string]bool{}
+	recovering := map[string]bool{}
 	for _, ev := range plan.Events {
-		if ev.Kind == faults.KillNode || ev.Kind == faults.KillDataNode {
+		switch ev.Kind {
+		case faults.KillNode, faults.KillDataNode:
 			victim[ev.Node] = true
+		case faults.RestartNode, faults.RestartDataNode:
+			recovering[ev.Node] = true
 		}
 	}
-	if len(victim) == 0 {
+	if len(victim) == 0 && len(recovering) == 0 {
 		return nil
 	}
-	var vh, vm, sh, sm []*disk.Disk
+	var vh, vm, rh, rm, sh, sm []*disk.Disk
 	for _, s := range cl.Slaves {
-		if victim[s.Name] {
+		switch {
+		case victim[s.Name]:
 			vh = append(vh, s.HDFSDisks...)
 			vm = append(vm, s.MRDisks...)
-		} else {
+		case recovering[s.Name]:
+			rh = append(rh, s.HDFSDisks...)
+			rm = append(rm, s.MRDisks...)
+		default:
 			sh = append(sh, s.HDFSDisks...)
 			sm = append(sm, s.MRDisks...)
 		}
@@ -450,6 +495,8 @@ func addFaultGroups(mon *iostat.Monitor, cl *cluster.Cluster, plan faults.Plan) 
 	}
 	add(GroupHDFSVictims, vh)
 	add(GroupMRVictims, vm)
+	add(GroupHDFSRecovering, rh)
+	add(GroupMRRecovering, rm)
 	add(GroupHDFSSurvivors, sh)
 	add(GroupMRSurvivors, sm)
 	return names

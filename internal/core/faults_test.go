@@ -92,6 +92,7 @@ type tsOutcome struct {
 func runTS(t *testing.T, planStr string) *tsOutcome {
 	t.Helper()
 	opts := fastOpts
+	opts.Audit = true
 	if planStr != "" {
 		plan, err := faults.ParsePlan(planStr)
 		if err != nil {
@@ -227,6 +228,119 @@ func TestShuffleDropRetries(t *testing.T) {
 	}
 	if retries == 0 {
 		t.Errorf("no fetch retries recorded under a 50%% drop window")
+	}
+}
+
+// restartPlan bounces one node's DataNode mid-TeraSort: the crash at 300 ms
+// is mid-map-phase, the 400 ms outage spans the (scaled) dead timeout, so
+// detection fires, re-replication starts, and the node rejoins with a block
+// report that must reconcile against partially repaired state.
+const restartPlan = "restart-datanode@300ms:node=slave-02,down=400ms"
+
+// TestRestartDataNodeMidTeraSort is the rejoin acceptance scenario: a
+// DataNode bounce mid-job leaves output byte-identical to the healthy run,
+// the rejoined node shows up in the recovering iostat group, and the
+// post-run replication audit is clean.
+func TestRestartDataNodeMidTeraSort(t *testing.T) {
+	healthy := runTS(t, "")
+	faulty := runTS(t, restartPlan)
+
+	if len(faulty.sums) == 0 || !reflect.DeepEqual(healthy.sums, faulty.sums) {
+		t.Errorf("output diverged under a DataNode restart: healthy %d part(s), faulty %d part(s)",
+			len(healthy.sums), len(faulty.sums))
+	}
+	rec := faulty.rep.Recovery
+	if rec.BlockReports == 0 {
+		t.Error("rejoin sent no block report")
+	}
+	if rec.DeadDataNodes != 1 {
+		t.Errorf("DeadDataNodes = %d, want 1 (the bounce must cross the dead timeout)", rec.DeadDataNodes)
+	}
+	for _, name := range []string{GroupHDFSRecovering, GroupMRRecovering, GroupHDFSSurvivors, GroupMRSurvivors} {
+		if faulty.rep.FaultGroups[name] == nil {
+			t.Errorf("missing fault iostat group %q", name)
+		}
+	}
+	if faulty.rep.FaultGroups[GroupHDFSVictims] != nil {
+		t.Error("restart-only plan registered a victims group")
+	}
+	if faulty.underRep != 0 {
+		t.Errorf("%d block(s) under-replicated after the rejoin settled", faulty.underRep)
+	}
+	if faulty.rep.Audit == nil || !faulty.rep.Audit.Clean() {
+		t.Errorf("audit not clean after restart: %v", faulty.rep.Audit.Violations())
+	}
+}
+
+// TestRejoinDuringReReplication overlaps a permanent DataNode loss with a
+// bounce of a second node, so the second node's block report is reconciled
+// while re-replication streams from the first loss are still in flight.
+// Under `go test -race` (the CI configuration) this doubles as the data-race
+// test for block-report reconciliation against live recovery state.
+func TestRejoinDuringReReplication(t *testing.T) {
+	healthy := runTS(t, "")
+	faulty := runTS(t, "kill-datanode@300ms:node=slave-01;restart-datanode@320ms:node=slave-02,down=120ms")
+
+	if !reflect.DeepEqual(healthy.sums, faulty.sums) {
+		t.Error("output diverged when a rejoin raced re-replication")
+	}
+	rec := faulty.rep.Recovery
+	if rec.BlockReports == 0 {
+		t.Error("no block report from the bounced node")
+	}
+	if rec.ReReplicatedBlocks == 0 {
+		t.Error("the permanent loss triggered no re-replication")
+	}
+	if faulty.underRep != 0 {
+		t.Errorf("%d block(s) under-replicated after recovery", faulty.underRep)
+	}
+	if faulty.rep.Audit == nil || !faulty.rep.Audit.Clean() {
+		t.Errorf("audit not clean: %v", faulty.rep.Audit.Violations())
+	}
+}
+
+// TestRestartNodeZombieTasks bounces a whole node (TaskTracker included)
+// with an outage short enough that the machine is back up while task
+// attempts started under its previous incarnation are still mid-flight.
+// Regression: Alive() alone cannot see a crash-and-restart, so a "zombie"
+// attempt used to survive the bounce and merge its crash-truncated spill
+// files, panicking in decompression. The incarnation counter must kill the
+// attempt instead, and the rerun must leave output byte-identical.
+func TestRestartNodeZombieTasks(t *testing.T) {
+	healthy := runTS(t, "")
+	faulty := runTS(t, "restart-node@300ms:node=slave-02,down=50ms")
+
+	if len(faulty.sums) == 0 || !reflect.DeepEqual(healthy.sums, faulty.sums) {
+		t.Errorf("output diverged after a fast node bounce: healthy %d part(s), faulty %d part(s)",
+			len(healthy.sums), len(faulty.sums))
+	}
+	if faulty.underRep != 0 {
+		t.Errorf("%d block(s) under-replicated after the bounce settled", faulty.underRep)
+	}
+	if faulty.rep.Audit == nil || !faulty.rep.Audit.Clean() {
+		t.Errorf("audit not clean after node bounce: %v", faulty.rep.Audit.Violations())
+	}
+}
+
+// TestOverlappingNodeRestarts crashes the same node again before the first
+// reboot has finished its journal-replay remounts. Regression: the first
+// reboot's rejoin half used to complete anyway, resurrecting the node in
+// the middle of its second outage and letting re-replication target a
+// machine whose volumes were failed. The crash-generation guard must
+// abandon the superseded reboot.
+func TestOverlappingNodeRestarts(t *testing.T) {
+	healthy := runTS(t, "")
+	faulty := runTS(t, "restart-node@300ms:node=slave-02,down=120ms;restart-node@430ms:node=slave-02,down=150ms")
+
+	if len(faulty.sums) == 0 || !reflect.DeepEqual(healthy.sums, faulty.sums) {
+		t.Errorf("output diverged under overlapping restarts: healthy %d part(s), faulty %d part(s)",
+			len(healthy.sums), len(faulty.sums))
+	}
+	if faulty.underRep != 0 {
+		t.Errorf("%d block(s) under-replicated after overlapping restarts", faulty.underRep)
+	}
+	if faulty.rep.Audit == nil || !faulty.rep.Audit.Clean() {
+		t.Errorf("audit not clean after overlapping restarts: %v", faulty.rep.Audit.Violations())
 	}
 }
 

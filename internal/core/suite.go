@@ -15,7 +15,7 @@ import (
 // reports stale — a new counter, a renamed field, a behavioural fix that
 // shifts byte totals — so old cache entries degrade to misses instead of
 // resurfacing outdated figures.
-const SchemaVersion = 3
+const SchemaVersion = 4
 
 // RunSource says where a resolved experiment cell came from.
 type RunSource string
@@ -266,6 +266,8 @@ type runKeyMaterial struct {
 	FaultSeed       int64
 	Recovery        hdfs.RecoveryConfig
 	Audit           bool
+	Integrity       bool
+	ScrubRate       int64
 }
 
 func keyMaterial(w Workload, f Factors, opts Options) runKeyMaterial {
@@ -288,6 +290,8 @@ func keyMaterial(w Workload, f Factors, opts Options) runKeyMaterial {
 		FaultSeed:       opts.Faults.Seed,
 		Recovery:        opts.Recovery,
 		Audit:           opts.Audit,
+		Integrity:       opts.Integrity,
+		ScrubRate:       opts.ScrubRate,
 	}
 }
 

@@ -303,6 +303,114 @@ func TestFaultedDiskCacheRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRestartRunDeterministicAcrossParallelism pins the determinism contract
+// for the new fault kinds: cells under a restart+corruption plan (with
+// integrity verification and audit on) resolve byte-identically whether the
+// suite runs them sequentially or across a worker pool.
+func TestRestartRunDeterministicAcrossParallelism(t *testing.T) {
+	opts := fastOpts
+	opts.Audit = true
+	opts.Integrity = true
+	var err error
+	opts.Faults, err = faults.ParsePlan(
+		"corrupt-block@250ms:node=slave-01;restart-datanode@300ms:node=slave-02,down=400ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := NewSuite(opts, WithParallelism(4))
+	cells := []Cell{{TS, SlotsRuns[0]}, {AGG, SlotsRuns[0]}, {TS, MemoryRuns[1]}}
+	if err := par.Prewarm(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSuite(opts) // parallelism 1
+	for _, c := range cells {
+		want, err := seq.Run(c.Workload, c.Factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Run(c.Workload, c.Factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reportJSON(t, got) != reportJSON(t, want) {
+			t.Errorf("%s: restart-run report differs between parallelism 1 and 4",
+				c.Factors.cacheKey(c.Workload))
+		}
+		if got.Recovery.BlockReports == 0 {
+			t.Errorf("%s: no block report recorded — the restart never exercised rejoin",
+				c.Factors.cacheKey(c.Workload))
+		}
+	}
+}
+
+// TestFaultedRestartNeverAliasesCleanCache: a restart+corruption run and the
+// fault-free configuration of the same cell must occupy different content
+// addresses — a cold faulted run executes, its warm repeat is a pure disk
+// hit, and a clean suite over the same cache directory still executes rather
+// than being served the faulted report (or vice versa).
+func TestFaultedRestartNeverAliasesCleanCache(t *testing.T) {
+	dir := t.TempDir()
+	faulted := tinyOpts
+	faulted.Audit = true
+	faulted.Integrity = true
+	faulted.ScrubRate = -1
+	var err error
+	faulted.Faults, err = faults.ParsePlan("restart-datanode@100ms:node=slave-01,down=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cold countingProgress
+	a := NewSuite(faulted, WithCacheDir(dir), WithProgress(cold.fn))
+	repFaulted, err := a.Run(TS, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.executed.Load() != 1 || cold.disk.Load() != 0 {
+		t.Fatalf("cold faulted run: executed=%d disk=%d", cold.executed.Load(), cold.disk.Load())
+	}
+
+	var warm countingProgress
+	b := NewSuite(faulted, WithCacheDir(dir), WithProgress(warm.fn))
+	repWarm, err := b.Run(TS, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.executed.Load() != 0 || warm.disk.Load() != 1 {
+		t.Errorf("warm faulted run: executed=%d disk=%d, want pure disk hit",
+			warm.executed.Load(), warm.disk.Load())
+	}
+	if reportJSON(t, repWarm) != reportJSON(t, repFaulted) {
+		t.Error("disk round trip changed the faulted-restart report")
+	}
+
+	// A clean suite over the same directory must NOT see the faulted entry.
+	var clean countingProgress
+	c := NewSuite(tinyOpts, WithCacheDir(dir), WithProgress(clean.fn))
+	repClean, err := c.Run(TS, SlotsRuns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.disk.Load() != 0 || clean.executed.Load() != 1 {
+		t.Errorf("clean run over faulted cache: executed=%d disk=%d, want a fresh execution",
+			clean.executed.Load(), clean.disk.Load())
+	}
+	if repClean.Recovery.BlockReports != 0 || repClean.FaultsInjected != nil {
+		t.Errorf("clean run carries faulted state — cache aliasing: %+v", repClean.Recovery)
+	}
+
+	// And the faulted cell must still be servable from disk afterwards.
+	var warm2 countingProgress
+	d := NewSuite(faulted, WithCacheDir(dir), WithProgress(warm2.fn))
+	if _, err := d.Run(TS, SlotsRuns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if warm2.disk.Load() != 1 {
+		t.Error("clean run evicted or shadowed the faulted cache entry")
+	}
+}
+
 // TestCacheKeySeparatesConfigurations: any change to the run configuration
 // must land in a different slot.
 func TestCacheKeySeparatesConfigurations(t *testing.T) {
@@ -338,6 +446,12 @@ func TestCacheKeySeparatesConfigurations(t *testing.T) {
 	o = base
 	o.Audit = true
 	variants["audit"] = o
+	o = base
+	o.Integrity = true
+	variants["integrity"] = o
+	o = base
+	o.ScrubRate = 4 << 20
+	variants["scrub-rate"] = o
 	for name, opts := range variants {
 		k, err := runcache.Key(keyMaterial(TS, SlotsRuns[0], opts))
 		if err != nil {

@@ -47,13 +47,16 @@ type Stage uint8
 
 // Pipeline stages. The four named stages are the ones the paper's workloads
 // exercise: map-side/reduce-side spills, multi-pass merges, shuffle serving,
-// and HDFS block I/O (input reads, output and replication writes).
+// and HDFS block I/O (input reads, output and replication writes). StageScrub
+// tags the background checksum scrubber's verification reads, so scrub
+// traffic is separable from foreground I/O in traces and attribution.
 const (
 	StageNone Stage = iota
 	StageHDFS
 	StageSpill
 	StageMerge
 	StageShuffle
+	StageScrub
 
 	numStages
 )
@@ -68,6 +71,8 @@ func (s Stage) String() string {
 		return "merge"
 	case StageShuffle:
 		return "shuffle"
+	case StageScrub:
+		return "scrub"
 	default:
 		return "-"
 	}
@@ -90,6 +95,8 @@ func ParseStage(s string) (Stage, error) {
 		return StageMerge, nil
 	case "shuffle":
 		return StageShuffle, nil
+	case "scrub":
+		return StageScrub, nil
 	}
 	return StageNone, fmt.Errorf("disk: unknown stage %q", s)
 }

@@ -56,6 +56,23 @@ const (
 	// DropShuffle drops each shuffle fetch with probability Prob inside the
 	// window [At, Until), forcing the reduce side into retry/backoff.
 	DropShuffle Kind = "drop-shuffle"
+	// RestartDataNode fail-stops the DataNode process at At and restarts it
+	// Down later: on rejoin it sends a block report the NameNode reconciles
+	// (re-adopting intact replicas, purging stale ones, cancelling repairs
+	// that are no longer needed). The machine, its page cache, NIC, and
+	// TaskTracker stay up throughout.
+	RestartDataNode Kind = "restart-datanode"
+	// RestartNode power-cycles the whole machine: at At it dies like
+	// KillNode and every local volume crashes (dirty page cache lost, files
+	// truncated to their flushed prefix); Down later the volumes remount by
+	// replaying their metadata journals, the NIC returns, the DataNode
+	// rejoins with a block report, and the TaskTracker re-registers with the
+	// JobTracker so its slots rejoin scheduling.
+	RestartNode Kind = "restart-node"
+	// CorruptBlock silently flips bytes inside one stored HDFS replica on
+	// the target node (optionally restricted to blocks of path=). Nothing
+	// notices until a checksummed read or the scrubber trips over it.
+	CorruptBlock Kind = "corrupt-block"
 )
 
 // Event is one scheduled fault.
@@ -67,6 +84,8 @@ type Event struct {
 	Factor float64       // SlowDisk service-time multiplier (> 1)
 	Until  time.Duration // DropShuffle window end
 	Prob   float64       // DropShuffle per-fetch drop probability
+	Down   time.Duration // Restart* outage length; the rejoin fires at At+Down
+	Path   string        // CorruptBlock: restrict victims to this HDFS path
 }
 
 // String renders the event in ParsePlan's syntax.
@@ -90,6 +109,12 @@ func (ev Event) String() string {
 	if ev.Kind == DropShuffle {
 		put("until", ev.Until.String())
 		put("prob", strconv.FormatFloat(ev.Prob, 'g', -1, 64))
+	}
+	if ev.Down != 0 {
+		put("down", ev.Down.String())
+	}
+	if ev.Path != "" {
+		put("path", ev.Path)
 	}
 	return b.String()
 }
@@ -144,7 +169,8 @@ func parseEvent(s string) (Event, error) {
 	}
 	ev := Event{Kind: Kind(kindStr)}
 	switch ev.Kind {
-	case KillDataNode, KillNode, FailDisk, SlowDisk, DropShuffle:
+	case KillDataNode, KillNode, FailDisk, SlowDisk, DropShuffle,
+		RestartDataNode, RestartNode, CorruptBlock:
 	default:
 		return Event{}, fmt.Errorf("faults: %q: unknown fault kind %q", s, kindStr)
 	}
@@ -170,6 +196,10 @@ func parseEvent(s string) (Event, error) {
 				ev.Until, err = time.ParseDuration(v)
 			case "prob":
 				ev.Prob, err = strconv.ParseFloat(v, 64)
+			case "down":
+				ev.Down, err = time.ParseDuration(v)
+			case "path":
+				ev.Path = v
 			default:
 				return Event{}, fmt.Errorf("faults: %q: unknown argument %q", s, k)
 			}
@@ -202,6 +232,17 @@ func (ev Event) validate() error {
 		if ev.Prob <= 0 || ev.Prob > 1 {
 			return fmt.Errorf("faults: %s needs prob in (0,1], got %g", ev.Kind, ev.Prob)
 		}
+	case RestartDataNode, RestartNode:
+		if ev.Node == "" {
+			return fmt.Errorf("faults: %s needs node=", ev.Kind)
+		}
+		if ev.Down <= 0 {
+			return fmt.Errorf("faults: %s needs down > 0", ev.Kind)
+		}
+	case CorruptBlock:
+		if ev.Node == "" && ev.Path == "" {
+			return fmt.Errorf("faults: %s needs node= or path=", ev.Kind)
+		}
 	}
 	return nil
 }
@@ -209,13 +250,14 @@ func (ev Event) validate() error {
 // RandomPlan samples n fault events uniformly over [0, window) against the
 // given nodes, deterministically for a seed. Disk faults always target index
 // 0 of a random role (every node has at least one disk per role); kill-node
-// is excluded when nodes has a single entry, since losing the only slave
-// cannot be survived. Events are sorted by time.
+// and restart-node are excluded when nodes has a single entry, since losing
+// the only slave cannot be survived (even briefly — a restart still loses
+// the only copy of running attempts). Events are sorted by time.
 func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 	rng := rand.New(rand.NewSource(seed))
-	kinds := []Kind{KillDataNode, FailDisk, SlowDisk, DropShuffle, KillNode}
+	kinds := []Kind{KillDataNode, FailDisk, SlowDisk, DropShuffle, RestartDataNode, CorruptBlock, KillNode, RestartNode}
 	if len(nodes) <= 1 {
-		kinds = kinds[:4]
+		kinds = kinds[:6]
 	}
 	pl := Plan{Seed: seed}
 	killed := 0
@@ -225,9 +267,10 @@ func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 			At:   time.Duration(rng.Int63n(int64(window))),
 			Node: nodes[rng.Intn(len(nodes))],
 		}
-		if ev.Kind == KillNode {
-			// At most half the cluster may die, or quorum-less recovery
-			// (fewer live nodes than the replication factor) dominates.
+		if ev.Kind == KillNode || ev.Kind == RestartNode {
+			// At most half the cluster may be down at once, or quorum-less
+			// recovery (fewer live nodes than the replication factor)
+			// dominates. Restarting nodes count: they are dead while down.
 			if killed+1 >= (len(nodes)+1)/2 {
 				ev.Kind = KillDataNode
 			} else {
@@ -246,6 +289,11 @@ func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 			ev.Node = ""
 			ev.Until = ev.At + time.Duration(rng.Int63n(int64(window)))
 			ev.Prob = 0.1 + 0.4*rng.Float64()
+		case RestartDataNode, RestartNode:
+			// Outages between an eighth and a third of the window: long
+			// enough that the dead timeout can fire first, short enough that
+			// the rejoin lands inside the run.
+			ev.Down = window/8 + time.Duration(rng.Int63n(int64(window)/4+1))
 		}
 		pl.Events = append(pl.Events, ev)
 	}
@@ -264,9 +312,26 @@ type Injector struct {
 	rt   *mapred.Runtime
 	plan Plan
 
-	timers  []*sim.Timer
-	victims []string // nodes whose DataNode or whole machine was killed
-	fired   []string // log of injected events, in firing order
+	timers   []*sim.Timer
+	victims  []string // nodes whose DataNode or whole machine was killed for good
+	restarts []string // nodes taken down by a restart event (they come back)
+	fired    []string // log of injected events, in firing order
+
+	// crashGen counts the death events fired at each node. A restart's
+	// rejoin half captures the generation its crash created and aborts if a
+	// later kill or crash superseded it — otherwise a reboot whose journal
+	// replay outlives the next power failure would resurrect a node that is
+	// supposed to be down (or down for good).
+	crashGen map[string]int
+}
+
+// bumpGen records one death event at node and returns the new generation.
+func (in *Injector) bumpGen(node string) int {
+	if in.crashGen == nil {
+		in.crashGen = make(map[string]int)
+	}
+	in.crashGen[node]++
+	return in.crashGen[node]
 }
 
 // New wires an injector. fs and rt may be nil when the plan does not touch
@@ -281,10 +346,24 @@ func New(env *sim.Env, cl *cluster.Cluster, fs *hdfs.FS, rt *mapred.Runtime, pla
 // event names an unknown node or disk.
 func (in *Injector) Start() error {
 	var drops []Event
-	for _, ev := range in.plan.Events {
-		ev := ev
+	for i, ev := range in.plan.Events {
+		i, ev := i, ev
 		if ev.Kind == DropShuffle {
 			drops = append(drops, ev)
+			continue
+		}
+		if ev.Kind == CorruptBlock {
+			if in.fs == nil {
+				return fmt.Errorf("faults: %s without an HDFS instance", ev.Kind)
+			}
+			if ev.Node != "" && in.cl.FindNode(ev.Node) == nil {
+				return fmt.Errorf("faults: %s: unknown node %q", ev.Kind, ev.Node)
+			}
+			// One rng per event, derived from the plan seed and the event's
+			// position, so victim choice is deterministic and independent of
+			// sibling events.
+			rng := rand.New(rand.NewSource(in.plan.Seed ^ int64(i+1)*0x9E3779B97F4A7C))
+			in.timers = append(in.timers, in.env.AfterFunc(ev.At, func() { in.corruptBlock(ev, rng) }))
 			continue
 		}
 		if ev.Node == "" {
@@ -295,6 +374,7 @@ func (in *Injector) Start() error {
 			return fmt.Errorf("faults: %s: unknown node %q", ev.Kind, ev.Node)
 		}
 		var fire func()
+		var rejoin func()
 		switch ev.Kind {
 		case KillDataNode:
 			if in.fs == nil {
@@ -306,6 +386,20 @@ func (in *Injector) Start() error {
 				return fmt.Errorf("faults: %s without HDFS and MapReduce instances", ev.Kind)
 			}
 			fire = func() { in.killNode(ev, node) }
+		case RestartDataNode:
+			if in.fs == nil {
+				return fmt.Errorf("faults: %s without an HDFS instance", ev.Kind)
+			}
+			gen := new(int)
+			fire = func() { *gen = in.stopDataNode(ev) }
+			rejoin = func() { in.rejoinDataNode(ev, *gen) }
+		case RestartNode:
+			if in.fs == nil || in.rt == nil {
+				return fmt.Errorf("faults: %s without HDFS and MapReduce instances", ev.Kind)
+			}
+			gen := new(int)
+			fire = func() { *gen = in.crashNode(ev, node) }
+			rejoin = func() { in.rebootNode(ev, node, *gen) }
 		case FailDisk, SlowDisk:
 			if ev.Disk == "" {
 				return fmt.Errorf("faults: %s needs node= and disk= to target a cluster", ev.Kind)
@@ -321,6 +415,9 @@ func (in *Injector) Start() error {
 			}
 		}
 		in.timers = append(in.timers, in.env.AfterFunc(ev.At, fire))
+		if rejoin != nil {
+			in.timers = append(in.timers, in.env.AfterFunc(ev.At+ev.Down, rejoin))
+		}
 	}
 	if len(drops) > 0 {
 		if in.rt == nil {
@@ -350,6 +447,7 @@ func (in *Injector) Start() error {
 // killDataNode fail-stops just the DataNode process: the machine, its NIC,
 // and its TaskTracker stay up.
 func (in *Injector) killDataNode(ev Event) {
+	in.bumpGen(ev.Node)
 	in.fs.CrashDataNode(ev.Node)
 	in.victims = append(in.victims, ev.Node)
 	in.note(ev)
@@ -360,6 +458,7 @@ func (in *Injector) killDataNode(ev Event) {
 // the NIC goes dark (in-flight transfers collapse), the DataNode stops
 // heartbeating, and the JobTracker writes off the node's attempts/outputs.
 func (in *Injector) killNode(ev Event, node *cluster.Node) {
+	in.bumpGen(ev.Node)
 	node.SetDown(true)
 	in.net.SetDown(ev.Node, true)
 	in.fs.CrashDataNode(ev.Node)
@@ -387,6 +486,98 @@ func (in *Injector) slowDisk(ev Event, vol *localfs.FS) {
 	in.note(ev)
 }
 
+// stopDataNode is the down half of restart-datanode: only the DataNode
+// process dies — volumes, page cache, NIC, and TaskTracker stay up.
+func (in *Injector) stopDataNode(ev Event) int {
+	gen := in.bumpGen(ev.Node)
+	in.fs.CrashDataNode(ev.Node)
+	in.restarts = append(in.restarts, ev.Node)
+	in.note(ev)
+	return gen
+}
+
+// rejoinDataNode is the up half of restart-datanode: the process restarts
+// and sends its block report. gen is the generation the paired stop
+// created; if a later kill or crash hit the node during the outage, this
+// rejoin is superseded and must not resurrect it.
+func (in *Injector) rejoinDataNode(ev Event, gen int) {
+	in.env.Go("rejoin:"+ev.Node, func(p *sim.Proc) {
+		if in.crashGen[ev.Node] != gen {
+			return
+		}
+		in.fs.RejoinDataNode(p, ev.Node)
+		in.noteRejoin(ev)
+	})
+}
+
+// crashNode is the down half of restart-node: the machine power-fails.
+// Every local volume crashes (dirty pages lost, files truncated to their
+// flushed prefix), the NIC goes dark, and the control planes observe the
+// death exactly as for kill-node.
+func (in *Injector) crashNode(ev Event, node *cluster.Node) int {
+	gen := in.bumpGen(ev.Node)
+	node.SetDown(true)
+	in.net.SetDown(ev.Node, true)
+	for _, vol := range node.HDFSVols {
+		vol.Crash()
+	}
+	for _, vol := range node.MRVols {
+		vol.Crash()
+	}
+	in.fs.CrashDataNode(ev.Node)
+	in.rt.OnNodeDown(ev.Node)
+	in.restarts = append(in.restarts, ev.Node)
+	in.note(ev)
+	return gen
+}
+
+// rebootNode is the up half of restart-node: volumes remount (journal
+// replay), the NIC returns, the DataNode rejoins with a block report, and
+// the TaskTracker re-registers so its slots rejoin scheduling. gen is the
+// generation the paired crash created; the reboot aborts — including
+// between volume remounts, which replay journals in virtual time — as soon
+// as a later death event supersedes it, so a reboot never resurrects a node
+// whose next outage has already begun.
+func (in *Injector) rebootNode(ev Event, node *cluster.Node, gen int) {
+	in.env.Go("reboot:"+ev.Node, func(p *sim.Proc) {
+		stale := func() bool { return in.crashGen[ev.Node] != gen }
+		for _, vol := range node.HDFSVols {
+			if stale() {
+				return
+			}
+			vol.Remount(p)
+		}
+		for _, vol := range node.MRVols {
+			if stale() {
+				return
+			}
+			vol.Remount(p)
+		}
+		if stale() {
+			return
+		}
+		node.SetDown(false)
+		in.net.SetDown(ev.Node, false)
+		in.fs.RejoinDataNode(p, ev.Node)
+		if in.rt != nil {
+			in.rt.OnNodeRejoin(ev.Node)
+		}
+		in.noteRejoin(ev)
+	})
+}
+
+// corruptBlock flips bytes in one stored replica, chosen deterministically
+// by the event's rng. A target that stores nothing eligible (already died,
+// or never held the path) makes the event a logged no-op.
+func (in *Injector) corruptBlock(ev Event, rng *rand.Rand) {
+	id := in.fs.CorruptReplica(ev.Node, ev.Path, rng)
+	in.fired = append(in.fired, fmt.Sprintf("t=%v %s blk=%d", in.env.Now(), ev, id))
+}
+
+func (in *Injector) noteRejoin(ev Event) {
+	in.fired = append(in.fired, fmt.Sprintf("t=%v rejoin %s", in.env.Now(), ev.Node))
+}
+
 func (in *Injector) note(ev Event) {
 	in.fired = append(in.fired, fmt.Sprintf("t=%v %s", in.env.Now(), ev))
 }
@@ -398,8 +589,9 @@ func (in *Injector) note(ev Event) {
 func (in *Injector) LastAt() time.Duration {
 	var last time.Duration
 	for _, ev := range in.plan.Events {
-		if ev.At > last {
-			last = ev.At
+		at := ev.At + ev.Down // restarts settle at their rejoin, not their kill
+		if at > last {
+			last = at
 		}
 	}
 	return last
@@ -414,8 +606,13 @@ func (in *Injector) Stop() {
 }
 
 // Victims returns the nodes whose DataNode or whole machine has been killed
-// so far, in firing order — the set iostat reporting separates out.
+// for good so far, in firing order — the set iostat reporting separates out.
 func (in *Injector) Victims() []string { return append([]string(nil), in.victims...) }
+
+// RestartTargets returns the nodes a restart event has taken down so far —
+// they rejoin later and iostat reporting groups them as "recovering" rather
+// than victims.
+func (in *Injector) RestartTargets() []string { return append([]string(nil), in.restarts...) }
 
 // Fired returns a human-readable log of the events injected so far.
 func (in *Injector) Fired() []string { return append([]string(nil), in.fired...) }

@@ -96,3 +96,78 @@ func TestRandomPlanSingleNodeNeverKillsIt(t *testing.T) {
 		t.Fatalf("plan did not render: %q", pl.String())
 	}
 }
+
+func TestParsePlanRestartAndCorruptRoundTrip(t *testing.T) {
+	in := "restart-datanode@10s:node=slave-01,down=5s;" +
+		"restart-node@20s:node=slave-02,down=2s;" +
+		"corrupt-block@8s:node=slave-03;" +
+		"corrupt-block@9s:path=/bench/TS/in/part-000"
+	pl, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(pl.Events))
+	}
+	want := Event{Kind: RestartDataNode, At: 10 * time.Second, Node: "slave-01", Down: 5 * time.Second}
+	if pl.Events[0] != want {
+		t.Errorf("event 0 = %+v, want %+v", pl.Events[0], want)
+	}
+	if pl.Events[2].Node != "slave-03" || pl.Events[2].Path != "" {
+		t.Errorf("node-targeted corrupt-block parsed wrong: %+v", pl.Events[2])
+	}
+	if pl.Events[3].Path != "/bench/TS/in/part-000" {
+		t.Errorf("path-targeted corrupt-block parsed wrong: %+v", pl.Events[3])
+	}
+	again, err := ParsePlan(pl.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", pl.String(), err)
+	}
+	if !reflect.DeepEqual(pl, again) {
+		t.Errorf("round trip changed the plan:\n %+v\n %+v", pl, again)
+	}
+}
+
+func TestParsePlanRejectsBadRestartAndCorrupt(t *testing.T) {
+	for _, s := range []string{
+		"restart-datanode@10s:node=slave-01",     // missing down
+		"restart-datanode@10s:down=5s",           // missing node
+		"restart-node@10s:node=slave-01,down=0s", // zero outage
+		"restart-node@10s:node=slave-01,down=-1s",
+		"corrupt-block@5s", // needs node= or path=
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted bad input", s)
+		}
+	}
+}
+
+func TestRandomPlanRestartDownBounds(t *testing.T) {
+	nodes := []string{"slave-00", "slave-01", "slave-02", "slave-03"}
+	window := 2 * time.Minute
+	seen := false
+	for seed := int64(1); seed <= 60; seed++ {
+		for _, ev := range RandomPlan(seed, nodes, window, 6).Events {
+			if ev.Kind != RestartDataNode && ev.Kind != RestartNode {
+				continue
+			}
+			seen = true
+			if ev.Down < window/8 || ev.Down > window/8+window/4 {
+				t.Fatalf("seed %d: restart down=%v outside [%v, %v]", seed, ev.Down, window/8, window/8+window/4)
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("no seed in 1..60 generated a restart event")
+	}
+}
+
+func TestRandomPlanSingleNodeNeverRestartsWholeNode(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		for _, ev := range RandomPlan(seed, []string{"slave-00"}, time.Minute, 10).Events {
+			if ev.Kind == RestartNode || ev.Kind == KillNode {
+				t.Fatalf("single-node plan contains %s", ev.Kind)
+			}
+		}
+	}
+}

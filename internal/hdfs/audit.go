@@ -16,11 +16,12 @@ type ReplicationAudit struct {
 	UnderReplicated []string // "path blk_N have/want" for blocks short of target
 	Orphans         []string // "node/blk_N" replica files outside the block map
 	LostBlocks      []string // "path blk_N" blocks with zero live replicas
+	Stale           []string // "node/blk_N" credited replicas with wrong size or bad chunks
 }
 
 // OK reports whether the audit found no violations.
 func (a ReplicationAudit) OK() bool {
-	return len(a.UnderReplicated) == 0 && len(a.Orphans) == 0 && len(a.LostBlocks) == 0
+	return len(a.UnderReplicated) == 0 && len(a.Orphans) == 0 && len(a.LostBlocks) == 0 && len(a.Stale) == 0
 }
 
 // String renders a compact summary of the violations (empty when OK).
@@ -28,8 +29,8 @@ func (a ReplicationAudit) String() string {
 	if a.OK() {
 		return ""
 	}
-	return fmt.Sprintf("hdfs audit: %d under-replicated, %d orphans, %d lost (of %d blocks)",
-		len(a.UnderReplicated), len(a.Orphans), len(a.LostBlocks), a.Blocks)
+	return fmt.Sprintf("hdfs audit: %d under-replicated, %d orphans, %d lost, %d stale (of %d blocks)",
+		len(a.UnderReplicated), len(a.Orphans), len(a.LostBlocks), len(a.Stale), a.Blocks)
 }
 
 // AuditReplication cross-checks the NameNode's block map against what the
@@ -70,6 +71,14 @@ func (fs *FS) AuditReplication() ReplicationAudit {
 				continue
 			}
 			if sb, ok := dn.blocks[id]; ok && !sb.vol.Failed() {
+				// A credited replica must also be the right bytes: a
+				// crash-truncated partial or silently corrupt copy the
+				// NameNode still credits is a stale replica that could
+				// serve wrong data.
+				if sb.file.Size() != b.size || !fs.replicaClean(b, sb, 0, b.size) {
+					a.Stale = append(a.Stale, fmt.Sprintf("%s/blk_%d", dn.node.Name, id))
+					continue
+				}
 				have++
 			}
 		}

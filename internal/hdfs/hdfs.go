@@ -28,6 +28,10 @@ type Config struct {
 	Replication int   // the default 3
 	// PacketSize is the granularity of the write pipeline's streaming.
 	PacketSize int64
+	// ChecksumChunk is the granularity of per-block CRC32C checksums
+	// (io.bytes.per.checksum; Hadoop's default 512 B is modeled coarser, at
+	// 16 KiB, to keep sum arrays proportional to scaled block sizes).
+	ChecksumChunk int64
 }
 
 // DefaultConfig returns Hadoop 1.0.4 defaults scaled by the divisor.
@@ -39,7 +43,7 @@ func DefaultConfig(scale int64) Config {
 	if bs < 16<<10 {
 		bs = 16 << 10
 	}
-	return Config{BlockSize: bs, Replication: 3, PacketSize: 64 << 10}
+	return Config{BlockSize: bs, Replication: 3, PacketSize: 64 << 10, ChecksumChunk: 16 << 10}
 }
 
 // blockMeta is the NameNode's view of one block.
@@ -54,6 +58,10 @@ type blockMeta struct {
 	// replica file on a live node.
 	landed []*DataNode
 	gone   bool // file deleted; drop from recovery queues
+	// sums holds the per-chunk CRC32C checksums of the block's true content,
+	// computed from the writer's bytes (the end-to-end property: the client's
+	// checksum travels with the block). Nil unless integrity is enabled.
+	sums []uint32
 }
 
 // fileMeta is one namespace entry.
@@ -76,6 +84,8 @@ type FS struct {
 	nextBlock int64
 	place     int            // round-robin placement cursor
 	rec       *recoveryState // nil unless EnableRecovery was called
+	integrity bool           // per-chunk checksums verified on every read
+	scrub     *scrubState    // nil unless EnableScrubber was called
 }
 
 // transferer is the network dependency (satisfied by *netsim.Network).
@@ -98,6 +108,7 @@ type DataNode struct {
 	crashed  bool          // fail-stopped; stops serving and heartbeating
 	lastBeat time.Duration // last heartbeat the NameNode saw
 	deadByNN bool          // the NameNode has declared this node dead
+	beatGen  int           // heartbeat process generation (bumped per restart)
 }
 
 // Node returns the cluster node hosting this DataNode.
@@ -327,6 +338,9 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 	fs.blockByID[id] = b
 
 	content := append([]byte(nil), data...)
+	if fs.integrity {
+		b.sums = chunkSums(content, fs.cfg.ChecksumChunk)
+	}
 	for attempt := 0; attempt < maxPipelineRetries; attempt++ {
 		targets := fs.choose(w.client, w.replication)
 		if len(targets) == 0 {
@@ -406,6 +420,9 @@ func (fs *FS) Load(path string, firstNode string, data []byte) {
 		fs.nextBlock++
 		replicas := fs.choose(firstNode, fs.cfg.Replication)
 		b := &blockMeta{id: id, size: end - off, want: fs.cfg.Replication, replicas: replicas}
+		if fs.integrity {
+			b.sums = chunkSums(data[off:end], fs.cfg.ChecksumChunk)
+		}
 		meta.blocks = append(meta.blocks, b)
 		meta.size += b.size
 		fs.blockByID[id] = b
@@ -459,6 +476,11 @@ func (r *Reader) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
 		if lo < hi {
 			data, err := r.readBlockRange(p, b, lo-blockStart, hi-lo)
 			if err != nil {
+				if _, lost := err.(*LostBlockError); lost {
+					if dle := r.fs.dataLoss(r.meta); dle != nil {
+						return nil, dle
+					}
+				}
 				return nil, err
 			}
 			out = append(out, data...)
@@ -469,6 +491,51 @@ func (r *Reader) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// DataLossError reports that a file has lost data for good: the named
+// blocks have no reachable replica anywhere. Want is the highest
+// replication target among the lost blocks — Want == 1 identifies loss the
+// user opted into by writing with replication 1 (TeraSort's conventional
+// output setting), which a chaos oracle may classify as expected.
+type DataLossError struct {
+	Path   string
+	Blocks []int64 // lost block IDs, ascending
+	Want   int     // max replication target among the lost blocks
+}
+
+func (e *DataLossError) Error() string {
+	return fmt.Sprintf("hdfs: data loss in %s: %d block(s) unreachable (replication target %d): %v",
+		e.Path, len(e.Blocks), e.Want, e.Blocks)
+}
+
+// dataLoss scans every block of f and builds a DataLossError naming all the
+// blocks with no readable replica, or nil if none qualify.
+func (fs *FS) dataLoss(f *fileMeta) *DataLossError {
+	var e *DataLossError
+	for _, b := range f.blocks {
+		readable := false
+		for _, dn := range b.replicas {
+			if dn.crashed {
+				continue
+			}
+			if sb, ok := dn.blocks[b.id]; ok && !sb.vol.Failed() {
+				readable = true
+				break
+			}
+		}
+		if readable {
+			continue
+		}
+		if e == nil {
+			e = &DataLossError{Path: f.name}
+		}
+		e.Blocks = append(e.Blocks, b.id)
+		if b.want > e.Want {
+			e.Want = b.want
+		}
+	}
+	return e
 }
 
 // LostBlockError reports a block with no reachable replica.
@@ -510,6 +577,13 @@ func (r *Reader) readBlockRange(p *sim.Proc, b *blockMeta, off, length int64) ([
 			continue
 		}
 		data := sb.file.ReadAt(p, off, length)
+		if r.fs.integrity && !r.fs.verifyRange(b, sb, off, length) {
+			// A chunk covering this range failed its CRC: strike the replica,
+			// queue read-repair, and fail over to the next candidate — the
+			// DFSClient's reportChecksumFailure path.
+			r.fs.reportCorrupt(b, dn)
+			continue
+		}
 		if dn.node.Name == r.client {
 			return data, nil
 		}

@@ -1,0 +1,238 @@
+package hdfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"iochar/internal/sim"
+)
+
+// fastRecovery is a recovery config small enough that detection and repair
+// complete within a short test run.
+func fastRecovery() RecoveryConfig {
+	return RecoveryConfig{HeartbeatInterval: 100 * time.Millisecond, DeadTimeout: time.Second, Streams: 2}
+}
+
+func TestChunkSums(t *testing.T) {
+	data := pattern(40_000)
+	sums := chunkSums(data, 16<<10)
+	if len(sums) != 3 {
+		t.Fatalf("got %d chunks, want 3 (two full 16 KiB + tail)", len(sums))
+	}
+	if got := chunkSums(nil, 16<<10); len(got) != 0 {
+		t.Errorf("empty data produced %d sums", len(got))
+	}
+	// Same bytes, same sums; one flipped byte in the middle chunk changes
+	// exactly that chunk's sum.
+	again := chunkSums(data, 16<<10)
+	mut := append([]byte(nil), data...)
+	mut[20_000] ^= 0xFF
+	mutSums := chunkSums(mut, 16<<10)
+	for i := range sums {
+		if sums[i] != again[i] {
+			t.Fatalf("chunk %d not deterministic", i)
+		}
+		changed := mutSums[i] != sums[i]
+		if changed != (i == 1) {
+			t.Errorf("chunk %d changed=%v after flipping a byte in chunk 1", i, changed)
+		}
+	}
+}
+
+// TestCorruptReadFailsOverAndRepairs: a checksummed read that hits a corrupt
+// replica must serve correct bytes from another copy, report the corruption,
+// and the NameNode must re-replicate back to full strength.
+func TestCorruptReadFailsOverAndRepairs(t *testing.T) {
+	env, c, fs := rig(4)
+	fs.EnableIntegrity()
+	fs.EnableRecovery(fastRecovery())
+	want := pattern(150_000)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/f", c.Slaves[0].Name)
+		w.Write(p, want)
+		w.Close(p)
+
+		// Corrupt the writer-local replica; a local-first read from the same
+		// node is then guaranteed to hit the bad copy before failing over.
+		rng := rand.New(rand.NewSource(7))
+		if id := fs.CorruptReplica(c.Slaves[0].Name, "/f", rng); id < 0 {
+			t.Fatal("CorruptReplica found no eligible replica")
+		}
+		r, err := fs.Open("/f", c.Slaves[0].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.ReadAt(p, 0, int64(len(want)))
+		if err != nil {
+			t.Fatalf("read after corruption: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("read served wrong bytes instead of failing over")
+		}
+		fs.WaitRecovered(p)
+		fs.StopRecovery()
+	})
+	env.Run(0)
+
+	st := fs.RecoveryStats()
+	if st.ChecksumErrors == 0 {
+		t.Error("no checksum error counted")
+	}
+	if st.CorruptReplicas == 0 {
+		t.Error("no corrupt replica reported")
+	}
+	if st.ReReplicatedBlocks == 0 {
+		t.Error("read-repair made no copy")
+	}
+	if a := fs.AuditReplication(); !a.OK() {
+		t.Errorf("replication audit after repair: %s", a.String())
+	}
+	if bad := fs.AuditIntegrity(); len(bad) != 0 {
+		t.Errorf("bad chunks survived read-repair: %v", bad)
+	}
+}
+
+// TestIntegrityOffServesCorruptBytes pins the gate: without EnableIntegrity
+// nothing verifies, so a corrupted local replica is served as-is.
+func TestIntegrityOffServesCorruptBytes(t *testing.T) {
+	env, c, fs := rig(4)
+	want := pattern(100_000)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/f", c.Slaves[0].Name)
+		w.Write(p, want)
+		w.Close(p)
+		rng := rand.New(rand.NewSource(7))
+		if id := fs.CorruptReplica(c.Slaves[0].Name, "/f", rng); id < 0 {
+			t.Fatal("CorruptReplica found no eligible replica")
+		}
+		r, err := fs.Open("/f", c.Slaves[0].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.ReadAt(p, 0, int64(len(want)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, want) {
+			t.Error("corrupted replica read back clean — corruption did not land?")
+		}
+	})
+	env.Run(0)
+}
+
+// TestScrubberFindsSilentCorruption: corruption in a block nobody reads is
+// invisible to the foreground path; a scrub pass must find and repair it.
+func TestScrubberFindsSilentCorruption(t *testing.T) {
+	env, c, fs := rig(4)
+	fs.EnableIntegrity()
+	fs.EnableRecovery(fastRecovery())
+	fs.EnableScrubber(ScrubConfig{BytesPerSec: -1, PassInterval: 50 * time.Millisecond})
+	want := pattern(120_000)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/silent", c.Slaves[1].Name)
+		w.Write(p, want)
+		w.Close(p)
+		rng := rand.New(rand.NewSource(3))
+		if id := fs.CorruptReplica("", "/silent", rng); id < 0 {
+			t.Fatal("CorruptReplica found no eligible replica")
+		}
+		fs.ScrubWait(p)
+		fs.WaitRecovered(p)
+		fs.StopScrubber()
+		fs.StopRecovery()
+	})
+	env.Run(0)
+
+	st := fs.RecoveryStats()
+	if st.ScrubbedBlocks == 0 || st.ScrubbedBytes == 0 {
+		t.Errorf("scrubber did no work: %+v", st)
+	}
+	if st.CorruptReplicas == 0 {
+		t.Error("scrubber missed the corruption")
+	}
+	if bad := fs.AuditIntegrity(); len(bad) != 0 {
+		t.Errorf("bad chunks survived scrub: %v", bad)
+	}
+	if a := fs.AuditReplication(); !a.OK() {
+		t.Errorf("replication audit after scrub repair: %s", a.String())
+	}
+}
+
+// TestScrubberChargesScrubStage: scrub reads must be disk I/O tagged with
+// the scrub stage, not free, and not attributed to foreground stages.
+func TestScrubberChargesScrubStage(t *testing.T) {
+	env, c, fs := rig(3)
+	fs.EnableIntegrity()
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.Create("/s", c.Slaves[0].Name)
+		w.Write(p, pattern(80_000))
+		w.Close(p)
+	})
+	env.Run(0)
+	// Drop caches so the scrub pass must touch the disks.
+	for _, s := range c.Slaves {
+		for _, v := range s.HDFSVols {
+			v.Cache().DropAll()
+		}
+	}
+	before := int64(0)
+	for _, s := range c.Slaves {
+		for _, d := range s.HDFSDisks {
+			before += int64(d.Stats().SectorsRead)
+		}
+	}
+	fs.EnableScrubber(ScrubConfig{BytesPerSec: -1, PassInterval: time.Second})
+	env.Go("wait", func(p *sim.Proc) {
+		fs.ScrubWait(p)
+		fs.StopScrubber()
+	})
+	env.Run(0)
+	after := int64(0)
+	for _, s := range c.Slaves {
+		for _, d := range s.HDFSDisks {
+			after += int64(d.Stats().SectorsRead)
+		}
+	}
+	if after <= before {
+		t.Errorf("scrub pass read no sectors (before=%d after=%d)", before, after)
+	}
+}
+
+// TestDataLossErrorStructured: when every replica of a block is gone, the
+// reader's error must name the path, the lost block IDs, and the file's
+// replication target, so callers can tell promised loss from a bug.
+func TestDataLossErrorStructured(t *testing.T) {
+	env, c, fs := rig(4)
+	want := pattern(90_000)
+	env.Go("client", func(p *sim.Proc) {
+		w := fs.CreateWith("/once", c.Slaves[0].Name, 1)
+		w.Write(p, want)
+		w.Close(p)
+		locs, err := fs.BlockLocations("/once")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashDataNode(locs[0][0])
+		r, err := fs.Open("/once", c.Slaves[1].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.ReadAt(p, 0, int64(len(want)))
+		dl, ok := err.(*DataLossError)
+		if !ok {
+			t.Fatalf("read error = %v (%T), want *DataLossError", err, err)
+		}
+		if dl.Path != "/once" {
+			t.Errorf("Path = %q, want /once", dl.Path)
+		}
+		if dl.Want != 1 {
+			t.Errorf("Want = %d, want 1", dl.Want)
+		}
+		if len(dl.Blocks) == 0 {
+			t.Error("no lost block IDs named")
+		}
+	})
+	env.Run(0)
+}

@@ -49,6 +49,16 @@ type RecoveryStats struct {
 	LostBlocks         int    // blocks whose every replica was lost
 	PipelineRetries    uint64 // whole-block write pipeline re-attempts
 	ReadFailovers      uint64 // mid-stream reader failovers to another replica
+
+	// Integrity and restart accounting (zero unless those features ran).
+	ChecksumErrors      uint64 // chunk verifications that failed (read, scrub, or copy)
+	CorruptReplicas     int    // replicas struck as corrupt and queued for read-repair
+	ScrubbedBlocks      uint64 // replica verifications the scrubber performed
+	ScrubbedBytes       uint64 // bytes the scrubber read off disk
+	BlockReports        int    // rejoin block reports the NameNode processed
+	ReAdoptedReplicas   int    // replicas re-credited intact from a rejoining node
+	StaleReplicasPurged int    // rejoin-scanned files deleted as stale or excess
+	CancelledRepairs    int    // queued repairs dequeued as no longer needed
 }
 
 // recoveryState is the live recovery machinery hanging off an FS.
@@ -89,17 +99,8 @@ func (fs *FS) EnableRecovery(cfg RecoveryConfig) {
 	}
 	fs.rec = rec
 	for _, dn := range fs.datanodes {
-		dn := dn
 		dn.lastBeat = fs.env.Now()
-		fs.env.Go("heartbeat:"+dn.node.Name, func(p *sim.Proc) {
-			for {
-				p.Sleep(cfg.HeartbeatInterval)
-				if rec.stopped || dn.crashed {
-					return
-				}
-				dn.lastBeat = p.Now()
-			}
-		})
+		fs.startHeartbeat(dn)
 	}
 	fs.env.Go("namenode-monitor", func(p *sim.Proc) {
 		for {
@@ -119,6 +120,25 @@ func (fs *FS) EnableRecovery(cfg RecoveryConfig) {
 			fs.replicationWorker(p)
 		})
 	}
+}
+
+// startHeartbeat spawns the DataNode's heartbeat process. The generation
+// counter retires a predecessor that has not yet noticed its node crashed:
+// a crash–rejoin shorter than one heartbeat interval must not leave two
+// beating processes for one node.
+func (fs *FS) startHeartbeat(dn *DataNode) {
+	rec := fs.rec
+	dn.beatGen++
+	gen := dn.beatGen
+	fs.env.Go("heartbeat:"+dn.node.Name, func(p *sim.Proc) {
+		for {
+			p.Sleep(rec.cfg.HeartbeatInterval)
+			if rec.stopped || dn.crashed || dn.beatGen != gen {
+				return
+			}
+			dn.lastBeat = p.Now()
+		}
+	})
 }
 
 // RecoveryStats returns a copy of the repair counters (zero value when
@@ -253,6 +273,12 @@ func (fs *FS) replicationWorker(p *sim.Proc) {
 		rec.queue = rec.queue[1:]
 		delete(rec.queued, b.id)
 		if b.gone || len(b.replicas) == 0 || len(b.replicas) >= b.want {
+			if !b.gone && len(b.replicas) >= b.want {
+				// The block got back to target while queued — typically a
+				// rejoining node re-adopting the very replica whose loss
+				// queued the repair.
+				rec.stats.CancelledRepairs++
+			}
 			rec.idle.Broadcast()
 			continue
 		}
@@ -294,6 +320,12 @@ func (fs *FS) copyBlock(p *sim.Proc, b *blockMeta) (copied, retry bool) {
 		return false, false // fewer live nodes than the target factor
 	}
 	content := sb.file.ReadAt(p, 0, b.size)
+	if fs.integrity && !fs.verifyRange(b, sb, 0, b.size) {
+		// The chosen source is itself corrupt: strike it and retry from the
+		// survivors — replication must never propagate bad bytes.
+		fs.reportCorrupt(b, src)
+		return false, len(b.replicas) > 0
+	}
 	if err := fs.net.TryTransfer(p, src.node.Name, dst.node.Name, b.size); err != nil {
 		return false, true // died mid-stream; retry from survivors
 	}
@@ -303,6 +335,12 @@ func (fs *FS) copyBlock(p *sim.Proc, b *blockMeta) (copied, retry bool) {
 	f := dst.node.NextHDFSVol().Create(blockFileName(b.id))
 	f.SetStage(disk.StageHDFS)
 	f.Append(p, content)
+	if b.gone || dst.crashed {
+		// The block was deleted — or the target died — while the copy was
+		// landing; crediting it now would leave an orphan replica.
+		_ = f.FS().Delete(f.Name())
+		return false, !b.gone
+	}
 	dst.blocks[b.id] = storedBlock{file: f, vol: f.FS()}
 	b.replicas = append(b.replicas, dst)
 	fs.rec.stats.ReReplicatedBlocks++

@@ -1,0 +1,144 @@
+// Crash–restart semantics for one volume: what survives a power loss, what
+// does not, and what remount costs. The contract mirrors a journaling
+// filesystem (ext4-style metadata journal, no data journal): metadata is
+// always recoverable by replaying a small journal, file data survives only
+// up to its flushed prefix — bytes whose pages were still dirty in the page
+// cache at crash time are gone, and the file comes back truncated at the
+// first unflushed page.
+package localfs
+
+import (
+	"iochar/internal/disk"
+	"iochar/internal/sim"
+)
+
+// journalRecSize is the modeled size of one metadata journal record.
+const journalRecSize = 64
+
+// maxJournalSectors caps the remount replay charge — real journals are
+// checkpointed and bounded (128 MiB default in ext4; we model a small one).
+const maxJournalSectors = 4096 // 2 MiB
+
+// Crash models a power loss on this volume. Every resident page-cache page
+// is dropped without writeback; each file is truncated to its flushed
+// prefix (the bytes before its first dirty page — data past that point
+// never reached the platter); whole-extent allocations past the truncated
+// size are released, as a journal replay frees uncommitted allocations.
+// The volume is left failed; Remount brings it back.
+func (fs *FS) Crash() {
+	names := fs.sortedNames()
+	for _, name := range names {
+		fs.truncateToFlushed(fs.files[name])
+	}
+	fs.cache.DropAll()
+	fs.failed = true
+}
+
+// truncateToFlushed cuts f at the byte offset of its first dirty page and
+// frees the now-unneeded tail sectors.
+func (fs *FS) truncateToFlushed(f *file) {
+	if f.size == 0 {
+		return
+	}
+	// Find the first dirty device sector across the file's extents, walking
+	// them in file order so the earliest file offset wins.
+	cut := f.size
+	var walked int64 // bytes of file covered by prior extents
+	for _, r := range f.sectorRanges(0, f.size) {
+		if s := fs.cache.FirstDirtyInRange(r.sector, int(r.sectors)); s >= 0 {
+			off := walked + (s-r.sector)*disk.SectorSize
+			if off < cut {
+				cut = off
+			}
+			break // extents are visited in file order; first hit is lowest
+		}
+		walked += r.sectors * disk.SectorSize
+	}
+	if cut >= f.size {
+		return
+	}
+	f.size = cut
+	f.data = f.data[:cut]
+	fs.shrinkAlloc(f, (cut+disk.SectorSize-1)/disk.SectorSize)
+}
+
+// shrinkAlloc releases f's allocated sectors beyond keep, splitting the
+// extent containing the cut point if needed.
+func (fs *FS) shrinkAlloc(f *file, keep int64) {
+	if f.alloced <= keep {
+		return
+	}
+	var covered int64
+	for i := 0; i < len(f.extents); i++ {
+		e := f.extents[i]
+		if covered >= keep {
+			// Whole extent is past the cut: free it.
+			fs.freeExtent(e)
+			f.extents = append(f.extents[:i], f.extents[i+1:]...)
+			fs.stats.Extents--
+			i--
+			continue
+		}
+		if covered+e.sectors > keep {
+			// Split: keep the prefix, free the tail.
+			keepHere := keep - covered
+			fs.freeExtent(extent{sector: e.sector + keepHere, sectors: e.sectors - keepHere})
+			f.extents[i].sectors = keepHere
+			covered = keep
+			continue
+		}
+		covered += e.sectors
+	}
+	f.alloced = keep
+}
+
+// Remount brings a crashed volume back: the metadata journal is replayed
+// (charged as one sequential read sized by the journal's record count) and
+// the volume rejoins service. Caller is the fault injector's rejoin path.
+func (fs *FS) Remount(p *sim.Proc) {
+	recs := fs.journalRecs
+	nsect := (recs*journalRecSize + disk.SectorSize - 1) / disk.SectorSize
+	if nsect > maxJournalSectors {
+		nsect = maxJournalSectors
+	}
+	if nsect > 0 {
+		req := fs.d.SubmitStaged(disk.Read, 0, int(nsect), disk.StageNone)
+		fs.d.Wait(p, req)
+	}
+	fs.failed = false
+}
+
+// Corrupt flips (bit-inverts) n bytes of name starting at off — silent
+// media corruption: no timing, no cache interaction, just wrong bytes the
+// next reader will see. Returns false if the file is absent or the range
+// does not overlap it.
+func (fs *FS) Corrupt(name string, off int64, n int) bool {
+	f, ok := fs.files[name]
+	if !ok || off < 0 || off >= f.size || n <= 0 {
+		return false
+	}
+	end := off + int64(n)
+	if end > f.size {
+		end = f.size
+	}
+	for i := off; i < end; i++ {
+		f.data[i] ^= 0xFF
+	}
+	return true
+}
+
+// Peek returns name's raw contents with no timing charge — the verification
+// backdoor used by audits and the datanode's remount block scan (real
+// datanodes read their own local metadata cheaply at startup; modeling that
+// traffic is out of scope, while scrub reads are charged for real).
+func (fs *FS) Peek(name string) []byte {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil
+	}
+	return f.data
+}
+
+func (fs *FS) sortedNames() []string {
+	return fs.List()
+}

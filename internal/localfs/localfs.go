@@ -63,6 +63,8 @@ type FS struct {
 	nextFree int64    // bump pointer past the highest allocation
 	stats    Stats
 	failed   bool // fail-stopped device (fault injection)
+
+	journalRecs int64 // metadata journal records since mount (sizes remount replay)
 }
 
 // New creates a filesystem covering the whole device behind cache.
@@ -155,6 +157,7 @@ func (fs *FS) Create(name string) *File {
 	f := &file{name: name}
 	fs.files[name] = f
 	fs.stats.FilesCreated++
+	fs.journalRecs++
 	f.opens++
 	return &File{fs: fs, f: f}
 }
@@ -180,6 +183,7 @@ func (fs *FS) Delete(name string) error {
 	fs.release(f)
 	delete(fs.files, name)
 	fs.stats.FilesDeleted++
+	fs.journalRecs++
 	return nil
 }
 
@@ -243,7 +247,11 @@ func (h *File) Install(data []byte) {
 }
 
 // ReadAt returns length bytes from offset off, blocking p for the cache
-// fetches. Short reads at EOF return the available suffix.
+// fetches. Short reads at EOF return the available suffix. The content
+// slice is pinned before blocking: if the file is deleted while the read
+// waits on the disk (read-repair purging a corrupt replica under an
+// in-flight reader), the handle serves the bytes it opened — POSIX unlink
+// semantics — instead of tripping over the released file table entry.
 func (h *File) ReadAt(p *sim.Proc, off, length int64) []byte {
 	if off < 0 || off >= h.f.size {
 		return nil
@@ -251,12 +259,13 @@ func (h *File) ReadAt(p *sim.Proc, off, length int64) []byte {
 	if off+length > h.f.size {
 		length = h.f.size - off
 	}
+	data := h.f.data[off : off+length]
 	for _, r := range h.f.sectorRanges(off, length) {
 		h.rs.Limit = h.f.extentEnd(r.sector)
 		h.fs.cache.ReadStaged(p, &h.rs, r.sector, int(r.sectors), h.stage)
 	}
 	h.fs.stats.BytesRead += uint64(length)
-	return h.f.data[off : off+length]
+	return data
 }
 
 // Sync flushes the whole cache (per-file dirty tracking is not modeled; the
@@ -328,6 +337,7 @@ func (fs *FS) grow(f *file, want int64) {
 	for n < want {
 		n += fs.extSize
 	}
+	fs.journalRecs++
 	// Try to extend in place from the bump pointer.
 	if len(f.extents) > 0 && f.extents[len(f.extents)-1].end() == fs.nextFree {
 		if fs.nextFree+n <= fs.d.P.Sectors {

@@ -50,13 +50,17 @@ func (rt *Runtime) fetchOneFaulty(fp *sim.Proc, js *jobState, st *fetchState, ou
 		if out.lost {
 			return // a replacement output will appear in the list
 		}
-		if !out.node.Alive() {
+		if !out.node.Alive() || out.node.Incarnation() != out.inc {
 			js.loseOutput(out)
 			return
 		}
 		dropped := rt.fetchFault != nil && rt.fetchFault(fp.Now())
 		if !dropped {
 			enc := out.file.ReadAt(fp, seg.off, seg.clen) // map-side disk read
+			if out.lost || out.node.Incarnation() != out.inc {
+				return // the owner died (or bounced) while the read slept;
+				// enc may be crash-truncated and a replacement will appear
+			}
 			if err := rt.net.TryTransfer(fp, out.node.Name, node.Name, seg.clen); err == nil {
 				ingest(fp, enc, seg)
 				mark()

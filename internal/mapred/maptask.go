@@ -39,6 +39,7 @@ type segment struct {
 type mapOutput struct {
 	taskIdx int
 	node    *cluster.Node
+	inc     int // node incarnation the attempt started under
 	vol     *localfs.FS
 	file    *localfs.File
 	segs    []segment // one per reduce partition
@@ -60,7 +61,7 @@ func (rt *Runtime) mapTask(p *sim.Proc, job *Job, js *jobState, taskIdx, attempt
 
 	nparts := job.NumReduces
 	state := &mapState{
-		rt: rt, job: job, node: node,
+		rt: rt, job: job, node: node, inc: node.Incarnation(),
 		spillBase: fmt.Sprintf("m_%06d_a%d", taskIdx, attempt),
 	}
 	var inRecords, inBytes, outRecords, outBytes int64
@@ -86,7 +87,7 @@ func (rt *Runtime) mapTask(p *sim.Proc, job *Job, js *jobState, taskIdx, attempt
 			state.abandon() // another attempt won; stop wasting the disks
 			return
 		}
-		if js.faulty && (!node.Alive() || js.failed != nil) {
+		if state.zombie() || (js.faulty && js.failed != nil) {
 			state.abandon() // our tracker died mid-task, or the job is over
 			return
 		}
@@ -97,7 +98,7 @@ func (rt *Runtime) mapTask(p *sim.Proc, job *Job, js *jobState, taskIdx, attempt
 		data, err := reader.ReadAt(p, pos, n)
 		if err != nil {
 			state.abandon()
-			if js.faulty && !node.Alive() {
+			if state.zombie() {
 				return // zombie attempt: our own node died mid-read, so the
 				// failure is ours, not the data's; the task re-runs elsewhere
 			}
@@ -113,7 +114,9 @@ func (rt *Runtime) mapTask(p *sim.Proc, job *Job, js *jobState, taskIdx, attempt
 		}
 	}
 	out := state.finish(p, taskIdx)
-
+	if out == nil {
+		return // the node bounced mid-merge; the attempt died with it
+	}
 	if !js.completeMap(out) {
 		return // lost the race at the wire; completeMap discarded the output
 	}
@@ -135,6 +138,14 @@ func (rt *Runtime) mapTask(p *sim.Proc, job *Job, js *jobState, taskIdx, attempt
 	})
 }
 
+// zombie reports whether the attempt's machine died under it — including a
+// crash followed by a restart, which an aliveness check cannot see. A
+// zombie's spill files were truncated by the crash, so it must abandon
+// rather than merge them.
+func (ms *mapState) zombie() bool {
+	return ms.rt.faulty && (!ms.node.Alive() || ms.node.Incarnation() != ms.inc)
+}
+
 // abandon deletes the spill files of a cancelled attempt.
 func (ms *mapState) abandon() {
 	for i, sf := range ms.spills {
@@ -150,6 +161,7 @@ type mapState struct {
 	rt   *Runtime
 	job  *Job
 	node *cluster.Node
+	inc  int // node incarnation at attempt start
 
 	arena    []byte
 	ents     []kvEnt
@@ -198,7 +210,9 @@ func (ms *mapState) add(p *sim.Proc, part int, k, v []byte) {
 // partition (combined and compressed), on the node's next intermediate
 // volume.
 func (ms *mapState) spill(p *sim.Proc) {
-	if len(ms.ents) == 0 {
+	// A zombie must not touch the node's volumes (they may all be failed
+	// mid-crash); the attempt is abandoned at the next boundary check.
+	if len(ms.ents) == 0 || ms.zombie() {
 		return
 	}
 	cfg := ms.rt.cfg
@@ -206,7 +220,9 @@ func (ms *mapState) spill(p *sim.Proc) {
 	// the arena is append-only and we drop everything after the spill.
 	ms.node.Compute(p, time.Duration(nCompares(len(ms.ents))*cfg.SortNsPerCompare))
 	sortKVEntries(ms.ents)
-
+	if ms.zombie() {
+		return // the machine died under the sort; see the guard above
+	}
 	vol := ms.node.NextMRVol()
 	f := vol.Create(fmt.Sprintf("%s.spill%d", ms.spillBase, len(ms.spills)))
 	f.SetStage(disk.StageSpill)
@@ -280,21 +296,29 @@ func (ms *mapState) serializePartition(p *sim.Proc, ents []kvEnt) (run, int64) {
 // finish flushes the final spill and merges multiple spills into the single
 // map output file the shuffle serves, deleting the spills afterwards.
 func (ms *mapState) finish(p *sim.Proc, taskIdx int) *mapOutput {
+	if ms.zombie() {
+		ms.abandon() // the machine died after the last chunk was processed
+		return nil
+	}
 	ms.spill(p)
+	if ms.zombie() {
+		ms.abandon() // the final spill slept through a node bounce
+		return nil
+	}
 	cfg := ms.rt.cfg
 	if len(ms.spills) == 0 {
 		// Mapper emitted nothing: an empty output with empty segments.
 		vol := ms.node.NextMRVol()
 		f := vol.Create(ms.spillBase + ".out")
 		f.SetStage(disk.StageShuffle)
-		return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: vol, file: f, segs: make([]segment, ms.job.NumReduces)}
+		return &mapOutput{taskIdx: taskIdx, node: ms.node, inc: ms.inc, vol: vol, file: f, segs: make([]segment, ms.job.NumReduces)}
 	}
 	if len(ms.spills) == 1 {
 		// The lone spill file IS the map output; from here on its reads
 		// serve the shuffle.
 		sf := ms.spills[0]
 		sf.file.SetStage(disk.StageShuffle)
-		return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: sf.vol, file: sf.file, segs: sf.segs}
+		return &mapOutput{taskIdx: taskIdx, node: ms.node, inc: ms.inc, vol: sf.vol, file: sf.file, segs: sf.segs}
 	}
 	// Multi-spill merge: per partition, read every spill's segment back,
 	// decompress, k-way merge, recompress, append to the final file.
@@ -315,6 +339,13 @@ func (ms *mapState) finish(p *sim.Proc, taskIdx int) *mapOutput {
 				continue
 			}
 			enc := sf.file.ReadAt(p, sg.off, sg.clen)
+			if ms.zombie() {
+				// The node bounced while this read slept; the spill came back
+				// crash-truncated and enc is not a complete stream.
+				ms.abandon()
+				_ = vol.Delete(f.Name())
+				return nil
+			}
 			ms.mergeReadBytes += sg.clen
 			raw := cfg.Codec.Decompress(enc)
 			ms.node.Compute(p, cfg.Codec.DecompressCost(len(raw)))
@@ -337,10 +368,13 @@ func (ms *mapState) finish(p *sim.Proc, taskIdx int) *mapOutput {
 	}
 	for i, sf := range ms.spills {
 		if err := sf.vol.Delete(fmt.Sprintf("%s.spill%d", ms.spillBase, i)); err != nil {
+			if ms.zombie() {
+				continue // the crash already removed this spill
+			}
 			panic(err)
 		}
 	}
 	// Merge writes are done; subsequent reads of this handle serve fetchers.
 	f.SetStage(disk.StageShuffle)
-	return &mapOutput{taskIdx: taskIdx, node: ms.node, vol: vol, file: f, segs: segs}
+	return &mapOutput{taskIdx: taskIdx, node: ms.node, inc: ms.inc, vol: vol, file: f, segs: segs}
 }

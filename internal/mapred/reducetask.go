@@ -16,6 +16,13 @@ import (
 // reduce function, and HDFS output.
 func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, node *cluster.Node) {
 	cfg := rt.cfg
+	inc := node.Incarnation()
+	// zombie reports whether this attempt's machine died under it — including
+	// a crash-and-restart, which Alive alone cannot see. A zombie's on-disk
+	// shuffle runs were truncated by the crash and must not be merged.
+	zombie := func() bool {
+		return js.faulty && (!node.Alive() || node.Incarnation() != inc)
+	}
 	type diskRun struct {
 		vol  *localfs.FS
 		file *localfs.File
@@ -46,6 +53,9 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 		node.Compute(sp, time.Duration(cfg.MergeNsPerByte*float64(len(merged))))
 		enc := cfg.Codec.Compress(merged)
 		node.Compute(sp, cfg.Codec.CompressCost(len(merged)))
+		if zombie() {
+			return // the machine died under the merge; its runs die with it
+		}
 		vol := node.NextMRVol()
 		name := fmt.Sprintf("r_%06d.run%d", part, idx)
 		f := vol.Create(name)
@@ -63,6 +73,9 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 		st.got = make([]bool, js.totalMaps)
 	}
 	ingest := func(fp *sim.Proc, enc []byte, seg segment) {
+		if zombie() {
+			return // attempt is dead; don't touch the node's volumes
+		}
 		raw := cfg.Codec.Decompress(enc)
 		node.Compute(fp, cfg.Codec.DecompressCost(len(raw)))
 		memRuns = append(memRuns, raw)
@@ -94,7 +107,7 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	for i := 0; i < nFetchers; i++ {
 		fetchers = append(fetchers, rt.env.Go(fmt.Sprintf("fetch-r%d-%d", part, i), func(fp *sim.Proc) {
 			for {
-				if js.faulty && !node.Alive() {
+				if zombie() {
 					return // zombie attempt; the partition will be reassigned
 				}
 				out := js.nextOutput(fp, st)
@@ -113,7 +126,7 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 			_ = dr.vol.Delete(dr.name)
 		}
 	}
-	if js.faulty && (!node.Alive() || js.failed != nil || js.redOwner[part] != node.Name) {
+	if zombie() || (js.faulty && (js.failed != nil || js.redOwner[part] != node.Name)) {
 		abort()
 		return
 	}
@@ -124,6 +137,10 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	for _, dr := range diskRuns {
 		dr.file.SetStage(disk.StageMerge)
 		enc := dr.file.ReadAt(p, 0, dr.clen)
+		if zombie() {
+			abort() // the node bounced while the read slept; enc is truncated
+			return
+		}
 		runRead += dr.clen
 		raw := cfg.Codec.Decompress(enc)
 		node.Compute(p, cfg.Codec.DecompressCost(len(raw)))
@@ -133,7 +150,7 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	node.Compute(p, time.Duration(cfg.MergeNsPerByte*float64(len(merged))))
 
 	// Reduce and write output to HDFS with the job's replication factor.
-	if js.faulty && (!node.Alive() || js.redOwner[part] != node.Name) {
+	if zombie() || (js.faulty && js.redOwner[part] != node.Name) {
 		abort() // re-check after the merge: creating the part file now would
 		return  // clobber a reassigned attempt's output
 	}
@@ -169,8 +186,10 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 		if !js.faulty {
 			panic(werr) // a healthy run cannot fail an HDFS write
 		}
-		if node.Alive() {
+		if !zombie() {
 			// Live node, dead filesystem: output genuinely cannot be stored.
+			// (A zombie's write failure is its own crash, not the data's; the
+			// partition re-runs elsewhere.)
 			js.fail(&JobError{Job: job.Name, Reason: fmt.Sprintf("reduce %d: cannot write output", part), Err: werr})
 		}
 		return
@@ -179,10 +198,13 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	// Intermediate hygiene: local shuffle runs die here.
 	for _, dr := range diskRuns {
 		if err := dr.vol.Delete(dr.name); err != nil {
+			if zombie() {
+				continue // the crash already removed this run
+			}
 			panic(err)
 		}
 	}
-	if !js.finishReduce(part, node.Name) {
+	if zombie() || !js.finishReduce(part, node.Name) {
 		return // zombie attempt lost the partition; discard its stats
 	}
 

@@ -2,6 +2,7 @@ package mapred
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"iochar/internal/cluster"
@@ -118,10 +119,14 @@ type jobState struct {
 	// Fault-mode state (see recovery.go); untouched in healthy runs.
 	faulty       bool
 	jobName      string
-	failed       error      // terminal job failure, set once
-	done         bool       // every reduce partition completed
-	mapWorkCond  *sim.Cond  // signalled when map work (re)appears or the job ends
-	attemptNodes [][]string // per task: nodes with a live running attempt
+	job          *Job           // for respawning workers on tracker rejoin
+	mapLive      map[string]int // live map workers per node (fault mode)
+	redLive      map[string]int // live reduce workers per node (fault mode)
+	extra        []*sim.Handle  // workers respawned by tracker re-registration
+	failed       error          // terminal job failure, set once
+	done         bool           // every reduce partition completed
+	mapWorkCond  *sim.Cond      // signalled when map work (re)appears or the job ends
+	attemptNodes [][]string     // per task: nodes with a live running attempt
 	allMapsAt    time.Duration
 	redClaimed   []bool
 	redOwner     []string
@@ -148,10 +153,11 @@ func (js *jobState) mu(fn func()) { fn() }
 // completeMap registers a finished map attempt's output. The first attempt
 // of a task wins; a later duplicate (speculation lost the race at the very
 // end) discards its files. It reports whether this attempt won. In fault
-// mode an output produced on a node that has since died is rejected — its
-// files are unreachable to the shuffle.
+// mode an output produced on a node that has since died — or crashed and
+// restarted, truncating intermediate files — is rejected: its data is
+// unreachable or incomplete for the shuffle.
 func (js *jobState) completeMap(out *mapOutput) bool {
-	if js.completed[out.taskIdx] || (js.faulty && !out.node.Alive()) {
+	if js.completed[out.taskIdx] || (js.faulty && (!out.node.Alive() || out.node.Incarnation() != out.inc)) {
 		if out.file != nil {
 			_ = out.vol.Delete(out.file.Name())
 		}
@@ -336,6 +342,7 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 		jobName:     job.Name,
 	}
 	if rt.faulty {
+		js.job = job
 		js.mapWorkCond = sim.NewCond(rt.env)
 		js.redCond = sim.NewCond(rt.env)
 		js.attemptNodes = make([][]string, len(splits))
@@ -344,6 +351,8 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 		js.redDone = make([]bool, job.NumReduces)
 		js.trackerFailures = make(map[string]int)
 		js.blacklisted = make(map[string]bool)
+		js.mapLive = make(map[string]int)
+		js.redLive = make(map[string]int)
 		rt.active[js] = true
 		defer delete(rt.active, js)
 	}
@@ -356,126 +365,16 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 	var workers []*sim.Handle
 	// Map-slot workers.
 	for _, node := range rt.cl.Slaves {
-		node := node
 		for s := 0; s < rt.cfg.MapSlots; s++ {
-			s := s
-			workers = append(workers, rt.env.Go(fmt.Sprintf("map-worker:%s/%d", node.Name, s), func(wp *sim.Proc) {
-				// Heartbeat stagger: a tracker fills one slot per heartbeat
-				// round, so the first claims spread across nodes instead of
-				// one node's full slot bank draining the task queue.
-				wp.Sleep(time.Duration(s) * rt.cfg.LocalityWait / 4)
-				misses := 0
-				for {
-					if rt.faulty && (!node.Alive() || js.blacklisted[node.Name]) {
-						return // tracker died or was blacklisted; work goes elsewhere
-					}
-					idx, remain := js.pickMap(node.Name, misses >= rt.cfg.LocalityRetries)
-					if !remain {
-						if !rt.faulty || js.done || js.failed != nil {
-							return
-						}
-						// Fault mode: a lost map output can resurrect work
-						// until the last reduce finishes, so idle workers
-						// linger instead of exiting.
-						js.mapWorkCond.Wait(wp)
-						continue
-					}
-					if idx < 0 {
-						// Delay scheduling: wait for local work to appear
-						// or for the steal budget to unlock.
-						misses++
-						wp.Sleep(rt.cfg.LocalityWait)
-						continue
-					}
-					misses = 0
-					attempt := js.attempts[idx]
-					sp := js.splits[idx]
-					local := false
-					for _, h := range sp.hosts {
-						if h == node.Name {
-							local = true
-							break
-						}
-					}
-					js.mu(func() {
-						if local {
-							js.counters.LocalMaps++
-						} else {
-							js.counters.RemoteMaps++
-						}
-					})
-					js.noteAttempt(idx, node.Name)
-					rt.mapTask(wp, job, js, idx, attempt, sp, node)
-					js.clearAttempt(idx, node.Name)
-				}
-			}))
+			workers = append(workers, rt.spawnMapWorker(job, js, node, s))
 		}
 	}
 	mapWorkers := len(workers)
 
 	// Reduce-slot workers: start pulling partitions once slowstart allows.
 	for _, node := range rt.cl.Slaves {
-		node := node
 		for s := 0; s < rt.cfg.ReduceSlots; s++ {
-			workers = append(workers, rt.env.Go(fmt.Sprintf("reduce-worker:%s/%d", node.Name, s), func(wp *sim.Proc) {
-				for !js.slowstartOK {
-					if js.failed != nil {
-						return
-					}
-					js.slowCond.Wait(wp)
-				}
-				if !rt.faulty {
-					for {
-						var part int
-						got := false
-						js.mu(func() {
-							if js.reduceNext < job.NumReduces {
-								part = js.reduceNext
-								js.reduceNext++
-								got = true
-							}
-						})
-						if !got {
-							return
-						}
-						rt.reduceTask(wp, job, js, part, node)
-					}
-				}
-				// Fault mode: claim unowned partitions until all are done;
-				// a partition whose owner died is released for re-claiming.
-				for {
-					if !node.Alive() || js.failed != nil || js.blacklisted[node.Name] {
-						return
-					}
-					part := -1
-					js.mu(func() {
-						for i := range js.redClaimed {
-							if !js.redClaimed[i] && !js.redDone[i] {
-								part = i
-								js.redClaimed[i] = true
-								js.redOwner[i] = node.Name
-								break
-							}
-						}
-					})
-					if part < 0 {
-						if js.done {
-							return
-						}
-						js.redCond.Wait(wp)
-						continue
-					}
-					rt.reduceTask(wp, job, js, part, node)
-					js.mu(func() {
-						if !js.redDone[part] && js.redOwner[part] == node.Name {
-							// The attempt died under this node; release it.
-							js.redClaimed[part] = false
-							js.redOwner[part] = ""
-							js.redCond.Broadcast()
-						}
-					})
-				}
-			}))
+			workers = append(workers, rt.spawnReduceWorker(job, js, node, s))
 		}
 	}
 
@@ -484,6 +383,11 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 		if i == mapWorkers-1 {
 			res.MapsDone = p.Now()
 		}
+	}
+	// Workers respawned by tracker re-registration; the slice can grow while
+	// draining (a node may rejoin more than once).
+	for i := 0; i < len(js.extra); i++ {
+		js.extra[i].Wait(p)
 	}
 	if rt.faulty {
 		res.MapsDone = js.allMapsAt // lingering workers exit late; use the real mark
@@ -510,6 +414,187 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 	res.Counters.MapTasks = js.totalMaps
 	res.Counters.ReduceTasks = job.NumReduces
 	return res, nil
+}
+
+// spawnMapWorker starts one map-slot worker on node. Fault mode tracks the
+// per-node live-worker census so a tracker re-registration knows how many
+// slots actually need refilling.
+func (rt *Runtime) spawnMapWorker(job *Job, js *jobState, node *cluster.Node, s int) *sim.Handle {
+	return rt.env.Go(fmt.Sprintf("map-worker:%s/%d", node.Name, s), func(wp *sim.Proc) {
+		if js.mapLive != nil {
+			js.mapLive[node.Name]++
+			defer func() { js.mapLive[node.Name]-- }()
+		}
+		// Heartbeat stagger: a tracker fills one slot per heartbeat round, so
+		// the first claims spread across nodes instead of one node's full
+		// slot bank draining the task queue.
+		wp.Sleep(time.Duration(s) * rt.cfg.LocalityWait / 4)
+		rt.mapWorkerLoop(wp, job, js, node)
+	})
+}
+
+func (rt *Runtime) mapWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *cluster.Node) {
+	misses := 0
+	for {
+		if rt.faulty && (!node.Alive() || js.blacklisted[node.Name]) {
+			return // tracker died or was blacklisted; work goes elsewhere
+		}
+		idx, remain := js.pickMap(node.Name, misses >= rt.cfg.LocalityRetries)
+		if !remain {
+			if !rt.faulty || js.done || js.failed != nil {
+				return
+			}
+			// Fault mode: a lost map output can resurrect work until the
+			// last reduce finishes, so idle workers linger instead of
+			// exiting.
+			js.mapWorkCond.Wait(wp)
+			continue
+		}
+		if idx < 0 {
+			// Delay scheduling: wait for local work to appear or for the
+			// steal budget to unlock.
+			misses++
+			wp.Sleep(rt.cfg.LocalityWait)
+			continue
+		}
+		misses = 0
+		attempt := js.attempts[idx]
+		sp := js.splits[idx]
+		local := false
+		for _, h := range sp.hosts {
+			if h == node.Name {
+				local = true
+				break
+			}
+		}
+		js.mu(func() {
+			if local {
+				js.counters.LocalMaps++
+			} else {
+				js.counters.RemoteMaps++
+			}
+		})
+		js.noteAttempt(idx, node.Name)
+		rt.mapTask(wp, job, js, idx, attempt, sp, node)
+		js.clearAttempt(idx, node.Name)
+	}
+}
+
+// spawnReduceWorker starts one reduce-slot worker on node.
+func (rt *Runtime) spawnReduceWorker(job *Job, js *jobState, node *cluster.Node, s int) *sim.Handle {
+	return rt.env.Go(fmt.Sprintf("reduce-worker:%s/%d", node.Name, s), func(wp *sim.Proc) {
+		if js.redLive != nil {
+			js.redLive[node.Name]++
+			defer func() { js.redLive[node.Name]-- }()
+		}
+		rt.reduceWorkerLoop(wp, job, js, node)
+	})
+}
+
+func (rt *Runtime) reduceWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *cluster.Node) {
+	for !js.slowstartOK {
+		if js.failed != nil {
+			return
+		}
+		js.slowCond.Wait(wp)
+	}
+	if !rt.faulty {
+		for {
+			var part int
+			got := false
+			js.mu(func() {
+				if js.reduceNext < job.NumReduces {
+					part = js.reduceNext
+					js.reduceNext++
+					got = true
+				}
+			})
+			if !got {
+				return
+			}
+			rt.reduceTask(wp, job, js, part, node)
+		}
+	}
+	// Fault mode: claim unowned partitions until all are done; a partition
+	// whose owner died is released for re-claiming.
+	for {
+		if !node.Alive() || js.failed != nil || js.blacklisted[node.Name] {
+			return
+		}
+		part := -1
+		js.mu(func() {
+			for i := range js.redClaimed {
+				if !js.redClaimed[i] && !js.redDone[i] {
+					part = i
+					js.redClaimed[i] = true
+					js.redOwner[i] = node.Name
+					break
+				}
+			}
+		})
+		if part < 0 {
+			if js.done {
+				return
+			}
+			js.redCond.Wait(wp)
+			continue
+		}
+		rt.reduceTask(wp, job, js, part, node)
+		js.mu(func() {
+			if !js.redDone[part] && js.redOwner[part] == node.Name {
+				// The attempt died under this node; release it.
+				js.redClaimed[part] = false
+				js.redOwner[part] = ""
+				js.redCond.Broadcast()
+			}
+		})
+	}
+}
+
+// OnNodeRejoin is the JobTracker learning that a restarted TaskTracker has
+// re-registered: its blacklist entry and failure tally are cleared (the
+// restart wiped whatever made it sick) and its task slots rejoin scheduling.
+// Only the slots that are actually empty are refilled — a tracker that
+// bounced faster than its parked workers noticed must not end up with more
+// workers than slots (the double-registration the chaos oracle checks for).
+func (rt *Runtime) OnNodeRejoin(name string) {
+	if !rt.faulty {
+		return
+	}
+	node := rt.cl.FindNode(name)
+	if node == nil {
+		return
+	}
+	jobs := make([]*jobState, 0, len(rt.active))
+	for js := range rt.active {
+		jobs = append(jobs, js)
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].jobName < jobs[j].jobName })
+	for _, js := range jobs {
+		js.rejoinTracker(rt, node)
+	}
+}
+
+// rejoinTracker refills one job's worker slots on a returning node.
+func (js *jobState) rejoinTracker(rt *Runtime, node *cluster.Node) {
+	if js.done || js.failed != nil {
+		return
+	}
+	delete(js.blacklisted, node.Name)
+	delete(js.trackerFailures, node.Name)
+	js.mu(func() { js.counters.TrackerRejoins++ })
+	if js.mapLive[node.Name] > js.cfg.MapSlots || js.redLive[node.Name] > js.cfg.ReduceSlots {
+		js.mu(func() { js.counters.DoubleRegistrations++ })
+	}
+	for s := js.mapLive[node.Name]; s < js.cfg.MapSlots; s++ {
+		js.extra = append(js.extra, rt.spawnMapWorker(js.job, js, node, s))
+	}
+	for s := js.redLive[node.Name]; s < js.cfg.ReduceSlots; s++ {
+		js.extra = append(js.extra, rt.spawnReduceWorker(js.job, js, node, s))
+	}
+	// Parked workers elsewhere may be waiting for schedulable slots.
+	js.mapWorkCond.Broadcast()
+	js.redCond.Broadcast()
 }
 
 // validate rejects malformed jobs loudly.

@@ -252,6 +252,8 @@ type Counters struct {
 	FetchRetries        int64 // reduce fetch attempts that were retried
 	FailedFetches       int64 // fetches abandoned after MaxFetchRetries
 	BlacklistedTrackers int64 // trackers excluded after MaxTrackerFailures
+	TrackerRejoins      int64 // restarted trackers that re-registered mid-job
+	DoubleRegistrations int64 // rejoins that would have over-filled a node's slots (must stay 0)
 
 	ShuffleBytes        int64 // compressed bytes moved to reducers
 	ReduceSpills        int64

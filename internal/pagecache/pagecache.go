@@ -530,6 +530,46 @@ func (c *Cache) Sync(p *sim.Proc) {
 	c.flushDown(p, 0)
 }
 
+// DropAll empties the cache without writeback — the fate of every resident
+// page when the node hosting the device crashes. Pages with an in-flight
+// fill are left pending (their disk request already exists and will
+// complete; the fill path tolerates the page being gone).
+func (c *Cache) DropAll() {
+	for _, pg := range c.pages {
+		if pg.pending != nil {
+			continue
+		}
+		if pg.dirty {
+			c.stats.DiscardedDirty++
+		}
+		c.remove(pg)
+	}
+}
+
+// FirstDirtyInRange returns the device sector of the lowest-numbered dirty
+// page overlapping [sector, sector+nsect), or -1 if every covered page is
+// clean or absent. Crash semantics use it to find the flushed prefix of a
+// file: bytes past the first dirty page never reached the platter.
+func (c *Cache) FirstDirtyInRange(sector int64, nsect int) int64 {
+	first, last := pageRange(sector, nsect)
+	best := int64(-1)
+	for n := first; n < last; n++ {
+		if pg, ok := c.pages[n]; ok && pg.dirty {
+			if best < 0 || n < best {
+				best = n
+			}
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	s := best * PageSectors
+	if s < sector {
+		s = sector
+	}
+	return s
+}
+
 // Discard drops the covered pages without writeback — the fate of deleted
 // files (e.g. MapReduce intermediate data removed after the job). Dirty
 // pages die here without ever generating disk traffic, which is how extra
