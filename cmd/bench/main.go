@@ -1,0 +1,216 @@
+// Command bench measures the simulator itself: host wall-clock, kernel
+// events/sec, allocation volume and heap footprint for each workload at a
+// fixed seed and scale, plus the cold full -all experiment matrix, emitted
+// as a schema-versioned BENCH_<rev>.json comparable across commits.
+//
+// Usage:
+//
+//	bench                          # default config -> BENCH_<rev>.json
+//	bench -quick                   # smoke-test config (sub-minute)
+//	bench -baseline results/BENCH_seed.json   # embed + compare
+//	bench -profile-dir prof/       # capture cpu.pprof and heap.pprof
+//	bench -check BENCH_abc123.json # validate an existing result and exit
+//
+// The tool prints a comparison table when -baseline is given and exits
+// nonzero if fingerprints diverge (an "optimization" that changed simulated
+// results) or the suite output hash moved — speed numbers are only
+// comparable between revisions that compute identical results.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"iochar/internal/bench"
+	"iochar/internal/core"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "smoke-test configuration (small inputs, one iteration)")
+		scale      = flag.Int64("scale", 0, "override capacity divisor")
+		slaves     = flag.Int("slaves", 0, "override slave-node count")
+		seed       = flag.Int64("seed", 0, "override simulation seed")
+		iters      = flag.Int("iterations", 0, "override timed iterations per workload")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default TS,AGG,KM,PR,JOIN)")
+		noSuite    = flag.Bool("no-suite", false, "skip the cold -all matrix measurement")
+		out        = flag.String("out", "", "output path (default BENCH_<rev>.json)")
+		baseline   = flag.String("baseline", "", "prior BENCH_*.json to embed and compare against")
+		profileDir = flag.String("profile-dir", "", "capture cpu.pprof and heap.pprof under this directory")
+		check      = flag.String("check", "", "validate an existing result JSON against the schema and exit")
+		rev        = flag.String("rev", "", "revision label for the output name (default: git short rev)")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if _, err := bench.LoadFile(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema %d)\n", *check, bench.SchemaVersion)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *slaves > 0 {
+		cfg.Slaves = *slaves
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *iters > 0 {
+		cfg.Iterations = *iters
+	}
+	if *noSuite {
+		cfg.Suite = false
+	}
+	cfg.ProfileDir = *profileDir
+	if *workloads != "" {
+		cfg.Workloads = nil
+		for _, name := range strings.Split(*workloads, ",") {
+			w, err := core.ParseWorkload(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(2)
+			}
+			cfg.Workloads = append(cfg.Workloads, w)
+		}
+	}
+
+	var base *bench.Result
+	if *baseline != "" {
+		b, err := bench.LoadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		base = b
+	}
+
+	res, err := bench.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	res.Rev = *rev
+	if res.Rev == "" {
+		res.Rev = gitRev()
+	}
+	res.Baseline = base
+
+	path := *out
+	if path == "" {
+		path = bench.FileName(res.Rev)
+	}
+	if err := bench.WriteFile(path, res); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+
+	printResult(res)
+	if base != nil {
+		ok := printComparison(base, res)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+// gitRev returns the short HEAD revision, or "dev" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func printResult(r *bench.Result) {
+	fmt.Printf("%-9s %12s %14s %14s %12s %12s  %s\n",
+		"workload", "wall", "events/sec", "allocs", "alloc-MB", "virtual", "fingerprint")
+	for _, w := range r.Workloads {
+		fmt.Printf("%-9s %12s %14.0f %14d %12.1f %12s  %s\n",
+			w.Workload, fmtNS(w.WallNS), w.EventsPerSec, w.AllocObjects,
+			float64(w.AllocBytes)/(1<<20), fmtNS(w.VirtualNS), w.Fingerprint)
+	}
+	if s := r.Suite; s != nil {
+		fmt.Printf("%-9s %12s %14s %14d %12.1f %12s  sha=%s\n",
+			"suite", fmtNS(s.WallNS), fmt.Sprintf("%d cells", s.Cells), s.AllocObjects,
+			float64(s.AllocBytes)/(1<<20), "-", s.OutputSHA256[:16])
+	}
+}
+
+// printComparison renders the delta table against the baseline and reports
+// whether the two results are comparable (identical fingerprints and suite
+// output hash).
+func printComparison(base, cur *bench.Result) bool {
+	ok := true
+	fmt.Printf("\nvs baseline %s:\n", base.Rev)
+	fmt.Printf("%-9s %10s %10s %8s   %10s %8s\n", "workload", "wall-old", "wall-new", "Δwall", "allocs", "Δallocs")
+	byName := map[string]bench.WorkloadResult{}
+	for _, w := range base.Workloads {
+		byName[w.Workload] = w
+	}
+	for _, w := range cur.Workloads {
+		b, found := byName[w.Workload]
+		if !found {
+			continue
+		}
+		if b.Fingerprint != w.Fingerprint {
+			fmt.Printf("%-9s FINGERPRINT DIVERGED (%s -> %s): results not comparable\n",
+				w.Workload, b.Fingerprint, w.Fingerprint)
+			ok = false
+			continue
+		}
+		fmt.Printf("%-9s %10s %10s %7.1f%%   %10d %7.1f%%\n",
+			w.Workload, fmtNS(b.WallNS), fmtNS(w.WallNS), pct(b.WallNS, w.WallNS),
+			w.AllocObjects, pct(int64(b.AllocObjects), int64(w.AllocObjects)))
+	}
+	if base.Suite != nil && cur.Suite != nil {
+		if base.Suite.OutputSHA256 != cur.Suite.OutputSHA256 {
+			fmt.Printf("suite     OUTPUT HASH DIVERGED: -all output is no longer byte-identical\n")
+			ok = false
+		} else {
+			fmt.Printf("%-9s %10s %10s %7.1f%%   %10d %7.1f%%\n",
+				"suite", fmtNS(base.Suite.WallNS), fmtNS(cur.Suite.WallNS),
+				pct(base.Suite.WallNS, cur.Suite.WallNS),
+				cur.Suite.AllocObjects, pct(int64(base.Suite.AllocObjects), int64(cur.Suite.AllocObjects)))
+		}
+	}
+	return ok
+}
+
+// pct returns the signed percent change from old to new (negative = faster).
+func pct(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (float64(new) - float64(old)) / float64(old) * 100
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

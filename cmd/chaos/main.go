@@ -75,7 +75,11 @@ func main() {
 	}
 
 	h := chaos.New(chaos.Options{
-		Core:        core.Options{Scale: *scale, Slaves: *slaves, MapTaskTarget: *mapTasks},
+		Core: core.NewOptions(
+			core.WithScale(*scale),
+			core.WithSlaves(*slaves),
+			core.WithMapTaskTarget(*mapTasks),
+		),
 		MaxFaults:   *maxFaults,
 		Parallelism: *parallel,
 	})

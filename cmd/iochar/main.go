@@ -60,9 +60,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := iochar.Options{
-		Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac, Histograms: *hist,
-		Integrity: *verify || *scrub != 0, ScrubRate: *scrub,
+	opts := iochar.NewOptions(
+		iochar.WithScale(*scale),
+		iochar.WithSlaves(*slaves),
+		iochar.WithSeed(*seed),
+		iochar.WithInputFraction(*frac),
+		iochar.WithScrubRate(*scrub),
+	)
+	if *hist {
+		opts = opts.With(iochar.WithHistograms())
+	}
+	if *verify || *scrub != 0 {
+		opts = opts.With(iochar.WithIntegrity())
 	}
 	sopts := []iochar.SuiteOption{iochar.WithParallelism(*parallel)}
 	if *cacheDir != "" {
@@ -168,8 +177,9 @@ func streamTraces(ctx context.Context, path string, opts iochar.Options) error {
 	sink := trace.NewStreamCollectorFormat(f, format)
 	for _, w := range iochar.Workloads() {
 		prefix := w.String() + ":"
-		opts.TraceAttach = func(dev string, d *disk.Disk) { sink.Attach(d, prefix+dev) }
-		if _, err := iochar.RunContext(ctx, w, iochar.SlotsRuns[0], opts); err != nil {
+		runOpts := opts.With(iochar.WithTraceAttach(
+			func(dev string, d *disk.Disk) { sink.Attach(d, prefix+dev) }))
+		if _, err := iochar.RunContext(ctx, w, iochar.SlotsRuns[0], runOpts); err != nil {
 			return err
 		}
 	}

@@ -63,9 +63,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mrrun: unknown slots config %q (want 1_8 or 2_16)\n", *slots)
 		os.Exit(2)
 	}
-	opts := iochar.Options{
-		Scale: *scale, Slaves: *slaves, Seed: *seed, InputFraction: *frac, Histograms: *hist,
-		Integrity: *verify || *scrub != 0, ScrubRate: *scrub,
+	opts := iochar.NewOptions(
+		iochar.WithScale(*scale),
+		iochar.WithSlaves(*slaves),
+		iochar.WithSeed(*seed),
+		iochar.WithInputFraction(*frac),
+		iochar.WithScrubRate(*scrub),
+	)
+	if *hist {
+		opts = opts.With(iochar.WithHistograms())
+	}
+	if *verify || *scrub != 0 {
+		opts = opts.With(iochar.WithIntegrity())
 	}
 	if *faultStr != "" {
 		plan, err := iochar.ParseFaultPlan(*faultStr)
@@ -73,7 +82,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mrrun:", err)
 			os.Exit(2)
 		}
-		opts.Faults = plan
+		opts = opts.With(iochar.WithFaults(plan))
 	}
 
 	// All observers ride the same per-disk bus, so any combination of the
@@ -101,7 +110,7 @@ func main() {
 	}
 	if collector != nil || stream != nil {
 		phys = iochar.NewPhysicalAttribution()
-		opts.TraceAttach = func(dev string, d *disk.Disk) {
+		opts = opts.With(iochar.WithTraceAttach(func(dev string, d *disk.Disk) {
 			if collector != nil {
 				collector.Attach(d, dev)
 			}
@@ -109,7 +118,7 @@ func main() {
 				stream.Attach(d, dev)
 			}
 			phys.Attach(d)
-		}
+		}))
 	}
 
 	rep, err := iochar.RunContext(ctx, w, iochar.Factors{

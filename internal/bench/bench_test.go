@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"iochar/internal/core"
+)
+
+// benchCfg is a small two-workload configuration that still exercises the
+// full pipeline (sort-heavy TS, combiner-heavy AGG).
+func benchCfg() Config {
+	return Config{
+		Scale: 262144, Slaves: 3, MapTaskTarget: 16, Seed: 7, Iterations: 1,
+		Workloads: []core.Workload{core.TS, core.AGG},
+	}
+}
+
+// TestRunDeterminism is the harness's core guarantee: two runs at the same
+// seed and configuration produce identical simulated outcomes — virtual
+// time, kernel event count, and the full outcome fingerprint. The
+// optimization workflow leans on this: a hot-path change is only a speedup
+// if the fingerprint survives it.
+func TestRunDeterminism(t *testing.T) {
+	cfg := benchCfg()
+	r1, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Workloads) != len(r2.Workloads) {
+		t.Fatalf("workload counts differ: %d vs %d", len(r1.Workloads), len(r2.Workloads))
+	}
+	for i := range r1.Workloads {
+		a, b := r1.Workloads[i], r2.Workloads[i]
+		if a.Fingerprint != b.Fingerprint {
+			t.Errorf("%s: fingerprints differ across runs: %s vs %s", a.Workload, a.Fingerprint, b.Fingerprint)
+		}
+		if a.VirtualNS != b.VirtualNS {
+			t.Errorf("%s: virtual time differs across runs: %d vs %d", a.Workload, a.VirtualNS, b.VirtualNS)
+		}
+		if a.Events != b.Events {
+			t.Errorf("%s: kernel event counts differ across runs: %d vs %d", a.Workload, a.Events, b.Events)
+		}
+	}
+	if err := r1.Validate(); err != nil {
+		t.Errorf("result fails its own schema validation: %v", err)
+	}
+}
+
+// TestRunSeedSensitivity guards the other direction: a different seed must
+// produce a different fingerprint, or the fingerprint isn't actually
+// covering the simulated outcome.
+func TestRunSeedSensitivity(t *testing.T) {
+	cfg := benchCfg()
+	r1, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 8
+	r2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Workloads {
+		if r1.Workloads[i].Fingerprint == r2.Workloads[i].Fingerprint {
+			t.Errorf("%s: fingerprint identical across seeds 7 and 8", r1.Workloads[i].Workload)
+		}
+	}
+}

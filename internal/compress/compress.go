@@ -16,6 +16,7 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -68,33 +69,59 @@ func NewDeflate() Deflate {
 // Name implements Codec.
 func (Deflate) Name() string { return "deflate" }
 
+// Codec state is pooled: a flate writer carries ~600 KiB of match tables
+// whose zeroing used to dominate the simulator's allocation profile (one
+// NewWriter per spill). Reset makes a recycled writer bit-identical to a
+// fresh one, so pooling cannot change any compressed byte. The pools are
+// process-global and concurrency-safe, which matters because the suite
+// executor compresses from many worker goroutines at once.
+var (
+	flateWriters = sync.Pool{New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			panic(fmt.Sprintf("compress: flate writer: %v", err))
+		}
+		return w
+	}}
+	flateReaders = sync.Pool{New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	}}
+)
+
 // Compress implements Codec using flate.BestSpeed.
 func (Deflate) Compress(src []byte) []byte {
 	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		panic(fmt.Sprintf("compress: flate writer: %v", err))
-	}
+	buf.Grow(len(src)/2 + 64)
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
 	if _, err := w.Write(src); err != nil {
 		panic(fmt.Sprintf("compress: flate write: %v", err))
 	}
 	if err := w.Close(); err != nil {
 		panic(fmt.Sprintf("compress: flate close: %v", err))
 	}
+	flateWriters.Put(w)
 	return buf.Bytes()
 }
 
 // Decompress implements Codec.
 func (Deflate) Decompress(enc []byte) []byte {
-	r := flate.NewReader(bytes.NewReader(enc))
-	out, err := io.ReadAll(r)
-	if err != nil {
+	r := flateReaders.Get().(io.ReadCloser)
+	if err := r.(flate.Resetter).Reset(bytes.NewReader(enc), nil); err != nil {
+		panic(fmt.Sprintf("compress: flate reset: %v", err))
+	}
+	// Decompressed intermediate data is rarely more than a few times larger
+	// than its encoded form; growing up front avoids ReadAll's doubling
+	// copies without pinning oversized buffers.
+	buf := bytes.NewBuffer(make([]byte, 0, len(enc)*3+512))
+	if _, err := buf.ReadFrom(r); err != nil {
 		panic(fmt.Sprintf("compress: flate read: %v", err))
 	}
 	if err := r.Close(); err != nil {
 		panic(fmt.Sprintf("compress: flate close: %v", err))
 	}
-	return out
+	flateReaders.Put(r)
+	return buf.Bytes()
 }
 
 // CompressCost implements Codec.

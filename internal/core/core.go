@@ -225,6 +225,10 @@ type RunReport struct {
 	CPUUtil *stats.Series
 	Jobs    []*mapred.Result
 	Wall    time.Duration // virtual time from job submission to completion
+	// Events is the number of kernel events the simulation dispatched end to
+	// end — the deterministic work metric behind the benchmark harness's
+	// events/sec throughput numbers.
+	Events uint64
 
 	// Fault-run observability; zero/nil for healthy runs.
 	Recovery       hdfs.RecoveryStats        // HDFS repair work performed
@@ -438,6 +442,7 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	if runErr != nil {
 		return nil, fmt.Errorf("core: %s: %w", f.cacheKey(w), runErr)
 	}
+	rep.Events = env.Events()
 	rep.HDFS = mon.Report(GroupHDFS)
 	rep.MR = mon.Report(GroupMR)
 	rep.CPUUtil = cpu.Util()

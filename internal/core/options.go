@@ -1,0 +1,124 @@
+package core
+
+import (
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/disk"
+	"iochar/internal/faults"
+	"iochar/internal/hdfs"
+	"iochar/internal/mapred"
+	"iochar/internal/sim"
+)
+
+// Option configures the simulated testbed, one knob at a time — the
+// composable successor to filling Options fields by hand. Options sprawled
+// as PRs bolted on booleans (Audit, Integrity, Histograms, fault plans,
+// tuning hooks); the With* constructors gather those knobs behind one
+// pattern, matching the suite's WithParallelism/WithCacheDir style.
+//
+// Build a testbed configuration with NewOptions:
+//
+//	opts := core.NewOptions(
+//	    core.WithScale(4096),
+//	    core.WithHistograms(),
+//	    core.WithAudit(),
+//	)
+//
+// The Options struct remains usable directly as a thin compatibility layer
+// for one release; new knobs land here first.
+type Option func(*Options)
+
+// NewOptions builds an Options value from functional options. Zero fields
+// keep the documented defaults (scale 1024, 10 slaves, seed 1, ...), applied
+// by the runners exactly as for a hand-filled struct.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// With applies additional options to an existing configuration — the bridge
+// for callers migrating from the struct form.
+func (o Options) With(opts ...Option) Options {
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// WithScale sets the capacity divisor versus the paper's testbed.
+func WithScale(scale int64) Option { return func(o *Options) { o.Scale = scale } }
+
+// WithSlaves sets the number of slave nodes.
+func WithSlaves(n int) Option { return func(o *Options) { o.Slaves = n } }
+
+// WithSeed sets the simulation seed.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithSampleInterval sets the iostat sampling interval in virtual time.
+func WithSampleInterval(d time.Duration) Option {
+	return func(o *Options) { o.SampleInterval = d }
+}
+
+// WithMapTaskTarget bounds the map-task count of the largest workload.
+func WithMapTaskTarget(n int64) Option { return func(o *Options) { o.MapTaskTarget = n } }
+
+// WithInputFraction shrinks every workload's input relative to the scaled
+// paper volume (0 < f <= 1).
+func WithInputFraction(f float64) Option { return func(o *Options) { o.InputFraction = f } }
+
+// WithHistograms collects per-request await/svctm/size distributions for
+// each monitored device group.
+func WithHistograms() Option { return func(o *Options) { o.Histograms = true } }
+
+// WithAudit switches on the post-run invariant audit (RunReport.Audit).
+func WithAudit() Option { return func(o *Options) { o.Audit = true } }
+
+// WithIntegrity switches on end-to-end HDFS checksumming: per-chunk CRC32C
+// computed at write time and verified on every streaming read.
+func WithIntegrity() Option { return func(o *Options) { o.Integrity = true } }
+
+// WithScrubRate enables the background replica scrubber (> 0 limits
+// bytes/sec, < 0 runs unthrottled). Implies the integrity machinery.
+func WithScrubRate(rate int64) Option { return func(o *Options) { o.ScrubRate = rate } }
+
+// WithFaults injects a deterministic fault plan during the run.
+func WithFaults(plan faults.Plan) Option { return func(o *Options) { o.Faults = plan } }
+
+// WithRecovery tunes HDFS failure detection and repair for fault runs.
+func WithRecovery(cfg hdfs.RecoveryConfig) Option { return func(o *Options) { o.Recovery = cfg } }
+
+// WithFaultSlowDisk degrades the first slave's first intermediate-data disk
+// by the given service-time multiplier (> 1) — the classic straggler fault.
+func WithFaultSlowDisk(factor float64) Option {
+	return func(o *Options) { o.FaultSlowDisk = factor }
+}
+
+// WithSharedDataDisks pools HDFS and intermediate data on the same spindles
+// instead of the paper's dedicated 3+3 layout.
+func WithSharedDataDisks() Option { return func(o *Options) { o.SharedDataDisks = true } }
+
+// WithTraceAttach installs the per-disk observer hook, called once per data
+// disk before the run. Runs with it set bypass the persistent cache.
+func WithTraceAttach(fn func(dev string, d *disk.Disk)) Option {
+	return func(o *Options) { o.TraceAttach = fn }
+}
+
+// WithTuneMapred adjusts the derived MapReduce configuration just before the
+// runtime is built. Runs with it set bypass the persistent cache.
+func WithTuneMapred(fn func(*mapred.Config)) Option {
+	return func(o *Options) { o.TuneMapred = fn }
+}
+
+// WithInspect installs the post-run simulation-context hook. Runs with it
+// set bypass the persistent cache.
+func WithInspect(fn func(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster)) Option {
+	return func(o *Options) { o.Inspect = fn }
+}

@@ -19,7 +19,6 @@
 package datagen
 
 import (
-	"fmt"
 	"math/rand"
 	"strconv"
 )
@@ -45,6 +44,7 @@ func (g TeraGen) Part(part int, size int64) []byte {
 	rng := rand.New(rand.NewSource(g.Seed*1_000_003 + int64(part)))
 	out := make([]byte, 0, n*RecordSize)
 	row := int64(part) << 40
+	var idBuf [20]byte // row ids are non-negative, at most 19 digits
 	for i := int64(0); i < n; i++ {
 		for k := 0; k < KeySize; k++ {
 			out = append(out, byte(' '+rng.Intn(95)))
@@ -54,10 +54,14 @@ func (g TeraGen) Part(part int, size int64) []byte {
 		// compression ratio near the ~2:1 of real GenSort records — an
 		// all-repetitive filler would overstate compression and erase the
 		// intermediate-disk pressure the paper measures for TeraSort.
-		payload := fmt.Sprintf("%022d", row+i)
-		out = append(out, payload...)
+		const payLen = 22 // zero-padded width, as Sprintf("%022d") produced
+		digits := strconv.AppendInt(idBuf[:0], row+i, 10)
+		for k := len(digits); k < payLen; k++ {
+			out = append(out, '0')
+		}
+		out = append(out, digits...)
 		fill := byte('A' + i%26)
-		half := (RecordSize - KeySize - len(payload)) / 2
+		half := (RecordSize - KeySize - payLen) / 2
 		for k := 0; k < half; k++ {
 			out = append(out, fill)
 		}
@@ -97,18 +101,18 @@ func (g OrderGen) Part(part int, size int64) []byte {
 		cat := zipf.Uint64()
 		price := rng.Intn(9900) + 100 // cents
 		qty := rng.Intn(9) + 1
-		out = append(out, strconv.FormatInt(order, 10)...)
+		out = strconv.AppendInt(out, order, 10)
 		out = append(out, '|')
-		out = append(out, strconv.Itoa(user)...)
+		out = strconv.AppendInt(out, int64(user), 10)
 		out = append(out, '|')
-		out = append(out, strconv.Itoa(item)...)
+		out = strconv.AppendInt(out, int64(item), 10)
 		out = append(out, '|')
 		out = append(out, "cat-"...)
-		out = append(out, strconv.FormatUint(cat, 10)...)
+		out = strconv.AppendUint(out, cat, 10)
 		out = append(out, '|')
-		out = append(out, strconv.Itoa(price)...)
+		out = strconv.AppendInt(out, int64(price), 10)
 		out = append(out, '|')
-		out = append(out, strconv.Itoa(qty)...)
+		out = strconv.AppendInt(out, int64(qty), 10)
 		out = append(out, '\n')
 	}
 	return out
@@ -137,10 +141,10 @@ func (g UserGen) Part(part int, size int64) []byte {
 	// Walk ids from a per-part base so parts partition the universe.
 	id := part * 7919 % users
 	for int64(len(out)) < size {
-		out = append(out, strconv.Itoa(id)...)
+		out = strconv.AppendInt(out, int64(id), 10)
 		out = append(out, '|')
 		out = append(out, "user-"...)
-		out = append(out, strconv.Itoa(id)...)
+		out = strconv.AppendInt(out, int64(id), 10)
 		out = append(out, '|')
 		out = append(out, regions[rng.Intn(len(regions))]...)
 		out = append(out, '\n')

@@ -216,9 +216,8 @@ type Disk struct {
 	// obs are the completion observers (block-level tracing, as blktrace
 	// would provide — see internal/trace — plus latency histograms in
 	// internal/iostat). Every completed request fans out to all of them.
-	obs        []observer
-	nextObsID  uint64
-	traceUnsub func() // the SetTrace shim's current subscription
+	obs       []observer
+	nextObsID uint64
 }
 
 // Completion describes one completed block-layer request as delivered to
@@ -272,24 +271,6 @@ func (d *Disk) Subscribe(fn func(Completion)) (unsubscribe func()) {
 			return
 		}
 	}
-}
-
-// SetTrace installs a completion observer. Pass nil to disable.
-//
-// Deprecated: SetTrace is a single-slot shim kept for older callers; each
-// call silently replaces the previously installed trace. Use Subscribe,
-// which supports any number of concurrent observers.
-func (d *Disk) SetTrace(fn func(op Op, sector int64, count int, arrived, done time.Duration)) {
-	if d.traceUnsub != nil {
-		d.traceUnsub()
-		d.traceUnsub = nil
-	}
-	if fn == nil {
-		return
-	}
-	d.traceUnsub = d.Subscribe(func(c Completion) {
-		fn(c.Op, c.Sector, c.Count, c.Arrived, c.Done)
-	})
 }
 
 // New creates a disk and starts its service process.

@@ -487,15 +487,17 @@ func TestUnsubscribeDuringDispatch(t *testing.T) {
 	}
 }
 
-func TestSetTraceReplacesPreviousTrace(t *testing.T) {
-	// The deprecated single-slot API keeps its replacement semantics on top
-	// of the bus, without displacing Subscribe observers.
+func TestSubscribeReplacementPattern(t *testing.T) {
+	// Single-slot replacement (the old SetTrace semantics) is expressed on
+	// the bus as unsubscribe-then-subscribe, without displacing other
+	// observers.
 	env := sim.New(1)
 	d := newTestDisk(env)
 	var first, second, bus int
 	d.Subscribe(func(Completion) { bus++ })
-	d.SetTrace(func(Op, int64, int, time.Duration, time.Duration) { first++ })
-	d.SetTrace(func(Op, int64, int, time.Duration, time.Duration) { second++ })
+	unsub := d.Subscribe(func(Completion) { first++ })
+	unsub()
+	d.Subscribe(func(Completion) { second++ })
 	env.Go("io", func(p *sim.Proc) {
 		d.Do(p, Write, 0, 32)
 	})

@@ -294,12 +294,19 @@ func (fs *FS) CreateWith(path, clientNode string, replication int) *Writer {
 // cannot be stored on any live DataNode.
 func (w *Writer) Write(p *sim.Proc, data []byte) error {
 	w.buf = append(w.buf, data...)
-	for int64(len(w.buf)) >= w.fs.cfg.BlockSize {
-		if err := w.flushBlock(p, w.buf[:w.fs.cfg.BlockSize]); err != nil {
+	bs := w.fs.cfg.BlockSize
+	// Flush by offset and copy the tail down once, keeping the buffer's
+	// capacity: re-slicing past the flushed prefix would orphan it and force
+	// a fresh block-sized allocation on every following append.
+	var flushed int64
+	for int64(len(w.buf))-flushed >= bs {
+		if err := w.flushBlock(p, w.buf[flushed:flushed+bs]); err != nil {
+			w.buf = w.buf[:copy(w.buf, w.buf[flushed:])]
 			return err
 		}
-		w.buf = w.buf[w.fs.cfg.BlockSize:]
+		flushed += bs
 	}
+	w.buf = w.buf[:copy(w.buf, w.buf[flushed:])]
 	return nil
 }
 
@@ -337,7 +344,10 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 	w.meta.size += b.size
 	fs.blockByID[id] = b
 
-	content := append([]byte(nil), data...)
+	// data can be used in place: every pipeline hop is waited on before this
+	// function returns, and the DataNode Append copies the bytes, so nothing
+	// references it afterwards — no defensive copy needed.
+	content := data
 	if fs.integrity {
 		b.sums = chunkSums(content, fs.cfg.ChecksumChunk)
 	}

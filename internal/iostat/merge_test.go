@@ -1,0 +1,43 @@
+package iostat
+
+import (
+	"testing"
+	"time"
+
+	"iochar/internal/disk"
+)
+
+func TestHistsMerge(t *testing.T) {
+	a, b := NewHists(), NewHists()
+	a.Observe(disk.Completion{Count: 8, Arrived: 0, Start: time.Millisecond, Done: 2 * time.Millisecond})
+	b.Observe(disk.Completion{Count: 512, Arrived: 0, Start: time.Millisecond, Done: 50 * time.Millisecond})
+	b.Observe(disk.Completion{Count: 16, Arrived: 0, Start: time.Millisecond, Done: 3 * time.Millisecond})
+	a.Merge(b)
+	if a.Requests != 3 {
+		t.Errorf("merged Requests = %d, want 3", a.Requests)
+	}
+	if a.Await.Total() != 3 || a.Svctm.Total() != 3 || a.Size.Total() != 3 {
+		t.Errorf("merged totals = %d/%d/%d, want 3 each",
+			a.Await.Total(), a.Svctm.Total(), a.Size.Total())
+	}
+	if a.AwaitMaxMs != 50 {
+		t.Errorf("merged AwaitMaxMs = %v, want 50", a.AwaitMaxMs)
+	}
+	if a.SizeMax != 512 {
+		t.Errorf("merged SizeMax = %v, want 512", a.SizeMax)
+	}
+	if b.Requests != 2 {
+		t.Errorf("merge mutated its argument: Requests = %d, want 2", b.Requests)
+	}
+}
+
+// Rolling per-group distributions into a cluster-wide view must not
+// allocate: the bucket arrays of the receiver are reused in place.
+func TestHistsMergeAllocs(t *testing.T) {
+	a, b := NewHists(), NewHists()
+	b.Observe(disk.Completion{Count: 64, Arrived: 0, Start: time.Millisecond, Done: 2 * time.Millisecond})
+	allocs := testing.AllocsPerRun(1000, func() { a.Merge(b) })
+	if allocs != 0 {
+		t.Errorf("Merge allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // appendKV serializes one pair as uvarint-length-prefixed key and value —
@@ -40,9 +40,10 @@ func readKV(src []byte) (key, value, rest []byte) {
 // run is a sorted serialized KV stream.
 type run []byte
 
-// mergeRuns performs a k-way merge of sorted runs into one sorted run.
-// Returned bytes are freshly allocated. totalBytes is returned for cost
-// accounting convenience.
+// mergeRuns performs a k-way merge of sorted runs into one sorted run. The
+// result may alias a single non-empty input run, so callers must treat both
+// as read-only afterwards (they do: merged output is compressed or grouped,
+// then dropped).
 func mergeRuns(runs []run) run {
 	runs2 := runs[:0]
 	total := 0
@@ -57,7 +58,7 @@ func mergeRuns(runs []run) run {
 	case 0:
 		return nil
 	case 1:
-		return append(run(nil), runs[0]...)
+		return runs[0]
 	}
 	type cursor struct {
 		key, val, rest []byte
@@ -219,28 +220,34 @@ func (f *framer) feed(chunk []byte, fn func(rec []byte)) {
 			f.skippedHead = true
 		}
 		limit := f.it.splitLen // owned lines start at relative pos <= splitLen
+		// Walk complete lines by offset and consume once at the end — a
+		// copy-down per record would be quadratic in the chunk size.
+		off := 0
 		for {
-			if f.relPos > limit {
+			if f.relPos+int64(off) > limit {
 				f.done = true
 				f.pending = nil
 				return
 			}
-			i := bytes.IndexByte(f.pending, '\n')
+			i := bytes.IndexByte(f.pending[off:], '\n')
 			if i < 0 {
-				return
+				break
 			}
-			fn(f.pending[:i])
-			f.consume(i + 1)
+			fn(f.pending[off : off+i])
+			off += i + 1
 		}
+		f.consume(off)
 	case KVFormat:
+		off := 0
 		for {
-			n, ok := kvLen(f.pending)
+			n, ok := kvLen(f.pending[off:])
 			if !ok {
-				return
+				break
 			}
-			fn(f.pending[:n])
-			f.consume(n)
+			fn(f.pending[off : off+n])
+			off += n
 		}
+		f.consume(off)
 	default:
 		panic(fmt.Sprintf("mapred: unknown record format %T", f.it.format))
 	}
@@ -336,13 +343,17 @@ func nCompares(n int) float64 {
 // tiebreaker yields the effect of a stable sort (equal keys keep emission
 // order, which keeps runs deterministic) at unstable-sort cost.
 func sortKVEntries(ents []kvEnt) {
-	sort.Slice(ents, func(i, j int) bool {
-		if ents[i].part != ents[j].part {
-			return ents[i].part < ents[j].part
+	// slices.SortFunc moves entries directly instead of going through
+	// sort.Slice's reflection-based swapper — the comparison is a strict
+	// total order (seq breaks ties), so any sorting algorithm produces the
+	// same permutation.
+	slices.SortFunc(ents, func(a, b kvEnt) int {
+		if a.part != b.part {
+			return a.part - b.part
 		}
-		if c := bytes.Compare(ents[i].key, ents[j].key); c != 0 {
-			return c < 0
+		if c := bytes.Compare(a.key, b.key); c != 0 {
+			return c
 		}
-		return ents[i].seq < ents[j].seq
+		return a.seq - b.seq
 	})
 }

@@ -166,6 +166,7 @@ type mapState struct {
 	arena    []byte
 	ents     []kvEnt
 	bufBytes int64
+	scratch  run // serializePartition output buffer, reused across spills
 
 	spillBase  string
 	spills     []*spillFile
@@ -217,7 +218,8 @@ func (ms *mapState) spill(p *sim.Proc) {
 	}
 	cfg := ms.rt.cfg
 	// Arena re-slicing hazard: entries hold views into ms.arena, safe since
-	// the arena is append-only and we drop everything after the spill.
+	// the arena is append-only and the buffer is only recycled after every
+	// entry has been serialized out.
 	ms.node.Compute(p, time.Duration(nCompares(len(ms.ents))*cfg.SortNsPerCompare))
 	sortKVEntries(ms.ents)
 	if ms.zombie() {
@@ -250,8 +252,11 @@ func (ms *mapState) spill(p *sim.Proc) {
 	}
 	ms.spills = append(ms.spills, sf)
 	ms.spillCount++
-	ms.arena = nil
-	ms.ents = nil
+	// Keep the backing arrays: every buffered byte was serialized (and copied)
+	// above, so the next fill can overwrite them instead of reallocating the
+	// full sort buffer once per spill.
+	ms.arena = ms.arena[:0]
+	ms.ents = ms.ents[:0]
 	ms.bufBytes = 0
 }
 
@@ -262,7 +267,10 @@ func (ms *mapState) serializePartition(p *sim.Proc, ents []kvEnt) (run, int64) {
 		return nil, 0
 	}
 	cfg := ms.rt.cfg
-	var out run
+	// The caller consumes the returned run (compress + append, both copying)
+	// before the next call, so the backing array is recycled across
+	// partitions and spills instead of being regrown from nil each time.
+	out := ms.scratch[:0]
 	var n int64
 	if comb := ms.job.Combiner; comb != nil {
 		emit := func(k, v []byte) {
@@ -290,6 +298,7 @@ func (ms *mapState) serializePartition(p *sim.Proc, ents []kvEnt) (run, int64) {
 		n = int64(len(ents))
 	}
 	ms.node.Compute(p, time.Duration(cfg.SerializeNsPerByte*float64(len(out))))
+	ms.scratch = out
 	return out, n
 }
 

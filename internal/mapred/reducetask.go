@@ -158,11 +158,15 @@ func (rt *Runtime) reduceTask(p *sim.Proc, job *Job, js *jobState, part int, nod
 	var outRecords, outBytes int64
 	var cpu time.Duration
 	var werr error
+	// kvBuf is reused across output records; Write copies it into the HDFS
+	// client buffer before any pipeline flush can yield the process.
+	var kvBuf []byte
 	emit := func(k, v []byte) {
 		outRecords++
 		outBytes += int64(len(k)+len(v)) + 1
 		if werr == nil {
-			werr = w.Write(p, appendKV(nil, k, v))
+			kvBuf = appendKV(kvBuf[:0], k, v)
+			werr = w.Write(p, kvBuf)
 		}
 	}
 	groupRun(merged, func(key []byte, values [][]byte) {

@@ -11,8 +11,7 @@
 package pagecache
 
 import (
-	"container/list"
-	"sort"
+	"slices"
 	"time"
 
 	"iochar/internal/disk"
@@ -75,7 +74,49 @@ type page struct {
 	dirtyAt time.Duration // when the page last became dirty
 	stage   disk.Stage    // pipeline stage that last wrote (or read) the page
 	pending *sim.Event    // in-flight disk read filling this page, if any
-	elem    *list.Element
+
+	// Intrusive LRU links (prev is toward the MRU front, next toward the
+	// tail), so residency tracking costs no allocation beyond the page.
+	prev, next *page
+}
+
+// lruList is an intrusive doubly-linked list threaded through the pages;
+// front is most recently used.
+type lruList struct {
+	front, back *page
+}
+
+func (l *lruList) pushFront(pg *page) {
+	pg.prev = nil
+	pg.next = l.front
+	if l.front != nil {
+		l.front.prev = pg
+	} else {
+		l.back = pg
+	}
+	l.front = pg
+}
+
+func (l *lruList) remove(pg *page) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else {
+		l.front = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else {
+		l.back = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+}
+
+func (l *lruList) moveToFront(pg *page) {
+	if l.front == pg {
+		return
+	}
+	l.remove(pg)
+	l.pushFront(pg)
 }
 
 // Cache is the page cache for one device. Create with New.
@@ -86,11 +127,25 @@ type Cache struct {
 
 	capacity int // pages
 	pages    map[int64]*page
-	lru      *list.List // front = most recently used
+	lru      lruList // front = most recently used
+	free     *page   // recycled page structs, linked through next
 	dirty    int
 
 	kick  *sim.Cond // unparks the writeback daemon when pages first dirty
 	stats Stats
+}
+
+// newPage returns a reset page struct, recycling evicted ones: at steady
+// state the cache churns pages at disk speed, and the free list keeps that
+// churn from being an allocation per page.
+func (c *Cache) newPage(n int64) *page {
+	pg := c.free
+	if pg == nil {
+		return &page{num: n}
+	}
+	c.free = pg.next
+	*pg = page{num: n}
+	return pg
 }
 
 // New creates a cache of capacityPages pages backed by d and starts its
@@ -119,8 +174,7 @@ func New(env *sim.Env, d *disk.Disk, capacityPages int, opts Options) *Cache {
 		d:        d,
 		opts:     opts,
 		capacity: capacityPages,
-		pages:    make(map[int64]*page),
-		lru:      list.New(),
+		pages:    make(map[int64]*page, capacityPages),
 		kick:     sim.NewCond(env),
 	}
 	env.Go("writeback:"+d.P.Name, func(p *sim.Proc) {
@@ -253,7 +307,9 @@ func (c *Cache) ReadStaged(p *sim.Proc, rs *ReadState, sector int64, nsect int, 
 func (c *Cache) fetch(first, last int64, stage disk.Stage) *sim.Event {
 	ev := sim.NewEvent(c.env)
 	for n := first; n < last; n++ {
-		pg := &page{num: n, stage: stage, pending: ev}
+		pg := c.newPage(n)
+		pg.stage = stage
+		pg.pending = ev
 		c.insert(pg)
 	}
 	req := c.d.SubmitStaged(disk.Read, first*PageSectors, int(last-first)*PageSectors, stage)
@@ -285,7 +341,7 @@ func (c *Cache) WriteStaged(p *sim.Proc, sector int64, nsect int, stage disk.Sta
 	for n := first; n < last; n++ {
 		pg := c.lookup(n)
 		if pg == nil {
-			pg = &page{num: n}
+			pg = c.newPage(n)
 			c.insert(pg)
 		}
 		pg.stage = stage
@@ -314,7 +370,7 @@ func (c *Cache) lookup(n int64) *page {
 	if !ok {
 		return nil
 	}
-	c.lru.MoveToFront(pg.elem)
+	c.lru.moveToFront(pg)
 	return pg
 }
 
@@ -325,7 +381,7 @@ func (c *Cache) insert(pg *page) {
 			break // everything is pinned/dirty beyond help; overcommit briefly
 		}
 	}
-	pg.elem = c.lru.PushFront(pg)
+	c.lru.pushFront(pg)
 	c.pages[pg.num] = pg
 }
 
@@ -335,8 +391,7 @@ func (c *Cache) insert(pg *page) {
 // writeback). Returns false if nothing could be evicted.
 func (c *Cache) evictOne() bool {
 	var oldestDirty *page
-	for e := c.lru.Back(); e != nil; e = e.Prev() {
-		pg := e.Value.(*page)
+	for pg := c.lru.back; pg != nil; pg = pg.prev {
 		if pg.pending != nil {
 			continue
 		}
@@ -361,11 +416,16 @@ func (c *Cache) evictOne() bool {
 }
 
 func (c *Cache) remove(pg *page) {
-	c.lru.Remove(pg.elem)
+	c.lru.remove(pg)
 	delete(c.pages, pg.num)
 	if pg.dirty {
 		c.dirty--
 	}
+	// Recycle the struct. Nothing holds page pointers across simulation
+	// yields (the fill path re-looks pages up by number), so reuse is safe.
+	pg.pending = nil
+	pg.next = c.free
+	c.free = pg
 }
 
 // dirtyRunAround returns the maximal contiguous run of dirty page numbers
@@ -444,7 +504,7 @@ func (c *Cache) flushExpired(p *sim.Proc) {
 	if len(nums) == 0 {
 		return
 	}
-	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	slices.Sort(nums)
 	var reqs []*disk.Request
 	for _, run := range clusterRuns(nums, c.d.P.MaxReqSect/PageSectors) {
 		stage := c.pages[run[0]].stage
@@ -518,7 +578,7 @@ func (c *Cache) dirtyRuns(limit int) [][]int64 {
 			nums = append(nums, n)
 		}
 	}
-	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	slices.Sort(nums)
 	if limit < len(nums) {
 		nums = nums[:limit]
 	}

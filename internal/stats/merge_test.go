@@ -1,0 +1,52 @@
+package stats
+
+import "testing"
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 1024, 11)
+	b := NewHistogram(1, 1024, 11)
+	for _, v := range []float64{0.5, 2, 8, 8, 100} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{8, 2000, 2000} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if got, want := a.Total(), uint64(8); got != want {
+		t.Errorf("merged total = %d, want %d", got, want)
+	}
+	if got, want := b.Total(), uint64(3); got != want {
+		t.Errorf("merge mutated its argument: total = %d, want %d", got, want)
+	}
+	// Bucket-wise: the three 8s (two from a, one from b) share a bucket.
+	ref := NewHistogram(1, 1024, 11)
+	for _, v := range []float64{0.5, 2, 8, 8, 100, 8, 2000, 2000} {
+		ref.Observe(v)
+	}
+	for i := range ref.Counts {
+		if a.Counts[i] != ref.Counts[i] {
+			t.Fatalf("bucket %d: merged %d, reference %d", i, a.Counts[i], ref.Counts[i])
+		}
+	}
+}
+
+func TestHistogramMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched shapes did not panic")
+		}
+	}()
+	NewHistogram(1, 1024, 11).Merge(NewHistogram(1, 1024, 12))
+}
+
+// Merge must reuse the receiver's bucket array: rollups over many groups
+// run inside sampled hot paths and cannot afford per-merge garbage.
+func TestHistogramMergeAllocs(t *testing.T) {
+	a := NewHistogram(1, 1024, 11)
+	b := NewHistogram(1, 1024, 11)
+	b.Observe(64)
+	allocs := testing.AllocsPerRun(1000, func() { a.Merge(b) })
+	if allocs != 0 {
+		t.Errorf("Merge allocates %.1f objects per call, want 0", allocs)
+	}
+}

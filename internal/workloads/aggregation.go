@@ -42,17 +42,24 @@ func (a *Aggregation) Prepare(fs *hdfs.FS, cl *cluster.Cluster, total int64, see
 	loadParts(fs, cl, inputDir(a.Key()), total, gen.Part)
 }
 
-// aggSum is both combiner and reducer: sums revenue values per category.
-func aggSum(k []byte, vals [][]byte, emit func(k, v []byte)) {
+// aggSummer is both combiner and reducer: it sums revenue values per
+// category. The scratch buffer is rebuilt immediately before the emit that
+// consumes it, and emit copies the bytes before the simulation can switch
+// tasks, so one instance per job side is safe.
+type aggSummer struct{ enc []byte }
+
+// Reduce implements mapred.Reducer.
+func (a *aggSummer) Reduce(k []byte, vals [][]byte, emit func(k, v []byte)) {
 	var sum int64
 	for _, v := range vals {
-		n, err := strconv.ParseInt(string(v), 10, 64)
+		n, err := strconv.ParseInt(bstr(v), 10, 64)
 		if err != nil {
 			panic(fmt.Sprintf("aggregation: bad partial %q: %v", v, err))
 		}
 		sum += n
 	}
-	emit(k, strconv.AppendInt(nil, sum, 10))
+	a.enc = strconv.AppendInt(a.enc[:0], sum, 10)
+	emit(k, a.enc)
 }
 
 // Run implements Workload.
@@ -67,29 +74,33 @@ func (a *Aggregation) Run(p *sim.Proc, rt *mapred.Runtime, fs *hdfs.FS, cl *clus
 		Input:  inputs,
 		Output: outputDir(a.Key()),
 		Format: mapred.LineFormat{},
-		Mapper: mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
-			// Fields: order|user|item|category|price|quantity.
-			var fieldStart [7]int
-			nf := 1
-			for i, b := range rec {
-				if b == '|' && nf < 7 {
-					fieldStart[nf] = i + 1
-					nf++
+		Mapper: func() mapred.Mapper {
+			var val []byte // rebuilt right before each emit, which copies it
+			return mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
+				// Fields: order|user|item|category|price|quantity.
+				var fieldStart [7]int
+				nf := 1
+				for i, b := range rec {
+					if b == '|' && nf < 7 {
+						fieldStart[nf] = i + 1
+						nf++
+					}
 				}
-			}
-			if nf < 6 {
-				return // malformed line; Hive would null it out
-			}
-			cat := rec[fieldStart[3] : fieldStart[4]-1]
-			price, err1 := strconv.Atoi(string(rec[fieldStart[4] : fieldStart[5]-1]))
-			qty, err2 := strconv.Atoi(string(rec[fieldStart[5]:]))
-			if err1 != nil || err2 != nil {
-				return
-			}
-			emit(cat, strconv.AppendInt(nil, int64(price*qty), 10))
-		}),
-		Combiner:   mapred.ReducerFunc(aggSum),
-		Reducer:    mapred.ReducerFunc(aggSum),
+				if nf < 6 {
+					return // malformed line; Hive would null it out
+				}
+				cat := rec[fieldStart[3] : fieldStart[4]-1]
+				price, err1 := strconv.Atoi(bstr(rec[fieldStart[4] : fieldStart[5]-1]))
+				qty, err2 := strconv.Atoi(bstr(rec[fieldStart[5]:]))
+				if err1 != nil || err2 != nil {
+					return
+				}
+				val = strconv.AppendInt(val[:0], int64(price*qty), 10)
+				emit(cat, val)
+			})
+		}(),
+		Combiner:   &aggSummer{},
+		Reducer:    &aggSummer{},
 		NumReduces: defaultReduces(cl),
 		Costs: mapred.CostModel{
 			// Hive's SerDe + expression evaluation: heavy per-byte cost is

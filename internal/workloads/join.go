@@ -1,7 +1,6 @@
 package workloads
 
 import (
-	"bytes"
 	"fmt"
 
 	"iochar/internal/cluster"
@@ -69,23 +68,33 @@ func (j *Join) Run(p *sim.Proc, rt *mapred.Runtime, fs *hdfs.FS, cl *cluster.Clu
 
 	// The mapper distinguishes sides by schema: dimension rows have three
 	// fields, fact rows six (a Hive multi-input job would use the split's
-	// source path; schema sniffing keeps the Job single-mapper).
+	// source path; schema sniffing keeps the Job single-mapper). The scratch
+	// buffers are rebuilt from call-local values right before each emit,
+	// which copies them before the simulation can switch tasks.
+	var tagBuf []byte
 	mapper := mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
+		var pos [5]int // offsets of the first five separators
 		sep := 0
-		for _, b := range rec {
+		for i, b := range rec {
 			if b == '|' {
+				if sep < 5 {
+					pos[sep] = i
+				}
 				sep++
 			}
 		}
 		switch sep {
 		case 2: // user|name|region
-			i := bytes.IndexByte(rec, '|')
-			emit(rec[:i], append([]byte{tagDim}, rec[i+1:]...))
+			tagBuf = append(tagBuf[:0], tagDim)
+			tagBuf = append(tagBuf, rec[pos[0]+1:]...)
+			emit(rec[:pos[0]], tagBuf)
 		case 5: // order|user|item|category|price|quantity
-			f := bytes.SplitN(rec, []byte{'|'}, 6)
-			emit(f[1], append([]byte{tagFact}, bytes.Join([][]byte{f[4], f[5]}, []byte{'|'})...))
+			tagBuf = append(tagBuf[:0], tagFact)
+			tagBuf = append(tagBuf, rec[pos[3]+1:]...) // price|quantity
+			emit(rec[pos[0]+1:pos[1]], tagBuf)
 		}
 	})
+	var rowBuf []byte
 	reducer := mapred.ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
 		var dim []byte
 		for _, v := range vals {
@@ -101,8 +110,10 @@ func (j *Join) Run(p *sim.Proc, rt *mapred.Runtime, fs *hdfs.FS, cl *cluster.Clu
 			if v[0] != tagFact {
 				continue
 			}
-			out := append(append([]byte(nil), dim...), '|')
-			emit(k, append(out, v[1:]...))
+			rowBuf = append(rowBuf[:0], dim...)
+			rowBuf = append(rowBuf, '|')
+			rowBuf = append(rowBuf, v[1:]...)
+			emit(k, rowBuf)
 		}
 	})
 	job := &mapred.Job{

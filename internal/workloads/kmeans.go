@@ -47,21 +47,32 @@ func (km *KMeans) Prepare(fs *hdfs.FS, cl *cluster.Cluster, total int64, seed in
 	loadParts(fs, cl, inputDir(km.Key()), total, gen.Part)
 }
 
-// parsePoint decodes a comma-separated coordinate line.
-func parsePoint(line []byte, dims int) ([]float64, bool) {
-	pt := make([]float64, 0, dims)
+// parsePointInto decodes a comma-separated coordinate line into dst[:0],
+// so per-record callers can reuse one backing array across millions of
+// records. It returns the (possibly regrown) slice.
+func parsePointInto(dst []float64, line []byte, dims int) ([]float64, bool) {
+	dst = dst[:0]
 	start := 0
 	for i := 0; i <= len(line); i++ {
 		if i == len(line) || line[i] == ',' {
-			v, err := strconv.ParseFloat(string(line[start:i]), 64)
+			v, err := strconv.ParseFloat(bstr(line[start:i]), 64)
 			if err != nil {
-				return nil, false
+				return dst, false
 			}
-			pt = append(pt, v)
+			dst = append(dst, v)
 			start = i + 1
 		}
 	}
-	return pt, len(pt) == dims
+	return dst, len(dst) == dims
+}
+
+// parsePoint is the allocating convenience form for cold paths.
+func parsePoint(line []byte, dims int) ([]float64, bool) {
+	pt, ok := parsePointInto(make([]float64, 0, dims), line, dims)
+	if !ok {
+		return nil, false
+	}
+	return pt, true
 }
 
 // nearest returns the index of the closest center (squared Euclidean).
@@ -80,9 +91,11 @@ func nearest(pt []float64, centers [][]float64) int {
 	return best
 }
 
-// encodeSum serializes (count, sumVec) partials; decodeSum reverses it.
-func encodeSum(count int64, sum []float64) []byte {
-	out := strconv.AppendInt(nil, count, 10)
+// encodeSumInto serializes (count, sumVec) partials into dst[:0];
+// decodeSumInto reverses it. Both exist in buffer-reusing form because the
+// iteration jobs run them once per input record.
+func encodeSumInto(dst []byte, count int64, sum []float64) []byte {
+	out := strconv.AppendInt(dst[:0], count, 10)
 	for _, v := range sum {
 		out = append(out, ';')
 		out = strconv.AppendFloat(out, v, 'g', -1, 64)
@@ -90,41 +103,65 @@ func encodeSum(count int64, sum []float64) []byte {
 	return out
 }
 
-func decodeSum(v []byte) (int64, []float64) {
-	parts := bytes.Split(v, []byte{';'})
-	n, err := strconv.ParseInt(string(parts[0]), 10, 64)
+func decodeSumInto(dst []float64, v []byte) (int64, []float64) {
+	dst = dst[:0]
+	end := bytes.IndexByte(v, ';')
+	if end < 0 {
+		end = len(v)
+	}
+	n, err := strconv.ParseInt(bstr(v[:end]), 10, 64)
 	if err != nil {
 		panic(fmt.Sprintf("kmeans: bad partial %q", v))
 	}
-	sum := make([]float64, len(parts)-1)
-	for i, p := range parts[1:] {
-		f, err := strconv.ParseFloat(string(p), 64)
+	for end < len(v) {
+		start := end + 1
+		end = start
+		for end < len(v) && v[end] != ';' {
+			end++
+		}
+		f, err := strconv.ParseFloat(bstr(v[start:end]), 64)
 		if err != nil {
 			panic(fmt.Sprintf("kmeans: bad partial %q", v))
 		}
-		sum[i] = f
+		dst = append(dst, f)
 	}
-	return n, sum
+	return n, dst
 }
 
-// mergeSums is combiner and reducer for iteration jobs: it folds partial
+// decodeSum is the allocating convenience form for cold (driver-side) paths.
+func decodeSum(v []byte) (int64, []float64) { return decodeSumInto(nil, v) }
+
+// sumMerger is combiner and reducer for iteration jobs: it folds partial
 // (count, sum) pairs; the reducer's final division to a centroid happens
-// driver-side when the output is read back.
-func mergeSums(k []byte, vals [][]byte, emit func(k, v []byte)) {
+// driver-side when the output is read back. One instance serves a whole job:
+// its scratch buffers are only live between the start of a Reduce call and
+// the emit that ends it, and every emit path copies the value out before the
+// simulation can switch to another task.
+type sumMerger struct {
+	sum []float64
+	dec []float64
+	enc []byte
+}
+
+// Reduce implements mapred.Reducer.
+func (m *sumMerger) Reduce(k []byte, vals [][]byte, emit func(k, v []byte)) {
 	var count int64
-	var sum []float64
+	first := true
 	for _, v := range vals {
-		n, s := decodeSum(v)
+		var n int64
+		n, m.dec = decodeSumInto(m.dec, v)
 		count += n
-		if sum == nil {
-			sum = s
+		if first {
+			m.sum = append(m.sum[:0], m.dec...)
+			first = false
 		} else {
-			for i := range sum {
-				sum[i] += s[i]
+			for i := range m.sum {
+				m.sum[i] += m.dec[i]
 			}
 		}
 	}
-	emit(k, encodeSum(count, sum))
+	m.enc = encodeSumInto(m.enc, count, m.sum)
+	emit(k, m.enc)
 }
 
 // iterCosts prices one distance evaluation per center per dimension plus
@@ -173,14 +210,22 @@ func (km *KMeans) Run(p *sim.Proc, rt *mapred.Runtime, fs *hdfs.FS, cl *cluster.
 		Input:  inputs,
 		Output: out,
 		Format: mapred.LineFormat{},
-		Mapper: mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
-			pt, ok := parsePoint(rec, km.Dims)
-			if !ok {
-				return
-			}
-			c := nearest(pt, centers)
-			emit(strconv.AppendInt(nil, int64(c), 10), rec)
-		}),
+		Mapper: func() mapred.Mapper {
+			// Per-job scratch: each buffer is rebuilt immediately before the
+			// emit that consumes it, and emit copies before any task switch.
+			var pt []float64
+			var key []byte
+			return mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
+				var ok bool
+				pt, ok = parsePointInto(pt, rec, km.Dims)
+				if !ok {
+					return
+				}
+				c := nearest(pt, centers)
+				key = strconv.AppendInt(key[:0], int64(c), 10)
+				emit(key, rec)
+			})
+		}(),
 		Reducer: mapred.ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
 			for _, v := range vals {
 				emit(k, v)
@@ -198,21 +243,27 @@ func (km *KMeans) Run(p *sim.Proc, rt *mapred.Runtime, fs *hdfs.FS, cl *cluster.
 
 // iterationJob builds one refinement pass against fixed centers.
 func (km *KMeans) iterationJob(inputs []string, output string, centers [][]float64) *mapred.Job {
+	// Per-job scratch, same discipline as the clustering mapper above.
+	var pt []float64
+	var key, val []byte
 	return &mapred.Job{
 		Name:   "kmeans-iter",
 		Input:  inputs,
 		Output: output,
 		Format: mapred.LineFormat{},
 		Mapper: mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
-			pt, ok := parsePoint(rec, km.Dims)
+			var ok bool
+			pt, ok = parsePointInto(pt, rec, km.Dims)
 			if !ok {
 				return
 			}
 			c := nearest(pt, centers)
-			emit(strconv.AppendInt(nil, int64(c), 10), encodeSum(1, pt))
+			key = strconv.AppendInt(key[:0], int64(c), 10)
+			val = encodeSumInto(val, 1, pt)
+			emit(key, val)
 		}),
-		Combiner:   mapred.ReducerFunc(mergeSums),
-		Reducer:    mapred.ReducerFunc(mergeSums),
+		Combiner:   &sumMerger{},
+		Reducer:    &sumMerger{},
 		NumReduces: km.K, // one reducer per centroid is plenty for tiny output
 		Costs:      km.iterCosts(),
 	}

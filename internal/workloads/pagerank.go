@@ -50,8 +50,10 @@ func (pr *PageRank) Prepare(fs *hdfs.FS, cl *cluster.Cluster, total int64, seed 
 
 // Vertex state value format: "rank|dst1,dst2,..." — rank as decimal float,
 // destinations comma-separated (possibly empty for dangling vertices).
-func encodeState(rank float64, adj []byte) []byte {
-	out := strconv.AppendFloat(nil, rank, 'g', 10, 64)
+// encodeStateInto writes into dst[:0] so per-record callers can reuse one
+// backing array.
+func encodeStateInto(dst []byte, rank float64, adj []byte) []byte {
+	out := strconv.AppendFloat(dst[:0], rank, 'g', 10, 64)
 	out = append(out, '|')
 	return append(out, adj...)
 }
@@ -61,7 +63,7 @@ func decodeState(v []byte) (rank float64, adj []byte) {
 	if i < 0 {
 		panic(fmt.Sprintf("pagerank: bad state %q", v))
 	}
-	r, err := strconv.ParseFloat(string(v[:i]), 64)
+	r, err := strconv.ParseFloat(bstr(v[:i]), 64)
 	if err != nil {
 		panic(fmt.Sprintf("pagerank: bad rank in %q", v))
 	}
@@ -109,16 +111,21 @@ func (pr *PageRank) Run(p *sim.Proc, rt *mapred.Runtime, fs *hdfs.FS, cl *cluste
 			}
 			emit(rec[:i], rec[i+1:])
 		}),
-		Reducer: mapred.ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
-			var adj []byte
-			for i, v := range vals {
-				if i > 0 {
-					adj = append(adj, ',')
+		Reducer: func() mapred.Reducer {
+			// Per-job scratch; emit copies before any task switch can reuse it.
+			var adj, state []byte
+			return mapred.ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
+				adj = adj[:0]
+				for i, v := range vals {
+					if i > 0 {
+						adj = append(adj, ',')
+					}
+					adj = append(adj, v...)
 				}
-				adj = append(adj, v...)
-			}
-			emit(k, encodeState(1.0, adj))
-		}),
+				state = encodeStateInto(state, 1.0, adj)
+				emit(k, state)
+			})
+		}(),
 		NumReduces: defaultReduces(cl),
 		Costs:      prCosts(),
 	}
@@ -139,41 +146,56 @@ func (pr *PageRank) Run(p *sim.Proc, rt *mapred.Runtime, fs *hdfs.FS, cl *cluste
 			Input:  fs.List(prevDir + "/part-r-"),
 			Output: stateDir,
 			Format: mapred.KVFormat{},
-			Mapper: mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
-				node, state := mapred.SplitKV(rec)
-				rank, adj := decodeState(state)
-				// Preserve the graph structure.
-				emit(node, append([]byte("A"), adj...))
-				deg := countDests(adj)
-				if deg == 0 {
-					return
-				}
-				contrib := strconv.AppendFloat([]byte("C"), rank/float64(deg), 'g', 10, 64)
-				start := 0
-				for i := 0; i <= len(adj); i++ {
-					if i == len(adj) || adj[i] == ',' {
-						emit(adj[start:i], contrib)
-						start = i + 1
+			Mapper: func() mapred.Mapper {
+				// Per-job scratch. A map-side emit can spill (and so switch
+				// tasks) before returning, which would let another task of
+				// this job clobber the shared buffers — so each one is rebuilt
+				// from call-local values right before the emit that copies it.
+				var aBuf, cBuf []byte
+				return mapred.MapperFunc(func(rec []byte, emit func(k, v []byte)) {
+					node, state := mapred.SplitKV(rec)
+					rank, adj := decodeState(state)
+					// Preserve the graph structure.
+					aBuf = append(aBuf[:0], 'A')
+					aBuf = append(aBuf, adj...)
+					emit(node, aBuf)
+					deg := countDests(adj)
+					if deg == 0 {
+						return
 					}
-				}
-			}),
-			Reducer: mapred.ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
-				var adj []byte
-				sum := 0.0
-				for _, v := range vals {
-					switch v[0] {
-					case 'A':
-						adj = v[1:]
-					case 'C':
-						c, err := strconv.ParseFloat(string(v[1:]), 64)
-						if err != nil {
-							panic(fmt.Sprintf("pagerank: bad contribution %q", v))
+					contrib := rank / float64(deg)
+					start := 0
+					for i := 0; i <= len(adj); i++ {
+						if i == len(adj) || adj[i] == ',' {
+							cBuf = append(cBuf[:0], 'C')
+							cBuf = strconv.AppendFloat(cBuf, contrib, 'g', 10, 64)
+							emit(adj[start:i], cBuf)
+							start = i + 1
 						}
-						sum += c
 					}
-				}
-				emit(k, encodeState((1-damping)+damping*sum, adj))
-			}),
+				})
+			}(),
+			Reducer: func() mapred.Reducer {
+				var state []byte
+				return mapred.ReducerFunc(func(k []byte, vals [][]byte, emit func(k, v []byte)) {
+					var adj []byte
+					sum := 0.0
+					for _, v := range vals {
+						switch v[0] {
+						case 'A':
+							adj = v[1:]
+						case 'C':
+							c, err := strconv.ParseFloat(bstr(v[1:]), 64)
+							if err != nil {
+								panic(fmt.Sprintf("pagerank: bad contribution %q", v))
+							}
+							sum += c
+						}
+					}
+					state = encodeStateInto(state, (1-damping)+damping*sum, adj)
+					emit(k, state)
+				})
+			}(),
 			NumReduces: defaultReduces(cl),
 			Costs:      prCosts(),
 		}

@@ -18,12 +18,19 @@ package workloads
 
 import (
 	"fmt"
+	"unsafe"
 
 	"iochar/internal/cluster"
 	"iochar/internal/hdfs"
 	"iochar/internal/mapred"
 	"iochar/internal/sim"
 )
+
+// bstr views b as a string without copying, for strconv parse calls on the
+// per-record hot path (string(b) would allocate per record). The callee must
+// not retain the string; strconv parsers only do so inside returned errors,
+// which the callers treat as malformed-input dead ends.
+func bstr(b []byte) string { return unsafe.String(unsafe.SliceData(b), len(b)) }
 
 // Workload is one benchmark: input preparation plus a job sequence.
 type Workload interface {

@@ -42,8 +42,42 @@ import (
 
 // Options configures the simulated testbed; the zero value gives the
 // defaults documented on core.Options (scale 1/1024, 10 slaves, 1 s-scaled
-// iostat interval).
+// iostat interval). Prefer building it with NewOptions and the With*
+// functional options; the struct form remains as a thin compatibility
+// layer for one release.
 type Options = core.Options
+
+// Option configures the testbed one knob at a time; see NewOptions.
+type Option = core.Option
+
+// NewOptions builds an Options value from functional options:
+//
+//	opts := iochar.NewOptions(iochar.WithScale(4096), iochar.WithAudit())
+//
+// Zero-valued knobs keep their documented defaults, exactly as for a
+// hand-filled struct. Extend an existing value with Options.With.
+func NewOptions(opts ...Option) Options { return core.NewOptions(opts...) }
+
+// The testbed knobs, mirrored from internal/core.
+var (
+	WithScale           = core.WithScale           // capacity divisor vs the paper's testbed
+	WithSlaves          = core.WithSlaves          // number of slave nodes
+	WithSeed            = core.WithSeed            // simulation seed
+	WithSampleInterval  = core.WithSampleInterval  // iostat sampling interval
+	WithMapTaskTarget   = core.WithMapTaskTarget   // map-task bound for the largest workload
+	WithInputFraction   = core.WithInputFraction   // shrink inputs further (0,1]
+	WithHistograms      = core.WithHistograms      // per-request latency/size distributions
+	WithAudit           = core.WithAudit           // post-run invariant audit
+	WithIntegrity       = core.WithIntegrity       // end-to-end HDFS checksums
+	WithScrubRate       = core.WithScrubRate       // background replica scrubber rate
+	WithFaults          = core.WithFaults          // deterministic fault plan
+	WithRecovery        = core.WithRecovery        // HDFS failure detection/repair tuning
+	WithFaultSlowDisk   = core.WithFaultSlowDisk   // one-knob straggler disk
+	WithSharedDataDisks = core.WithSharedDataDisks // pooled instead of dedicated spindles
+	WithTraceAttach     = core.WithTraceAttach     // per-disk observer hook
+	WithTuneMapred      = core.WithTuneMapred      // MapReduce config hook
+	WithInspect         = core.WithInspect         // post-run simulation-context hook
+)
 
 // Factors is one cell of the paper's experiment matrix: task slots, memory
 // size, and intermediate-data compression.
@@ -138,18 +172,6 @@ func Run(w Workload, f Factors, opts Options) (*RunReport, error) {
 // discrete-event loop, so cancelling it aborts the simulation promptly.
 func RunContext(ctx context.Context, w Workload, f Factors, opts Options) (*RunReport, error) {
 	return core.RunOneContext(ctx, w, f, opts)
-}
-
-// RunNamed executes a workload named by string ("TS", "AGG", "KM", "PR").
-//
-// Deprecated: transitional shim for the pre-typed API; use ParseWorkload
-// and Run. It will be removed one release after the typed Workload API.
-func RunNamed(workload string, f Factors, opts Options) (*RunReport, error) {
-	w, err := ParseWorkload(workload)
-	if err != nil {
-		return nil, err
-	}
-	return Run(w, f, opts)
 }
 
 // Cell is one (workload, factors) coordinate of the experiment matrix.

@@ -29,8 +29,8 @@ func TestRunFacadeInvalidWorkload(t *testing.T) {
 	if _, err := Run(Workload(0), Factors{Slots: Slots1x8, MemoryGB: 16}, facadeOpts); err == nil {
 		t.Error("want error")
 	}
-	if _, err := RunNamed("XX", Factors{Slots: Slots1x8, MemoryGB: 16}, facadeOpts); err == nil {
-		t.Error("want error from the string shim")
+	if _, err := ParseWorkload("XX"); err == nil {
+		t.Error("want error from ParseWorkload")
 	}
 }
 
