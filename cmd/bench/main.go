@@ -29,6 +29,7 @@ import (
 
 	"iochar/internal/bench"
 	"iochar/internal/core"
+	"iochar/internal/disk"
 )
 
 func main() {
@@ -45,8 +46,26 @@ func main() {
 		profileDir = flag.String("profile-dir", "", "capture cpu.pprof and heap.pprof under this directory")
 		check      = flag.String("check", "", "validate an existing result JSON against the schema and exit")
 		rev        = flag.String("rev", "", "revision label for the output name (default: git short rev)")
+		tier       = flag.String("tier", "hdd", "device class for intermediate-data volumes in the workload measurements: hdd | ssd (the suite measurement always runs untiered)")
 	)
 	flag.Parse()
+
+	// Overrides use 0 as "keep the config default", so only a negative value
+	// can be nonsense — reject it instead of silently ignoring it.
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{{"-scale", *scale}, {"-slaves", int64(*slaves)}, {"-iterations", int64(*iters)}} {
+		if f.v < 0 {
+			fmt.Fprintf(os.Stderr, "bench: %s must be positive (0 = config default), got %d\n", f.name, f.v)
+			os.Exit(2)
+		}
+	}
+	tierClass, err := disk.ParseClass(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
 
 	if *check != "" {
 		if _, err := bench.LoadFile(*check); err != nil {
@@ -79,6 +98,7 @@ func main() {
 	if *noSuite {
 		cfg.Suite = false
 	}
+	cfg.Tier = tierClass
 	cfg.ProfileDir = *profileDir
 	if *workloads != "" {
 		cfg.Workloads = nil
@@ -157,36 +177,62 @@ func printResult(r *bench.Result) {
 }
 
 // printComparison renders the delta table against the baseline and reports
-// whether the two results are comparable (identical fingerprints and suite
-// output hash).
+// whether the two results are comparable. Same-tier results must agree on
+// every workload fingerprint and the suite output hash. When the tiers
+// differ, per-workload fingerprints diverge by design (the device model
+// under the intermediate volumes changed), so the table reports the
+// simulated await and virtual-wall deltas instead, and only the untiered
+// suite hash gates comparability.
 func printComparison(base, cur *bench.Result) bool {
 	ok := true
 	fmt.Printf("\nvs baseline %s:\n", base.Rev)
-	fmt.Printf("%-9s %10s %10s %8s   %10s %8s\n", "workload", "wall-old", "wall-new", "Δwall", "allocs", "Δallocs")
 	byName := map[string]bench.WorkloadResult{}
 	for _, w := range base.Workloads {
 		byName[w.Workload] = w
 	}
-	for _, w := range cur.Workloads {
-		b, found := byName[w.Workload]
-		if !found {
-			continue
+	if base.Config.Tier != cur.Config.Tier {
+		fmt.Printf("intermediate tier %s -> %s: comparing simulated effect, not host speed\n",
+			base.Config.Tier, cur.Config.Tier)
+		fmt.Printf("%-9s %12s %12s %9s   %10s %10s %9s\n",
+			"workload", "mr-await-old", "mr-await-new", "Δawait", "vwall-old", "vwall-new", "Δvwall")
+		for _, w := range cur.Workloads {
+			b, found := byName[w.Workload]
+			if !found {
+				continue
+			}
+			fmt.Printf("%-9s %10.3fms %10.3fms %8.1f%%   %10s %10s %8.1f%%\n",
+				w.Workload, b.MRAwaitMs, w.MRAwaitMs,
+				pctF(b.MRAwaitMs, w.MRAwaitMs),
+				fmtNS(b.VirtualNS), fmtNS(w.VirtualNS), pct(b.VirtualNS, w.VirtualNS))
 		}
-		if b.Fingerprint != w.Fingerprint {
-			fmt.Printf("%-9s FINGERPRINT DIVERGED (%s -> %s): results not comparable\n",
-				w.Workload, b.Fingerprint, w.Fingerprint)
-			ok = false
-			continue
+	} else {
+		fmt.Printf("%-9s %10s %10s %8s   %10s %8s\n", "workload", "wall-old", "wall-new", "Δwall", "allocs", "Δallocs")
+		for _, w := range cur.Workloads {
+			b, found := byName[w.Workload]
+			if !found {
+				continue
+			}
+			if b.Fingerprint != w.Fingerprint {
+				fmt.Printf("%-9s FINGERPRINT DIVERGED (%s -> %s): results not comparable\n",
+					w.Workload, b.Fingerprint, w.Fingerprint)
+				ok = false
+				continue
+			}
+			fmt.Printf("%-9s %10s %10s %7.1f%%   %10d %7.1f%%\n",
+				w.Workload, fmtNS(b.WallNS), fmtNS(w.WallNS), pct(b.WallNS, w.WallNS),
+				w.AllocObjects, pct(int64(b.AllocObjects), int64(w.AllocObjects)))
 		}
-		fmt.Printf("%-9s %10s %10s %7.1f%%   %10d %7.1f%%\n",
-			w.Workload, fmtNS(b.WallNS), fmtNS(w.WallNS), pct(b.WallNS, w.WallNS),
-			w.AllocObjects, pct(int64(b.AllocObjects), int64(w.AllocObjects)))
 	}
 	if base.Suite != nil && cur.Suite != nil {
-		if base.Suite.OutputSHA256 != cur.Suite.OutputSHA256 {
+		switch {
+		case base.Suite.OutputSHA256 != cur.Suite.OutputSHA256:
 			fmt.Printf("suite     OUTPUT HASH DIVERGED: -all output is no longer byte-identical\n")
 			ok = false
-		} else {
+		case base.Config.Tier != cur.Config.Tier:
+			// The suite always runs untiered, so its hash must agree even
+			// across tiers; speed rows would compare different columns here.
+			fmt.Printf("suite     output hash identical (%s)\n", cur.Suite.OutputSHA256[:16])
+		default:
 			fmt.Printf("%-9s %10s %10s %7.1f%%   %10d %7.1f%%\n",
 				"suite", fmtNS(base.Suite.WallNS), fmtNS(cur.Suite.WallNS),
 				pct(base.Suite.WallNS, cur.Suite.WallNS),
@@ -202,6 +248,13 @@ func pct(old, new int64) float64 {
 		return 0
 	}
 	return (float64(new) - float64(old)) / float64(old) * 100
+}
+
+func pctF(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
 }
 
 func fmtNS(ns int64) string {

@@ -30,6 +30,7 @@ import (
 
 	"iochar/internal/chaos"
 	"iochar/internal/core"
+	"iochar/internal/disk"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		scale     = flag.Int64("scale", 262144, "capacity divisor vs the paper's testbed")
 		slaves    = flag.Int("slaves", 5, "number of slave nodes")
 		mapTasks  = flag.Int64("map-tasks", 8, "map-task target for the largest workload")
+		tier      = flag.String("tier", "hdd", "device class for intermediate-data volumes: hdd | ssd (generated schedules record it; note ssd constrains -scale)")
 		parallel  = flag.Int("parallel", 1, "concurrent chaos runs (verdicts are identical at any value)")
 		soak      = flag.Duration("soak", 0, "loop seeds until this much wall-clock time has passed (overrides -runs)")
 		replay    = flag.String("replay", "", "replay a schedule JSON file instead of generating schedules")
@@ -74,11 +76,18 @@ func main() {
 		workloads = []core.Workload{w}
 	}
 
+	tierClass, err := disk.ParseClass(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(2)
+	}
+
 	h := chaos.New(chaos.Options{
 		Core: core.NewOptions(
 			core.WithScale(*scale),
 			core.WithSlaves(*slaves),
 			core.WithMapTaskTarget(*mapTasks),
+			core.WithIntermediateTier(tierClass),
 		),
 		MaxFaults:   *maxFaults,
 		Parallelism: *parallel,

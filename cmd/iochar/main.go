@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"iochar"
+	"iochar/internal/cliutil"
 	"iochar/internal/disk"
 	"iochar/internal/trace"
 )
@@ -51,6 +52,8 @@ func main() {
 		frac     = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
 		verify   = flag.Bool("verify", false, "end-to-end HDFS checksums on every cell (extension; timing-neutral)")
 		scrub    = flag.Int64("scrub", 0, "background replica scrubber: bytes/sec rate limit, -1 = unthrottled, 0 = off (implies -verify)")
+		tier     = flag.String("tier", "hdd", "device class for intermediate-data volumes on every cell: hdd | ssd")
+		interval = flag.Duration("sample-interval", 0, "iostat sampling interval in virtual time (0 = auto: 1 s scaled down with -scale)")
 		parallel = flag.Int("parallel", 0, "experiment cells to simulate concurrently (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "persist experiment cells under this directory")
 		verbose  = flag.Bool("v", false, "per-cell progress to stderr")
@@ -60,12 +63,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if err := cliutil.ValidateRunFlags(*scale, *slaves, *frac, *interval, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "iochar:", err)
+		os.Exit(2)
+	}
+	tierClass, err := iochar.ParseTier(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iochar:", err)
+		os.Exit(2)
+	}
+	unsubClamps := cliutil.WarnClamps(os.Stderr, "iochar")
+	defer unsubClamps()
+
 	opts := iochar.NewOptions(
 		iochar.WithScale(*scale),
 		iochar.WithSlaves(*slaves),
 		iochar.WithSeed(*seed),
 		iochar.WithInputFraction(*frac),
 		iochar.WithScrubRate(*scrub),
+		iochar.WithSampleInterval(*interval),
+		iochar.WithIntermediateTier(tierClass),
 	)
 	if *hist {
 		opts = opts.With(iochar.WithHistograms())

@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"iochar"
+	"iochar/internal/cliutil"
 	"iochar/internal/disk"
 	"iochar/internal/iostat"
 	"iochar/internal/trace"
@@ -36,6 +37,8 @@ func main() {
 		slaves    = flag.Int("slaves", 10, "number of slave nodes")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		frac      = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
+		tier      = flag.String("tier", "hdd", "device class for intermediate-data volumes: hdd | ssd (HDFS data disks stay mechanical)")
+		interval  = flag.Duration("sample-interval", 0, "iostat sampling interval in virtual time (0 = auto: 1 s scaled down with -scale)")
 		traceFile = flag.String("trace", "", "buffer a block-level I/O trace in memory, write CSV to this file (deprecated; prefer -trace-out)")
 		streamOut = flag.String("trace-out", "", "stream a block-level I/O trace to this file as requests complete (CSV, or NDJSON if the name ends in .ndjson); O(1) memory")
 		hist      = flag.Bool("hist", false, "collect per-request await/svctm/size histograms and print p50/p95/p99/max rows")
@@ -53,6 +56,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mrrun:", err)
 		os.Exit(2)
 	}
+	if err := cliutil.ValidateRunFlags(*scale, *slaves, *frac, *interval, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "mrrun:", err)
+		os.Exit(2)
+	}
+	tierClass, err := iochar.ParseTier(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrrun:", err)
+		os.Exit(2)
+	}
+	// Capacity-floor clamps during provisioning mean the requested -scale no
+	// longer preserves capacity ratios; surface each distinct one on stderr.
+	unsub := cliutil.WarnClamps(os.Stderr, "mrrun")
+	defer unsub()
 	var sc iochar.SlotsConfig
 	switch *slots {
 	case "1_8":
@@ -69,6 +85,8 @@ func main() {
 		iochar.WithSeed(*seed),
 		iochar.WithInputFraction(*frac),
 		iochar.WithScrubRate(*scrub),
+		iochar.WithSampleInterval(*interval),
+		iochar.WithIntermediateTier(tierClass),
 	)
 	if *hist {
 		opts = opts.With(iochar.WithHistograms())
@@ -165,6 +183,18 @@ func main() {
 	}
 	printGroup("HDFS", rep.HDFS)
 	printGroup("MapReduce", rep.MR)
+	if len(rep.Classes) > 0 {
+		// Tiered run: the per-device-class split (every spindle vs every
+		// flash device) behind the hdd.*/ssd.* report series.
+		classes := make([]string, 0, len(rep.Classes))
+		for n := range rep.Classes {
+			classes = append(classes, n)
+		}
+		sort.Strings(classes)
+		for _, n := range classes {
+			printGroup(n, rep.Classes[n])
+		}
+	}
 	names := make([]string, 0, len(rep.FaultGroups))
 	for n := range rep.FaultGroups {
 		names = append(names, n)

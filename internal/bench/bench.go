@@ -28,13 +28,15 @@ import (
 	"time"
 
 	"iochar/internal/core"
+	"iochar/internal/disk"
 	"iochar/internal/report"
 )
 
 // SchemaVersion identifies the result JSON layout. Bump it whenever a field
 // changes meaning, so downstream tooling can reject results it would
-// misread.
-const SchemaVersion = 1
+// misread. v2 added Config.Tier and the per-workload device-await metrics
+// (hdfs_await_ms / mr_await_ms) that quantify the intermediate-tier effect.
+const SchemaVersion = 2
 
 // Config fixes everything that determines a benchmark run.
 type Config struct {
@@ -49,6 +51,13 @@ type Config struct {
 	Iterations int `json:"iterations"`
 	// Workloads to measure; empty means the paper's four plus Join.
 	Workloads []core.Workload `json:"workloads,omitempty"`
+	// Tier selects the device class backing the intermediate-data volumes
+	// for the per-workload measurements (HDFS data disks stay mechanical).
+	// The suite measurement always runs untiered: its output hash is the
+	// correctness anchor, and it must stay comparable across results that
+	// differ only in Tier. Tiered fleets scale strictly, so a Tier of
+	// ClassSSD constrains Scale to factors both device capacities survive.
+	Tier disk.Class `json:"tier,omitempty"`
 	// Suite, when true, additionally measures the cold full -all matrix
 	// (sequential, fresh suite) and hashes its rendered output — the
 	// correctness gate for hot-path optimization.
@@ -102,6 +111,13 @@ func (c Config) options() core.Options {
 	)
 }
 
+// workloadOptions is options() plus the tier policy: only the per-workload
+// measurements tier; the suite measurement stays on options() so its output
+// hash is tier-invariant.
+func (c Config) workloadOptions() core.Options {
+	return c.options().With(core.WithIntermediateTier(c.Tier))
+}
+
 // WorkloadResult is one workload's measurement.
 type WorkloadResult struct {
 	Workload   string `json:"workload"`
@@ -117,6 +133,12 @@ type WorkloadResult struct {
 	// Simulated outcome (deterministic; part of the fingerprint).
 	VirtualNS int64  `json:"virtual_ns"`
 	Events    uint64 `json:"events"`
+
+	// Device-await means over busy intervals (deterministic, but NOT part
+	// of the fingerprint: results at different tiers are expected to differ
+	// here — that delta is the point of a tier comparison).
+	HDFSAwaitMs float64 `json:"hdfs_await_ms"`
+	MRAwaitMs   float64 `json:"mr_await_ms"`
 
 	// Fingerprint hashes the simulated outcome; equal seeds and revisions
 	// with unequal fingerprints are incomparable.
@@ -236,7 +258,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	opts := cfg.options()
+	wlOpts := cfg.workloadOptions()
 	factors := core.SlotsRuns[0] // the baseline cell: 1_8 slots, 16 GB, compress on
 	for _, w := range cfg.Workloads {
 		wr := WorkloadResult{Workload: w.String(), Iterations: cfg.Iterations}
@@ -246,7 +268,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			before := memSnapshot()
 			start := time.Now()
-			rep, err := core.RunOneContext(ctx, w, factors, opts)
+			rep, err := core.RunOneContext(ctx, w, factors, wlOpts)
 			wall := time.Since(start)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s iteration %d: %w", w, it, err)
@@ -258,6 +280,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				wr.Fingerprint = fp
 				wr.VirtualNS = int64(rep.Wall)
 				wr.Events = rep.Events
+				wr.HDFSAwaitMs = rep.HDFS.AwaitMs.MeanNonzero()
+				wr.MRAwaitMs = rep.MR.AwaitMs.MeanNonzero()
 			} else if fp != wr.Fingerprint {
 				return nil, fmt.Errorf("bench: %s is nondeterministic: fingerprint %s then %s", w, wr.Fingerprint, fp)
 			}
@@ -277,7 +301,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	if cfg.Suite {
-		sr, err := runSuite(ctx, opts)
+		// Always untiered (cfg.options, not workloadOptions): the suite hash
+		// must stay comparable across results that differ only in Tier.
+		sr, err := runSuite(ctx, cfg.options())
 		if err != nil {
 			return nil, err
 		}

@@ -2,9 +2,14 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"iochar/internal/core"
+	"iochar/internal/disk"
 )
 
 // benchCfg is a small two-workload configuration that still exercises the
@@ -69,5 +74,63 @@ func TestRunSeedSensitivity(t *testing.T) {
 		if r1.Workloads[i].Fingerprint == r2.Workloads[i].Fingerprint {
 			t.Errorf("%s: fingerprint identical across seeds 7 and 8", r1.Workloads[i].Workload)
 		}
+	}
+}
+
+// TestTieredRunAwaitCollapse measures the same configuration at both tiers:
+// the flash run must report a collapsed MapReduce-disk await (the effect the
+// checked-in BENCH_ssdtier.json documents), and its fingerprint must differ
+// — moving the intermediate volumes to a different device model changes the
+// simulated outcome by design.
+func TestTieredRunAwaitCollapse(t *testing.T) {
+	// Tiered fleets scale strictly; 16384 keeps both device capacities
+	// above the sector floor (benchCfg's 262144 would not).
+	cfg := Config{
+		Scale: 16384, Slaves: 3, MapTaskTarget: 8, Seed: 7, Iterations: 1,
+		Workloads: []core.Workload{core.TS},
+	}
+	hdd, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tier = disk.ClassSSD
+	ssd, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, s := hdd.Workloads[0], ssd.Workloads[0]
+	if h.MRAwaitMs <= 0 || s.MRAwaitMs <= 0 {
+		t.Fatalf("await metrics missing: hdd %.3f ms, ssd %.3f ms", h.MRAwaitMs, s.MRAwaitMs)
+	}
+	if s.MRAwaitMs >= h.MRAwaitMs {
+		t.Errorf("MR await did not collapse on flash: %.3f ms vs %.3f ms", s.MRAwaitMs, h.MRAwaitMs)
+	}
+	if h.Fingerprint == s.Fingerprint {
+		t.Error("fingerprint identical across tiers: tier is not reaching the simulation")
+	}
+}
+
+// TestLoadFileRejectsSchemaMismatch: feeding an old-schema result as
+// -baseline must fail loudly, not be compared field-by-field against a
+// layout it predates.
+func TestLoadFileRejectsSchemaMismatch(t *testing.T) {
+	r := &Result{
+		Schema: SchemaVersion - 1,
+		Config: Config{Scale: 65536, Slaves: 4, Iterations: 1},
+		Workloads: []WorkloadResult{{
+			Workload: "TS", WallNS: 1, Events: 1, Fingerprint: "deadbeef",
+		}},
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile(path)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("LoadFile(old schema) = %v, want schema-mismatch error", err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"iochar/internal/core"
+	"iochar/internal/disk"
 	"iochar/internal/faults"
 	"iochar/internal/mapred"
 )
@@ -219,6 +220,42 @@ func TestReplayCheckedInSchedules(t *testing.T) {
 				t.Errorf("%s (%s): %v", s.Workload, s.Plan, v.Findings)
 			}
 		})
+	}
+}
+
+// TestScheduleTierRoundTrip: the tier field survives schedule
+// serialization — a flash-targeted fail-slow regression is only a
+// regression if its replay rebuilds the same tiered fleet — and the
+// checked-in flash schedule really records flash.
+func TestScheduleTierRoundTrip(t *testing.T) {
+	s := Schedule{
+		Workload: "TS",
+		Plan:     "slow-disk@50ms:node=slave-01,disk=mr0,factor=8",
+		PlanSeed: 17, Scale: 16384, Slaves: 3, Seed: 1, MapTaskTarget: 8,
+		Tier: disk.ClassSSD,
+	}
+	b, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSchedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("round trip changed the schedule: %+v -> %+v", s, got)
+	}
+
+	data, err := os.ReadFile(filepath.Join("testdata", "chaos", "TS-ssd-failslow.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ParseSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Tier != disk.ClassSSD {
+		t.Errorf("TS-ssd-failslow.json parsed with tier %v, want ssd", cs.Tier)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"iochar/internal/core"
+	"iochar/internal/disk"
 	"iochar/internal/faults"
 )
 
@@ -31,6 +32,10 @@ type Schedule struct {
 	Slaves        int   `json:"slaves"`
 	Seed          int64 `json:"seed"` // testbed seed (workload data, placement)
 	MapTaskTarget int64 `json:"map_task_target,omitempty"`
+	// Tier is the device class backing the intermediate-data volumes
+	// (omitted = hdd). Schedules that target flash devices — e.g. a
+	// fail-slow on an mr volume — need it to rebuild the same fleet.
+	Tier disk.Class `json:"tier,omitempty"`
 }
 
 // Marshal renders the schedule as indented JSON, newline-terminated — the
@@ -69,6 +74,7 @@ func (h *Harness) schedule(w core.Workload, seed int64, plan faults.Plan) Schedu
 		Slaves:        h.opts.Core.Slaves,
 		Seed:          h.opts.Core.Seed,
 		MapTaskTarget: h.opts.Core.MapTaskTarget,
+		Tier:          h.opts.Core.IntermediateTier,
 	}
 }
 
@@ -106,10 +112,11 @@ func Replay(ctx context.Context, s Schedule) (*Verdict, error) {
 	}
 	plan.Seed = s.PlanSeed
 	h := New(Options{Core: core.Options{
-		Scale:         s.Scale,
-		Slaves:        s.Slaves,
-		Seed:          s.Seed,
-		MapTaskTarget: s.MapTaskTarget,
+		Scale:            s.Scale,
+		Slaves:           s.Slaves,
+		Seed:             s.Seed,
+		MapTaskTarget:    s.MapTaskTarget,
+		IntermediateTier: s.Tier,
 	}})
 	g, err := h.goldenFor(ctx, w)
 	if err != nil {

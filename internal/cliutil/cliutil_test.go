@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"iochar/internal/disk"
+)
+
+// Regression: non-positive -scale (and friends) used to fall through to the
+// library's silent-default policy, so `mrrun -scale -4096` ran the
+// default-scale experiment — indistinguishable from a hang. The CLIs now
+// validate and exit with a clear message instead.
+func TestValidateRunFlags(t *testing.T) {
+	ok := func(scale int64, slaves int, frac float64, interval time.Duration, parallel int) {
+		t.Helper()
+		if err := ValidateRunFlags(scale, slaves, frac, interval, parallel); err != nil {
+			t.Errorf("ValidateRunFlags(%d,%d,%v,%v,%d) = %v, want nil", scale, slaves, frac, interval, parallel, err)
+		}
+	}
+	bad := func(want string, scale int64, slaves int, frac float64, interval time.Duration, parallel int) {
+		t.Helper()
+		err := ValidateRunFlags(scale, slaves, frac, interval, parallel)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ValidateRunFlags(%d,%d,%v,%v,%d) = %v, want error mentioning %q", scale, slaves, frac, interval, parallel, err, want)
+		}
+	}
+	ok(4096, 10, 1, 0, 0)
+	ok(1, 1, 0.25, time.Millisecond, 8)
+	bad("-scale", 0, 10, 1, 0, 0)
+	bad("-scale", -4096, 10, 1, 0, 0)
+	bad("-slaves", 4096, 0, 1, 0, 0)
+	bad("-input-fraction", 4096, 10, 0, 0, 0)
+	bad("-input-fraction", 4096, 10, 1.5, 0, 0)
+	bad("-sample-interval", 4096, 10, 1, -time.Second, 0)
+	bad("-parallel", 4096, 10, 1, 0, -1)
+}
+
+func TestWarnClampsPrintsEachDistinctWarningOnce(t *testing.T) {
+	var buf bytes.Buffer
+	unsub := WarnClamps(&buf, "testtool")
+	defer unsub()
+
+	p := disk.SeagateST1000NM0011()
+	p.Scaled(1 << 20)
+	p.Scaled(1 << 20) // identical clamp: deduplicated
+	p.Scaled(1 << 21) // different factor: its own line
+
+	out := buf.String()
+	if got := strings.Count(out, "testtool: warning:"); got != 2 {
+		t.Errorf("got %d warning lines, want 2:\n%s", got, out)
+	}
+	if !strings.Contains(out, p.Name) {
+		t.Errorf("warning should name the device:\n%s", out)
+	}
+
+	unsub()
+	before := buf.Len()
+	p.Scaled(1 << 22)
+	if buf.Len() != before {
+		t.Error("unsubscribed WarnClamps still printed")
+	}
+}

@@ -44,6 +44,16 @@ type Hardware struct {
 	// recommends the dedicated layout because the two traffic classes have
 	// incompatible access patterns; this switch lets that claim be tested.
 	SharedDataDisks bool
+
+	// MRDiskParams, when non-nil, provisions the intermediate-data volumes
+	// on this device instead of DiskParams — the storage-tier hook (flash
+	// intermediate tier). HDFS data disks always use DiskParams; nil keeps
+	// the paper's all-mechanical testbed. A heterogeneous fleet is scaled
+	// strictly (disk.ScaledStrict): a Scale that would clamp either class
+	// to the capacity floor is an error, not a silent equalization of the
+	// two capacities. Incompatible with SharedDataDisks — one pooled set
+	// of spindles cannot be two device classes.
+	MRDiskParams *disk.Params
 }
 
 // DefaultHardware returns the Table 1 node at the given scale divisor with
@@ -200,16 +210,27 @@ func New(env *sim.Env, hw Hardware, nSlaves int) (*Cluster, error) {
 	if hw.HDFSDisks <= 0 || hw.MRDisks <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one HDFS and one MR disk, got %d+%d", hw.HDFSDisks, hw.MRDisks)
 	}
+	if hw.MRDiskParams != nil && hw.SharedDataDisks {
+		return nil, fmt.Errorf("cluster: SharedDataDisks pools one set of spindles and cannot combine with a dedicated intermediate-tier device (MRDiskParams)")
+	}
 	net := netsim.New(env, hw.NetBPS, 100_000) // 100 µs
 	c := &Cluster{Env: env, Net: net}
-	c.Master = newNode(env, net, "master", hw, false)
+	master, err := newNode(env, net, "master", hw, false)
+	if err != nil {
+		return nil, err
+	}
+	c.Master = master
 	for i := 0; i < nSlaves; i++ {
-		c.Slaves = append(c.Slaves, newNode(env, net, fmt.Sprintf("slave-%02d", i), hw, true))
+		s, err := newNode(env, net, fmt.Sprintf("slave-%02d", i), hw, true)
+		if err != nil {
+			return nil, err
+		}
+		c.Slaves = append(c.Slaves, s)
 	}
 	return c, nil
 }
 
-func newNode(env *sim.Env, net *netsim.Network, name string, hw Hardware, dataDisks bool) *Node {
+func newNode(env *sim.Env, net *netsim.Network, name string, hw Hardware, dataDisks bool) (*Node, error) {
 	n := &Node{
 		Name: name,
 		HW:   hw,
@@ -217,11 +238,26 @@ func newNode(env *sim.Env, net *netsim.Network, name string, hw Hardware, dataDi
 		NIC:  net.AddNode(name),
 	}
 	if !dataDisks {
-		return n
+		return n, nil
+	}
+	// Homogeneous fleets keep the legacy clamped scaling (warned via the
+	// disk package's clamp bus); a heterogeneous fleet must scale strictly
+	// so the two capacities stay proportional.
+	hdfsP := hw.DiskParams.Scaled(hw.Scale)
+	mrP := hdfsP
+	if hw.MRDiskParams != nil {
+		var err error
+		hdfsP, err = hw.DiskParams.ScaledStrict(hw.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: HDFS data disks: %w", err)
+		}
+		mrP, err = hw.MRDiskParams.ScaledStrict(hw.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: intermediate-tier disks: %w", err)
+		}
 	}
 	pages := hw.CachePagesPerDisk()
-	mkvol := func(role string, i int) *localfs.FS {
-		p := hw.DiskParams.Scaled(hw.Scale)
+	mkvol := func(p disk.Params, role string, i int) *localfs.FS {
 		p.Name = fmt.Sprintf("%s.%s%d", name, role, i)
 		d := disk.New(env, p)
 		cache := pagecache.New(env, d, pages, hw.PageCacheOpts)
@@ -230,25 +266,25 @@ func newNode(env *sim.Env, net *netsim.Network, name string, hw Hardware, dataDi
 	if hw.SharedDataDisks {
 		// One pooled set of spindles; both roles rotate over all of them.
 		for i := 0; i < hw.HDFSDisks+hw.MRDisks; i++ {
-			fs := mkvol("data", i)
+			fs := mkvol(hdfsP, "data", i)
 			n.HDFSVols = append(n.HDFSVols, fs)
 			n.MRVols = append(n.MRVols, fs)
 			n.HDFSDisks = append(n.HDFSDisks, fs.Disk())
 			n.MRDisks = append(n.MRDisks, fs.Disk())
 		}
-		return n
+		return n, nil
 	}
 	for i := 0; i < hw.HDFSDisks; i++ {
-		fs := mkvol("hdfs", i)
+		fs := mkvol(hdfsP, "hdfs", i)
 		n.HDFSVols = append(n.HDFSVols, fs)
 		n.HDFSDisks = append(n.HDFSDisks, fs.Disk())
 	}
 	for i := 0; i < hw.MRDisks; i++ {
-		fs := mkvol("mr", i)
+		fs := mkvol(mrP, "mr", i)
 		n.MRVols = append(n.MRVols, fs)
 		n.MRDisks = append(n.MRDisks, fs.Disk())
 	}
-	return n
+	return n, nil
 }
 
 // AllHDFSDisks returns every HDFS data disk across the slaves, for iostat
@@ -266,6 +302,28 @@ func (c *Cluster) AllMRDisks() []*disk.Disk {
 	var out []*disk.Disk
 	for _, s := range c.Slaves {
 		out = append(out, s.MRDisks...)
+	}
+	return out
+}
+
+// DisksByClass returns every data disk of the given device class across the
+// slaves, deduplicated (SharedDataDisks aliases the HDFS and MR lists), in
+// stable provisioning order — for the per-class iostat groups of a tiered
+// run.
+func (c *Cluster) DisksByClass(class disk.Class) []*disk.Disk {
+	var out []*disk.Disk
+	seen := make(map[*disk.Disk]bool)
+	add := func(ds []*disk.Disk) {
+		for _, d := range ds {
+			if !seen[d] && d.Class() == class {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	for _, s := range c.Slaves {
+		add(s.HDFSDisks)
+		add(s.MRDisks)
 	}
 	return out
 }

@@ -96,6 +96,20 @@ type Options struct {
 	// spindles instead of the paper's dedicated 3+3 layout — the
 	// counterfactual behind the paper's observation 4 recommendation.
 	SharedDataDisks bool
+	// IntermediateTier selects the device class backing the
+	// intermediate-data (spill/merge/shuffle) volumes. The zero value
+	// (disk.ClassHDD) keeps the paper's all-mechanical testbed and is
+	// byte-identical to builds without the tier feature; disk.ClassSSD
+	// provisions the MR volumes on flash while HDFS data disks stay
+	// mechanical — the tiering experiment the paper's small-random-write
+	// observation motivates. Tiered runs also monitor per-class disk
+	// groups (RunReport.Classes, "hdd"/"ssd").
+	IntermediateTier disk.Class
+	// SSD overrides the flash drive provisioned for a tiered run; nil
+	// selects disk.DataCenterSSD(). The params must carry a non-nil SSD
+	// model (read/write latency and bandwidth asymmetry, channel count).
+	// Ignored unless IntermediateTier is disk.ClassSSD.
+	SSD *disk.Params
 	// Faults is a deterministic fault plan injected during the run (see
 	// internal/faults for the syntax and event kinds). A non-empty plan
 	// switches on HDFS recovery and MapReduce fault tolerance; with an empty
@@ -230,6 +244,10 @@ type RunReport struct {
 	// events/sec throughput numbers.
 	Events uint64
 
+	// Classes holds the per-device-class iostat reports ("hdd"/"ssd") of a
+	// tiered run; nil when the fleet is homogeneous (IntermediateTier off).
+	Classes map[string]*iostat.Report
+
 	// Fault-run observability; zero/nil for healthy runs.
 	Recovery       hdfs.RecoveryStats        // HDFS repair work performed
 	FaultsInjected []string                  // events that actually fired, in order
@@ -256,6 +274,11 @@ const (
 	// scans, journal replays, and any re-replication catch-up on rejoin.
 	GroupHDFSRecovering = "HDFS-recovering"
 	GroupMRRecovering   = "MapReduce-recovering"
+	// Per-device-class groups, monitored only on tiered runs (where the
+	// fleet actually has two classes): every mechanical spindle vs every
+	// flash device, regardless of role. Series render as "hdd.*"/"ssd.*".
+	GroupClassHDD = "hdd"
+	GroupClassSSD = "ssd"
 )
 
 // RunOne builds a fresh testbed and executes one experiment cell.
@@ -286,6 +309,19 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	// both slot levels, as they were on the real machines.
 	hw.PageCacheOpts.ReadaheadMaxPages = 16
 	hw.SharedDataDisks = opts.SharedDataDisks
+	if opts.IntermediateTier == disk.ClassSSD {
+		if opts.SharedDataDisks {
+			return nil, fmt.Errorf("core: SharedDataDisks pools one set of spindles and cannot combine with an SSD intermediate tier")
+		}
+		ssd := disk.DataCenterSSD()
+		if opts.SSD != nil {
+			if opts.SSD.SSD == nil {
+				return nil, fmt.Errorf("core: Options.SSD (%s) carries no flash model; use disk.DataCenterSSD() as a template", opts.SSD.Name)
+			}
+			ssd = *opts.SSD
+		}
+		hw.MRDiskParams = &ssd
+	}
 	cl, err := cluster.New(env, hw, opts.Slaves)
 	if err != nil {
 		return nil, err
@@ -375,6 +411,15 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	mon := iostat.NewMonitor(opts.SampleInterval)
 	mon.AddGroup(GroupHDFS, cl.AllHDFSDisks()...)
 	mon.AddGroup(GroupMR, cl.AllMRDisks()...)
+	// Per-class groups only exist on a heterogeneous fleet: an untiered run
+	// adds no groups, no events and no bytes of output, keeping the HDD-only
+	// path byte-identical. The monitor's single sampling process covers all
+	// groups, so the extra groups on tiered runs add no kernel events either.
+	classGroups := opts.IntermediateTier == disk.ClassSSD
+	if classGroups {
+		mon.AddGroup(GroupClassHDD, cl.DisksByClass(disk.ClassHDD)...)
+		mon.AddGroup(GroupClassSSD, cl.DisksByClass(disk.ClassSSD)...)
+	}
 	faultGroups := addFaultGroups(mon, cl, opts.Faults)
 	if opts.Histograms {
 		mon.EnableHistograms()
@@ -445,6 +490,12 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	rep.Events = env.Events()
 	rep.HDFS = mon.Report(GroupHDFS)
 	rep.MR = mon.Report(GroupMR)
+	if classGroups {
+		rep.Classes = map[string]*iostat.Report{
+			GroupClassHDD: mon.Report(GroupClassHDD),
+			GroupClassSSD: mon.Report(GroupClassSSD),
+		}
+	}
 	rep.CPUUtil = cpu.Util()
 	if inj != nil {
 		rep.Recovery = fs.RecoveryStats()

@@ -105,6 +105,22 @@ func WithFaultSlowDisk(factor float64) Option {
 // instead of the paper's dedicated 3+3 layout.
 func WithSharedDataDisks() Option { return func(o *Options) { o.SharedDataDisks = true } }
 
+// WithIntermediateTier selects the device class backing the
+// intermediate-data (spill/merge/shuffle) volumes: disk.ClassHDD keeps the
+// paper's all-mechanical layout, disk.ClassSSD provisions the MR volumes on
+// flash while HDFS data disks stay mechanical. Tiered runs add per-class
+// iostat groups to the report (RunReport.Classes).
+func WithIntermediateTier(c disk.Class) Option {
+	return func(o *Options) { o.IntermediateTier = c }
+}
+
+// WithSSDParams overrides the flash drive a tiered run provisions (the
+// default is disk.DataCenterSSD()); p must carry a non-nil SSD model. It has
+// no effect unless WithIntermediateTier(disk.ClassSSD) is also set.
+func WithSSDParams(p disk.Params) Option {
+	return func(o *Options) { o.SSD = &p }
+}
+
 // WithTraceAttach installs the per-disk observer hook, called once per data
 // disk before the run. Runs with it set bypass the persistent cache.
 func WithTraceAttach(fn func(dev string, d *disk.Disk)) Option {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"iochar/internal/disk"
 	"iochar/internal/hdfs"
 	"iochar/internal/runcache"
 )
@@ -15,7 +16,7 @@ import (
 // reports stale — a new counter, a renamed field, a behavioural fix that
 // shifts byte totals — so old cache entries degrade to misses instead of
 // resurfacing outdated figures.
-const SchemaVersion = 5
+const SchemaVersion = 6
 
 // RunSource says where a resolved experiment cell came from.
 type RunSource string
@@ -268,30 +269,37 @@ type runKeyMaterial struct {
 	Audit           bool
 	Integrity       bool
 	ScrubRate       int64
+	// Storage-tier configuration: the tier class and the full device params
+	// of any SSD override. Tiered and untiered runs of the same cell have
+	// different outcomes, so both must land in distinct cache slots.
+	IntermediateTier string
+	SSD              *disk.Params
 }
 
 func keyMaterial(w Workload, f Factors, opts Options) runKeyMaterial {
 	return runKeyMaterial{
-		Schema:          SchemaVersion,
-		Workload:        w.String(),
-		Slots:           f.Slots,
-		MemoryGB:        f.MemoryGB,
-		Compress:        f.Compress,
-		Scale:           opts.Scale,
-		Slaves:          opts.Slaves,
-		Seed:            opts.Seed,
-		SampleInterval:  int64(opts.SampleInterval),
-		MapTaskTarget:   opts.MapTaskTarget,
-		InputFraction:   opts.InputFraction,
-		FaultSlowDisk:   opts.FaultSlowDisk,
-		SharedDataDisks: opts.SharedDataDisks,
-		Histograms:      opts.Histograms,
-		Faults:          opts.Faults.String(),
-		FaultSeed:       opts.Faults.Seed,
-		Recovery:        opts.Recovery,
-		Audit:           opts.Audit,
-		Integrity:       opts.Integrity,
-		ScrubRate:       opts.ScrubRate,
+		Schema:           SchemaVersion,
+		Workload:         w.String(),
+		Slots:            f.Slots,
+		MemoryGB:         f.MemoryGB,
+		Compress:         f.Compress,
+		Scale:            opts.Scale,
+		Slaves:           opts.Slaves,
+		Seed:             opts.Seed,
+		SampleInterval:   int64(opts.SampleInterval),
+		MapTaskTarget:    opts.MapTaskTarget,
+		InputFraction:    opts.InputFraction,
+		FaultSlowDisk:    opts.FaultSlowDisk,
+		SharedDataDisks:  opts.SharedDataDisks,
+		Histograms:       opts.Histograms,
+		Faults:           opts.Faults.String(),
+		FaultSeed:        opts.Faults.Seed,
+		Recovery:         opts.Recovery,
+		Audit:            opts.Audit,
+		Integrity:        opts.Integrity,
+		ScrubRate:        opts.ScrubRate,
+		IntermediateTier: opts.IntermediateTier.String(),
+		SSD:              opts.SSD,
 	}
 }
 

@@ -13,7 +13,6 @@ package disk
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"iochar/internal/sim"
@@ -124,8 +123,21 @@ type Params struct {
 	NoMerge    bool // disable request merging (ablation)
 	// SlowFactor degrades every service time by this multiplier (fault
 	// injection: a failing drive doing internal retries, or a cold spare
-	// rebuilding). 0 or 1 means healthy.
+	// rebuilding). 0 or 1 means healthy. Applied outside the device model,
+	// so fail-slow faults degrade flash and mechanical drives alike.
 	SlowFactor float64
+	// SSD, when non-nil, selects the flash device model (per-op latency +
+	// bandwidth + channel parallelism) instead of the mechanical one; the
+	// mechanical fields (MinSeek/MaxSeek/RPM/TransferBC) are then ignored.
+	SSD *SSDParams
+}
+
+// Class reports the device technology the params describe.
+func (p Params) Class() Class {
+	if p.SSD != nil {
+		return ClassSSD
+	}
+	return ClassHDD
 }
 
 // SeagateST1000NM0011 returns the paper's drive: 1 TB, 7200 RPM, 8.5 ms
@@ -145,19 +157,6 @@ func SeagateST1000NM0011() Params {
 		MaxReqSect: 1024, // 512 KiB
 		Scheduler:  SchedLOOK,
 	}
-}
-
-// Scaled returns a copy of p with capacity divided by factor, for
-// proportionally scaled-down experiments. Timing parameters are unchanged:
-// a smaller disk is not a faster disk.
-func (p Params) Scaled(factor int64) Params {
-	if factor > 1 {
-		p.Sectors /= factor
-		if p.Sectors < 1<<16 {
-			p.Sectors = 1 << 16
-		}
-	}
-	return p
 }
 
 // Stats mirrors the cumulative counters of /proc/diskstats that iostat
@@ -206,12 +205,12 @@ type Disk struct {
 	headPos      int64 // sector under the head after the last request
 	ascend       bool  // LOOK direction
 	busy         bool
+	active       int // requests in service (multi-channel devices)
 	lastBusy     time.Duration
 	lastWeighted time.Duration
 
-	stats   Stats
-	fullRot time.Duration
-	avgRot  time.Duration
+	stats Stats
+	model DeviceModel
 
 	// obs are the completion observers (block-level tracing, as blktrace
 	// would provide — see internal/trace — plus latency histograms in
@@ -273,28 +272,53 @@ func (d *Disk) Subscribe(fn func(Completion)) (unsubscribe func()) {
 	}
 }
 
-// New creates a disk and starts its service process.
+// New creates a disk and starts its service process(es): one for a
+// single-channel (mechanical) device, one per channel for flash.
 func New(env *sim.Env, p Params) *Disk {
-	if p.Sectors <= 0 || p.RPM <= 0 || p.TransferBC <= 0 {
-		panic("disk: invalid params for " + p.Name)
-	}
 	if p.MaxReqSect <= 0 {
 		p.MaxReqSect = 1024
 	}
-	d := &Disk{
-		P:       p,
-		env:     env,
-		work:    sim.NewCond(env),
-		ascend:  true,
-		fullRot: time.Duration(60e9 / float64(p.RPM)),
+	var model DeviceModel
+	if p.SSD != nil {
+		s := *p.SSD
+		if p.Sectors <= 0 || s.ReadBC <= 0 || s.WriteBC <= 0 || s.ReadLatency < 0 || s.WriteLatency < 0 {
+			panic("disk: invalid SSD params for " + p.Name)
+		}
+		model = ssdModel{s: s}
+	} else {
+		if p.Sectors <= 0 || p.RPM <= 0 || p.TransferBC <= 0 {
+			panic("disk: invalid params for " + p.Name)
+		}
+		model = newHDDModel(p)
 	}
-	d.avgRot = d.fullRot / 2
-	env.Go("disk:"+p.Name, func(proc *sim.Proc) {
-		proc.SetDaemon(true)
-		d.serve(proc)
-	})
+	d := &Disk{
+		P:      p,
+		env:    env,
+		work:   sim.NewCond(env),
+		ascend: true,
+		model:  model,
+	}
+	if ch := model.Channels(); ch > 1 {
+		for i := 0; i < ch; i++ {
+			env.Go(fmt.Sprintf("disk:%s:ch%d", p.Name, i), func(proc *sim.Proc) {
+				proc.SetDaemon(true)
+				d.serveChannel(proc)
+			})
+		}
+	} else {
+		env.Go("disk:"+p.Name, func(proc *sim.Proc) {
+			proc.SetDaemon(true)
+			d.serve(proc)
+		})
+	}
 	return d
 }
+
+// Model returns the device's service-time model.
+func (d *Disk) Model() DeviceModel { return d.model }
+
+// Class reports the device technology, for per-class iostat grouping.
+func (d *Disk) Class() Class { return d.model.Class() }
 
 // Stats returns a copy of the cumulative counters.
 func (d *Disk) Stats() Stats {
@@ -393,7 +417,8 @@ func (d *Disk) Do(p *sim.Proc, op Op, sector int64, count int) {
 	r.completion.Wait(p)
 }
 
-// serve is the device's service loop.
+// serve is the single-channel service loop: one request in service at a
+// time, as a mechanical drive's single head assembly dictates.
 func (d *Disk) serve(p *sim.Proc) {
 	for {
 		for len(d.queue) == 0 {
@@ -403,7 +428,31 @@ func (d *Disk) serve(p *sim.Proc) {
 		d.setBusy(true)
 		r := d.pick()
 		start := d.env.Now()
-		p.Sleep(d.Service(r.Sector, r.Count))
+		p.Sleep(d.serviceFor(r.Op, r.Sector, r.Count))
+		d.complete(r, start)
+	}
+}
+
+// serveChannel is one of the Channels() concurrent service loops of a
+// multi-channel (flash) device. Busy time (IOTicks, hence %util) covers any
+// interval with at least one request in service: a saturated 8-channel SSD
+// is 100% utilized, not 800%.
+func (d *Disk) serveChannel(p *sim.Proc) {
+	for {
+		for len(d.queue) == 0 {
+			if d.active == 0 {
+				d.setBusy(false)
+			}
+			d.work.Wait(p)
+		}
+		if d.active == 0 {
+			d.setBusy(true)
+		}
+		d.active++
+		r := d.pick()
+		start := d.env.Now()
+		p.Sleep(d.serviceFor(r.Op, r.Sector, r.Count))
+		d.active--
 		d.complete(r, start)
 	}
 }
@@ -420,54 +469,58 @@ func (d *Disk) pick() *Request {
 }
 
 // pickLOOK chooses the nearest request at or past the head in the current
-// direction, reversing direction when none remains.
+// direction, reversing direction when none remains. The direction flip
+// commits only together with a dispatch from the reversed sweep: flipping
+// before knowing the reversed scan succeeds (as an earlier version did)
+// leaves the elevator pointed the wrong way on the fallback path, and the
+// fallback then dispatches queue[0] out of sweep order.
 func (d *Disk) pickLOOK() int {
-	scan := func(ascending bool) int {
-		best, bestDist := -1, int64(0)
-		for i, q := range d.queue {
-			var dist int64
-			if ascending {
-				dist = q.Sector - d.headPos
-			} else {
-				dist = d.headPos - q.Sector
-			}
-			if dist < 0 {
-				continue
-			}
-			if best == -1 || dist < bestDist {
-				best, bestDist = i, dist
-			}
-		}
-		return best
-	}
-	if i := scan(d.ascend); i >= 0 {
+	if i := d.scanLOOK(d.ascend); i >= 0 {
 		return i
 	}
-	d.ascend = !d.ascend
-	if i := scan(d.ascend); i >= 0 {
+	if i := d.scanLOOK(!d.ascend); i >= 0 {
+		d.ascend = !d.ascend
 		return i
 	}
+	// Unreachable with a non-empty queue: every sector is at-or-above the
+	// head or below it, so one of the two sweeps matches. Serve FIFO
+	// without corrupting sweep state if it ever triggers.
 	return 0
 }
 
-// Service returns the modeled service time for a request starting at sector
-// with count sectors, given the current head position: a square-root seek
-// curve, average rotational latency for non-contiguous accesses, and linear
-// transfer time. Contiguous accesses (sector == head position) pay transfer
-// only, modelling streaming.
-func (d *Disk) Service(sector int64, count int) time.Duration {
-	var t time.Duration
-	if sector != d.headPos {
-		dist := sector - d.headPos
-		if dist < 0 {
-			dist = -dist
+// scanLOOK returns the index of the queued request nearest the head in the
+// given direction, or -1 when no request lies that way.
+func (d *Disk) scanLOOK(ascending bool) int {
+	best, bestDist := -1, int64(0)
+	for i, q := range d.queue {
+		var dist int64
+		if ascending {
+			dist = q.Sector - d.headPos
+		} else {
+			dist = d.headPos - q.Sector
 		}
-		frac := float64(dist) / float64(d.P.Sectors)
-		t += d.P.MinSeek + time.Duration(float64(d.P.MaxSeek-d.P.MinSeek)*math.Sqrt(frac))
-		t += d.avgRot
+		if dist < 0 {
+			continue
+		}
+		if best == -1 || dist < bestDist {
+			best, bestDist = i, dist
+		}
 	}
-	bytes := int64(count) * SectorSize
-	t += time.Duration(float64(bytes) / float64(d.P.TransferBC) * 1e9)
+	return best
+}
+
+// Service returns the modeled service time for a read starting at sector
+// with count sectors, given the current head position. The actual physics
+// live in the device model (see DeviceModel); this wrapper applies the
+// fault-injection SlowFactor on top, outside the model, so fail-slow
+// degradation covers every device class.
+func (d *Disk) Service(sector int64, count int) time.Duration {
+	return d.serviceFor(Read, sector, count)
+}
+
+// serviceFor prices one dispatched request: model time × SlowFactor.
+func (d *Disk) serviceFor(op Op, sector int64, count int) time.Duration {
+	t := d.model.Service(op, sector, d.headPos, count)
 	if d.P.SlowFactor > 1 {
 		t = time.Duration(float64(t) * d.P.SlowFactor)
 	}

@@ -48,8 +48,9 @@ func TestRandomReadPaysSeekAndRotation(t *testing.T) {
 		randTime = p.Now() - s
 	})
 	env.Run(0)
-	if randTime < seqTime+d.avgRot {
-		t.Errorf("random access %v should exceed sequential %v by at least rotation %v", randTime, seqTime, d.avgRot)
+	avgRot := time.Duration(60e9/float64(d.P.RPM)) / 2
+	if randTime < seqTime+avgRot {
+		t.Errorf("random access %v should exceed sequential %v by at least rotation %v", randTime, seqTime, avgRot)
 	}
 }
 
@@ -294,11 +295,60 @@ func TestScaledParamsClampAndShrink(t *testing.T) {
 		t.Errorf("Sectors = %d, want %d", s.Sectors, p.Sectors/1024)
 	}
 	tiny := p.Scaled(1 << 40)
-	if tiny.Sectors != 1<<16 {
-		t.Errorf("Sectors = %d, want clamp at %d", tiny.Sectors, 1<<16)
+	if tiny.Sectors != MinSectors {
+		t.Errorf("Sectors = %d, want clamp at %d", tiny.Sectors, MinSectors)
 	}
 	if s.TransferBC != p.TransferBC {
 		t.Error("scaling must not change timing parameters")
+	}
+}
+
+// Regression: the clamp must be loud. Scaled silently equalized every disk
+// to the same MinSectors floor at large scale factors, which voids any
+// experiment that depends on heterogeneous capacities; now every clamp
+// reports a ClampWarning on the subscription bus, and ScaledStrict refuses
+// outright.
+func TestScaledClampWarnsAndStrictErrors(t *testing.T) {
+	p := SeagateST1000NM0011()
+
+	var warns []ClampWarning
+	unsub := SubscribeScaleClamps(func(w ClampWarning) { warns = append(warns, w) })
+	defer unsub()
+
+	if s := p.Scaled(1024); s.Sectors != p.Sectors/1024 {
+		t.Fatalf("Sectors = %d, want %d", s.Sectors, p.Sectors/1024)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("proportional scaling warned: %v", warns)
+	}
+
+	factor := int64(1 << 20)
+	if s := p.Scaled(factor); s.Sectors != MinSectors {
+		t.Fatalf("Sectors = %d, want clamp at %d", s.Sectors, MinSectors)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("got %d clamp warnings, want 1: %v", len(warns), warns)
+	}
+	w := warns[0]
+	if w.Name != p.Name || w.Factor != factor || w.Want != p.Sectors/factor || w.Clamped != MinSectors {
+		t.Errorf("warning = %+v, want {%s %d %d %d}", w, p.Name, factor, p.Sectors/factor, MinSectors)
+	}
+
+	if _, err := p.ScaledStrict(factor); err == nil {
+		t.Error("ScaledStrict must refuse a factor that would clamp")
+	}
+	s, err := p.ScaledStrict(1024)
+	if err != nil {
+		t.Fatalf("ScaledStrict(1024): %v", err)
+	}
+	if s.Sectors != p.Sectors/1024 {
+		t.Errorf("strict Sectors = %d, want %d", s.Sectors, p.Sectors/1024)
+	}
+
+	unsub()
+	p.Scaled(factor)
+	if len(warns) != 1 {
+		t.Error("unsubscribe did not stop clamp notifications")
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"iochar/internal/core"
+	"iochar/internal/disk"
 	"iochar/internal/faults"
 	"iochar/internal/iostat"
 	"iochar/internal/report"
@@ -77,7 +78,29 @@ var (
 	WithTraceAttach     = core.WithTraceAttach     // per-disk observer hook
 	WithTuneMapred      = core.WithTuneMapred      // MapReduce config hook
 	WithInspect         = core.WithInspect         // post-run simulation-context hook
+
+	WithIntermediateTier = core.WithIntermediateTier // device class for intermediate data
+	WithSSDParams        = core.WithSSDParams        // override the tiered flash drive
 )
+
+// Tier is a block-device class for storage-tier policy: the intermediate
+// (spill/merge/shuffle) volumes can be provisioned on TierSSD while HDFS
+// data disks stay mechanical. Parse user input with ParseTier.
+type Tier = disk.Class
+
+// The device classes.
+const (
+	TierHDD = disk.ClassHDD // mechanical: seek + rotation + transfer
+	TierSSD = disk.ClassSSD // flash: per-op latency + bandwidth + channels
+)
+
+// ParseTier resolves a device-class name ("hdd" or "ssd").
+func ParseTier(s string) (Tier, error) { return disk.ParseClass(s) }
+
+// DataCenterSSD returns the default flash drive a tiered run provisions —
+// the template for WithSSDParams overrides (adjust latency, bandwidth
+// asymmetry, or channel count on the copy).
+func DataCenterSSD() disk.Params { return disk.DataCenterSSD() }
 
 // Factors is one cell of the paper's experiment matrix: task slots, memory
 // size, and intermediate-data compression.

@@ -1,0 +1,103 @@
+package iochar
+
+import (
+	"strings"
+	"testing"
+)
+
+// tierOpts is sized so the heterogeneous fleet scales strictly: at 16384
+// both the 1 TB spindles and the 800 GB flash drive stay above the
+// MinSectors floor.
+func tierOpts(extra ...Option) Options {
+	return NewOptions(append([]Option{
+		WithScale(16384), WithSlaves(3), WithMapTaskTarget(8),
+	}, extra...)...)
+}
+
+var tierFactors = Factors{Slots: Slots1x8, MemoryGB: 16, Compress: true}
+
+// TestTieredRunClassGroupsAndAwaitCollapse runs TeraSort all-mechanical and
+// with the flash intermediate tier: the tiered report must carry the
+// per-class iostat groups, and the intermediate-disk await — the paper's
+// headline pathology (small random spill/shuffle I/O on spindles) — must
+// collapse when that traffic moves to flash.
+func TestTieredRunClassGroupsAndAwaitCollapse(t *testing.T) {
+	base, err := Run(TS, tierFactors, tierOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Classes != nil {
+		t.Errorf("untiered run reported per-class groups: %v", base.Classes)
+	}
+
+	tiered, err := Run(TS, tierFactors, tierOpts(WithIntermediateTier(TierSSD)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"hdd", "ssd"} {
+		r, ok := tiered.Classes[class]
+		if !ok || r == nil {
+			t.Fatalf("tiered run missing class group %q (have %v)", class, tiered.Classes)
+		}
+		if r.Util.Len() == 0 {
+			t.Errorf("class group %q collected no samples", class)
+		}
+	}
+	if util := tiered.Classes["ssd"].Util.Max(); util <= 0 {
+		t.Error("flash devices saw no traffic in a tiered TeraSort")
+	}
+
+	baseAwait := base.MR.AwaitMs.MeanNonzero()
+	tierAwait := tiered.MR.AwaitMs.MeanNonzero()
+	if tierAwait >= baseAwait {
+		t.Errorf("intermediate-disk await did not collapse on flash: %.3f ms tiered vs %.3f ms on spindles", tierAwait, baseAwait)
+	}
+}
+
+// A tiered fleet must scale strictly: a Scale that would clamp either
+// device class to the capacity floor is an error, not a silent
+// equalization of the two capacities.
+func TestTieredRunRejectsClampingScale(t *testing.T) {
+	_, err := Run(TS, tierFactors, NewOptions(
+		WithScale(262144), WithSlaves(3), WithMapTaskTarget(8),
+		WithIntermediateTier(TierSSD)))
+	if err == nil {
+		t.Fatal("tiered run at a clamping scale must fail")
+	}
+	if !strings.Contains(err.Error(), "floor") {
+		t.Errorf("error should name the capacity floor, got: %v", err)
+	}
+}
+
+// Pooled spindles cannot be two device classes.
+func TestTieredRunRejectsSharedDataDisks(t *testing.T) {
+	_, err := Run(TS, tierFactors, tierOpts(
+		WithSharedDataDisks(), WithIntermediateTier(TierSSD)))
+	if err == nil || !strings.Contains(err.Error(), "SharedDataDisks") {
+		t.Errorf("want SharedDataDisks conflict error, got: %v", err)
+	}
+}
+
+// WithSSDParams must be given actual flash params, not a mechanical drive.
+func TestWithSSDParamsRequiresFlashModel(t *testing.T) {
+	mech := DataCenterSSD()
+	mech.SSD = nil // a "flash override" with no flash model
+	_, err := Run(TS, tierFactors, tierOpts(
+		WithIntermediateTier(TierSSD), WithSSDParams(mech)))
+	if err == nil || !strings.Contains(err.Error(), "flash") {
+		t.Errorf("want flash-model validation error, got: %v", err)
+	}
+}
+
+// ParseTier mirrors the CLI -tier flag values.
+func TestParseTier(t *testing.T) {
+	if c, err := ParseTier("ssd"); err != nil || c != TierSSD {
+		t.Errorf("ParseTier(ssd) = %v, %v", c, err)
+	}
+	if c, err := ParseTier("hdd"); err != nil || c != TierHDD {
+		t.Errorf("ParseTier(hdd) = %v, %v", c, err)
+	}
+	if _, err := ParseTier("nvme"); err == nil {
+		t.Error("ParseTier must reject unknown classes")
+	}
+}
