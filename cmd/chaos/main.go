@@ -44,6 +44,7 @@ func main() {
 		slaves    = flag.Int("slaves", 5, "number of slave nodes")
 		mapTasks  = flag.Int64("map-tasks", 8, "map-task target for the largest workload")
 		tier      = flag.String("tier", "hdd", "device class for intermediate-data volumes: hdd | ssd (generated schedules record it; note ssd constrains -scale)")
+		masters   = flag.Bool("master-recovery", false, "force the journaled NameNode/JobTracker layers on for every run, so slave-fault schedules also exercise them (master-fault schedules imply this; recorded in generated schedules)")
 		parallel  = flag.Int("parallel", 1, "concurrent chaos runs (verdicts are identical at any value)")
 		soak      = flag.Duration("soak", 0, "loop seeds until this much wall-clock time has passed (overrides -runs)")
 		replay    = flag.String("replay", "", "replay a schedule JSON file instead of generating schedules")
@@ -82,13 +83,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	coreOpts := []core.Option{
+		core.WithScale(*scale),
+		core.WithSlaves(*slaves),
+		core.WithMapTaskTarget(*mapTasks),
+		core.WithIntermediateTier(tierClass),
+	}
+	if *masters {
+		coreOpts = append(coreOpts, core.WithMasterRecovery())
+	}
 	h := chaos.New(chaos.Options{
-		Core: core.NewOptions(
-			core.WithScale(*scale),
-			core.WithSlaves(*slaves),
-			core.WithMapTaskTarget(*mapTasks),
-			core.WithIntermediateTier(tierClass),
-		),
+		Core:        core.NewOptions(coreOpts...),
 		MaxFaults:   *maxFaults,
 		Parallelism: *parallel,
 	})

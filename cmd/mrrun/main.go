@@ -44,6 +44,7 @@ func main() {
 		hist      = flag.Bool("hist", false, "collect per-request await/svctm/size histograms and print p50/p95/p99/max rows")
 		faultStr  = flag.String("faults", "", `fault plan, e.g. "kill-datanode@15s:node=slave-02;restart-datanode@10s:node=slave-01,down=5s;corrupt-block@8s:path=/bench/TS/in/part-000"`)
 		verify    = flag.Bool("verify", false, "end-to-end HDFS checksums (CRC32C), verified on every read with failover and read-repair")
+		masters   = flag.Bool("master-recovery", false, "journal NameNode/JobTracker state to dedicated master-node disks (restart-namenode/restart-jobtracker faults imply this)")
 		scrub     = flag.Int64("scrub", 0, "background replica scrubber: bytes/sec rate limit, -1 = unthrottled, 0 = off (implies -verify)")
 	)
 	flag.Parse()
@@ -93,6 +94,9 @@ func main() {
 	}
 	if *verify || *scrub != 0 {
 		opts = opts.With(iochar.WithIntegrity())
+	}
+	if *masters {
+		opts = opts.With(iochar.WithMasterRecovery())
 	}
 	if *faultStr != "" {
 		plan, err := iochar.ParseFaultPlan(*faultStr)
@@ -183,6 +187,11 @@ func main() {
 	}
 	printGroup("HDFS", rep.HDFS)
 	printGroup("MapReduce", rep.MR)
+	if rep.Masters != nil {
+		// Master metadata stream: the NameNode edit journal / fsimage and
+		// the JobTracker job-state journal on the master's own disks.
+		printGroup("masters", rep.Masters)
+	}
 	if len(rep.Classes) > 0 {
 		// Tiered run: the per-device-class split (every spindle vs every
 		// flash device) behind the hdd.*/ssd.* report series.

@@ -36,6 +36,12 @@ type Schedule struct {
 	// (omitted = hdd). Schedules that target flash devices — e.g. a
 	// fail-slow on an mr volume — need it to rebuild the same fleet.
 	Tier disk.Class `json:"tier,omitempty"`
+	// MasterRecovery forces the journaled NameNode/JobTracker layers on for
+	// the replayed run even when the plan carries no master fault (a plan
+	// with restart-namenode/restart-jobtracker events implies them anyway).
+	// Schedules probing slave faults *under* master recovery need it to
+	// rebuild the same testbed.
+	MasterRecovery bool `json:"master_recovery,omitempty"`
 }
 
 // Marshal renders the schedule as indented JSON, newline-terminated — the
@@ -66,15 +72,16 @@ func ParseSchedule(data []byte) (Schedule, error) {
 // schedule captures a plan plus the harness's testbed shape.
 func (h *Harness) schedule(w core.Workload, seed int64, plan faults.Plan) Schedule {
 	return Schedule{
-		Workload:      w.String(),
-		ChaosSeed:     seed,
-		Plan:          plan.String(),
-		PlanSeed:      plan.Seed,
-		Scale:         h.opts.Core.Scale,
-		Slaves:        h.opts.Core.Slaves,
-		Seed:          h.opts.Core.Seed,
-		MapTaskTarget: h.opts.Core.MapTaskTarget,
-		Tier:          h.opts.Core.IntermediateTier,
+		Workload:       w.String(),
+		ChaosSeed:      seed,
+		Plan:           plan.String(),
+		PlanSeed:       plan.Seed,
+		Scale:          h.opts.Core.Scale,
+		Slaves:         h.opts.Core.Slaves,
+		Seed:           h.opts.Core.Seed,
+		MapTaskTarget:  h.opts.Core.MapTaskTarget,
+		Tier:           h.opts.Core.IntermediateTier,
+		MasterRecovery: h.opts.Core.MasterRecovery.Enabled,
 	}
 }
 
@@ -117,6 +124,7 @@ func Replay(ctx context.Context, s Schedule) (*Verdict, error) {
 		Seed:             s.Seed,
 		MapTaskTarget:    s.MapTaskTarget,
 		IntermediateTier: s.Tier,
+		MasterRecovery:   core.MasterRecovery{Enabled: s.MasterRecovery},
 	}})
 	g, err := h.goldenFor(ctx, w)
 	if err != nil {

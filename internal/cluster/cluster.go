@@ -107,9 +107,15 @@ type Node struct {
 
 	HDFSVols []*localfs.FS // one filesystem per HDFS data disk
 	MRVols   []*localfs.FS // one filesystem per intermediate-data disk
+	// MetaVols are the master's metadata volumes (NameNode edit log and
+	// fsimage, JobTracker job journal). Empty everywhere except on a master
+	// provisioned via ProvisionMasterMeta — the paper's testbed masters do
+	// no data I/O, so these exist only when master recovery is modeled.
+	MetaVols []*localfs.FS
 
 	HDFSDisks []*disk.Disk
 	MRDisks   []*disk.Disk
+	MetaDisks []*disk.Disk
 
 	mrNext   int  // round-robin cursor for intermediate volumes
 	hdfsNext int  // round-robin cursor for HDFS volumes
@@ -287,6 +293,34 @@ func newNode(env *sim.Env, net *netsim.Network, name string, hw Hardware, dataDi
 	return n, nil
 }
 
+// ProvisionMasterMeta equips the master with n metadata volumes
+// ("master.meta0", ...) on the fleet's mechanical disk parameters. The
+// volumes carry the NameNode edit log / fsimage and the JobTracker job
+// journal, so master metadata I/O shows up in iostat like any other
+// device. Called only when master recovery is enabled: a run without it
+// builds the exact cluster the seed built. Calling twice is an error.
+func (c *Cluster) ProvisionMasterMeta(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("cluster: need at least one master meta volume, got %d", n)
+	}
+	if len(c.Master.MetaVols) > 0 {
+		return fmt.Errorf("cluster: master meta volumes already provisioned")
+	}
+	hw := c.Master.HW
+	p := hw.DiskParams.Scaled(hw.Scale)
+	pages := hw.CachePagesPerDisk()
+	for i := 0; i < n; i++ {
+		pp := p
+		pp.Name = fmt.Sprintf("%s.meta%d", c.Master.Name, i)
+		d := disk.New(c.Env, pp)
+		cache := pagecache.New(c.Env, d, pages, hw.PageCacheOpts)
+		fs := localfs.New(c.Env, d, cache)
+		c.Master.MetaVols = append(c.Master.MetaVols, fs)
+		c.Master.MetaDisks = append(c.Master.MetaDisks, d)
+	}
+	return nil
+}
+
 // AllHDFSDisks returns every HDFS data disk across the slaves, for iostat
 // grouping.
 func (c *Cluster) AllHDFSDisks() []*disk.Disk {
@@ -352,5 +386,8 @@ func (c *Cluster) SyncAll(p *sim.Proc) {
 		for _, v := range s.MRVols {
 			sync(v)
 		}
+	}
+	for _, v := range c.Master.MetaVols {
+		sync(v)
 	}
 }

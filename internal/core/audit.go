@@ -150,6 +150,14 @@ func auditRun(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster) *AuditReport {
 		}
 	}
 
+	// The master's metadata volumes (present only under master recovery) are
+	// held to the same standard: journal rolls must not leak extents, and
+	// MasterFlush+SyncAll must have left nothing dirty.
+	for _, v := range cl.Master.MetaVols {
+		a.LeakedSectors += v.LeakedExtents()
+		a.DirtyPages += v.Cache().DirtyPages()
+	}
+
 	a.BadChunks = fs.AuditIntegrity()
 
 	for _, path := range fs.List(auditPrefix) {

@@ -121,6 +121,15 @@ type Options struct {
 	// SampleInterval, so detection latency stays proportionate to scaled run
 	// lengths.
 	Recovery hdfs.RecoveryConfig
+	// MasterRecovery switches on master fault tolerance: metadata volumes are
+	// provisioned on the master node, the NameNode journals every namespace
+	// mutation (with periodic fsimage checkpoints) and the JobTracker
+	// journals job state, both as real bytes through the disk models, and
+	// both masters become killable and restartable. A fault plan carrying
+	// restart-namenode/restart-jobtracker events implies the machinery even
+	// when Enabled is false. Off, nothing is provisioned and the run is
+	// byte-identical to a build without the master layer.
+	MasterRecovery MasterRecovery
 	// TuneMapred, when set, adjusts the derived MapReduce configuration just
 	// before the runtime is built — the hook chaos testing uses to weaken
 	// recovery budgets on purpose and prove the oracles catch it. Runs with
@@ -147,6 +156,61 @@ type Options struct {
 	// tests and tools to read back HDFS contents and block placement while
 	// the cluster still exists.
 	Inspect func(p *sim.Proc, fs *hdfs.FS, cl *cluster.Cluster)
+}
+
+// MasterRecovery configures the journaled NameNode/JobTracker layers (see
+// Options.MasterRecovery). Zero duration fields default to Hadoop-flavoured
+// knobs compressed by the run's Scale factor, exactly as Recovery's do.
+type MasterRecovery struct {
+	// Enabled switches the master layers on even without master faults in
+	// the plan — e.g. to measure the metadata I/O stream of a healthy run.
+	Enabled bool
+	// CheckpointInterval overrides how often each master rolls its journal
+	// into a checkpoint image (default: 30 s compressed by Scale).
+	CheckpointInterval time.Duration
+	// SafeModeFrac overrides the fraction of pre-crash replicas block
+	// reports must re-confirm before a restarted NameNode serves mutations
+	// (default 0.999).
+	SafeModeFrac float64
+	// LeaseTimeout overrides the NameNode's hard lease limit (default: four
+	// DataNode dead-timeouts, so lease recovery never races live failure
+	// detection).
+	LeaseTimeout time.Duration
+}
+
+// hdfsMasterConfig derives the NameNode's master config: MasterRecovery
+// overrides where set, Scale-compressed defaults elsewhere, client retry
+// backoff on the same timescale as the run.
+func (o Options) hdfsMasterConfig() hdfs.MasterConfig {
+	cfg := hdfs.MasterConfig{
+		CheckpointInterval: o.MasterRecovery.CheckpointInterval,
+		SafeModeFrac:       o.MasterRecovery.SafeModeFrac,
+		LeaseTimeout:       o.MasterRecovery.LeaseTimeout,
+		RetryBase:          scaleDur(200*time.Millisecond, o.Scale),
+		RetryMax:           scaleDur(5*time.Second, o.Scale),
+		Seed:               o.Seed + 1,
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = scaleDur(30*time.Second, o.Scale)
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 4 * o.Recovery.DeadTimeout
+	}
+	return cfg
+}
+
+// jtMasterConfig derives the JobTracker's master config on the same basis.
+func (o Options) jtMasterConfig() mapred.MasterConfig {
+	cfg := mapred.MasterConfig{
+		CheckpointInterval: o.MasterRecovery.CheckpointInterval,
+		RetryBase:          scaleDur(200*time.Millisecond, o.Scale),
+		RetryMax:           scaleDur(5*time.Second, o.Scale),
+		Seed:               o.Seed + 2,
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = scaleDur(30*time.Second, o.Scale)
+	}
+	return cfg
 }
 
 // withDefaults fills zero fields.
@@ -253,6 +317,13 @@ type RunReport struct {
 	FaultsInjected []string                  // events that actually fired, in order
 	FaultGroups    map[string]*iostat.Report // victim/survivor disk splits
 
+	// Master-recovery observability; zero/nil unless the master layers ran.
+	// Masters is the iostat report over the master node's metadata disks —
+	// the edit-journal/checkpoint stream the paper's master traces show.
+	Masters    *iostat.Report
+	NameNode   hdfs.MasterStats
+	JobTracker mapred.MasterStats
+
 	// Audit is the post-run invariant audit; nil unless Options.Audit is set.
 	Audit *AuditReport
 }
@@ -274,6 +345,10 @@ const (
 	// scans, journal replays, and any re-replication catch-up on rejoin.
 	GroupHDFSRecovering = "HDFS-recovering"
 	GroupMRRecovering   = "MapReduce-recovering"
+	// GroupMasters covers the master node's metadata disks, monitored only
+	// when master recovery is on (the only time those disks exist): the
+	// NameNode edit-log/fsimage stream and the JobTracker job journal.
+	GroupMasters = "masters"
 	// Per-device-class groups, monitored only on tiered runs (where the
 	// fleet actually has two classes): every mechanical spindle vs every
 	// flash device, regardless of role. Series render as "hdd.*"/"ssd.*".
@@ -356,6 +431,16 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 		cl.Slaves[0].MRDisks[0].P.SlowFactor = opts.FaultSlowDisk
 	}
 
+	// Master recovery provisions the masters' metadata volumes; a plan with
+	// master-restart events implies the machinery even when the option is
+	// off, since the injector needs killable masters to aim at.
+	masterOn := opts.MasterRecovery.Enabled || opts.Faults.HasMasterFaults()
+	if masterOn {
+		if err := cl.ProvisionMasterMeta(2); err != nil {
+			return nil, err
+		}
+	}
+
 	hcfg := hdfs.DefaultConfig(opts.Scale)
 	hcfg.BlockSize = opts.blockBytes()
 	fs := hdfs.New(env, hcfg, cl.Net, cl.Slaves)
@@ -363,6 +448,11 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 		// Enabled before Prepare so the sums are computed from the pristine
 		// input bytes, ahead of any fault.
 		fs.EnableIntegrity()
+	}
+	if masterOn {
+		// Enabled before Prepare so experiment setup is journaled too: the
+		// replayed namespace must cover every file, not just workload output.
+		fs.EnableMaster(cl.Master.MetaVols[0], opts.hdfsMasterConfig())
 	}
 
 	mcfg := mapred.DefaultConfig(opts.Scale)
@@ -384,6 +474,9 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	rt, err := mapred.New(env, cl, fs, cl.Net, mcfg)
 	if err != nil {
 		return nil, err
+	}
+	if masterOn {
+		rt.EnableMaster(cl.Master.MetaVols[1], opts.jtMasterConfig())
 	}
 
 	// Fault machinery is instantiated only when a plan exists: a healthy run
@@ -421,6 +514,9 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 		mon.AddGroup(GroupClassSSD, cl.DisksByClass(disk.ClassSSD)...)
 	}
 	faultGroups := addFaultGroups(mon, cl, opts.Faults)
+	if masterOn {
+		mon.AddGroup(GroupMasters, cl.Master.MetaDisks...)
+	}
 	if opts.Histograms {
 		mon.EnableHistograms()
 	}
@@ -439,6 +535,8 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 				inj.Stop()
 				fs.StopRecovery()
 			}
+			fs.StopMaster()
+			rt.StopMaster()
 		}()
 		start := p.Now()
 		jobs, err := wl.Run(p, rt, fs, cl)
@@ -456,6 +554,11 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 			if rem := inj.LastAt() + time.Millisecond - p.Now(); rem > 0 {
 				p.Sleep(rem)
 			}
+			// A restarted master must finish its replay and leave safe mode
+			// before block recovery is awaited — re-replication deliberately
+			// stalls behind safe mode.
+			fs.WaitMasterReady(p)
+			rt.WaitMasterReady(p)
 			// Let detection and re-replication finish inside the monitored
 			// window, so the iostat series shows the recovery traffic.
 			fs.WaitRecovered(p)
@@ -468,6 +571,10 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 			fs.ScrubWait(p)
 			fs.WaitRecovered(p)
 		}
+		// Drain pending journal bytes so iostat and the audit account the
+		// full metadata stream (no-ops without the master layers).
+		fs.MasterFlush(p)
+		rt.MasterFlush(p)
 		cl.SyncAll(p) // flush caches so iostat sees all writes
 		rep.Jobs = jobs
 		rep.Wall = p.Now() - start
@@ -497,6 +604,11 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 		}
 	}
 	rep.CPUUtil = cpu.Util()
+	if masterOn {
+		rep.Masters = mon.Report(GroupMasters)
+		rep.NameNode = fs.MasterStats()
+		rep.JobTracker = rt.MasterStats()
+	}
 	if inj != nil {
 		rep.Recovery = fs.RecoveryStats()
 		rep.FaultsInjected = inj.Fired()

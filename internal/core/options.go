@@ -89,6 +89,13 @@ func WithIntegrity() Option { return func(o *Options) { o.Integrity = true } }
 // bytes/sec, < 0 runs unthrottled). Implies the integrity machinery.
 func WithScrubRate(rate int64) Option { return func(o *Options) { o.ScrubRate = rate } }
 
+// WithMasterRecovery switches on master fault tolerance: journaled
+// NameNode/JobTracker state on provisioned metadata disks, crash–restart
+// recovery, and failover-aware clients. Master-restart fault plans imply it.
+func WithMasterRecovery() Option {
+	return func(o *Options) { o.MasterRecovery.Enabled = true }
+}
+
 // WithFaults injects a deterministic fault plan during the run.
 func WithFaults(plan faults.Plan) Option { return func(o *Options) { o.Faults = plan } }
 

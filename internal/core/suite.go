@@ -16,7 +16,7 @@ import (
 // reports stale — a new counter, a renamed field, a behavioural fix that
 // shifts byte totals — so old cache entries degrade to misses instead of
 // resurfacing outdated figures.
-const SchemaVersion = 6
+const SchemaVersion = 7
 
 // RunSource says where a resolved experiment cell came from.
 type RunSource string
@@ -266,6 +266,7 @@ type runKeyMaterial struct {
 	Faults          string // Plan.String(): the canonical plan syntax
 	FaultSeed       int64
 	Recovery        hdfs.RecoveryConfig
+	MasterRecovery  MasterRecovery
 	Audit           bool
 	Integrity       bool
 	ScrubRate       int64
@@ -295,6 +296,7 @@ func keyMaterial(w Workload, f Factors, opts Options) runKeyMaterial {
 		Faults:           opts.Faults.String(),
 		FaultSeed:        opts.Faults.Seed,
 		Recovery:         opts.Recovery,
+		MasterRecovery:   opts.MasterRecovery,
 		Audit:            opts.Audit,
 		Integrity:        opts.Integrity,
 		ScrubRate:        opts.ScrubRate,

@@ -56,6 +56,10 @@ const (
 	StageMerge
 	StageShuffle
 	StageScrub
+	// StageMeta tags master metadata I/O: the NameNode's edit log and
+	// fsimage checkpoints and the JobTracker's job journal. Nonzero only
+	// when master recovery is modeled.
+	StageMeta
 
 	numStages
 )
@@ -72,6 +76,8 @@ func (s Stage) String() string {
 		return "shuffle"
 	case StageScrub:
 		return "scrub"
+	case StageMeta:
+		return "meta"
 	default:
 		return "-"
 	}
@@ -96,6 +102,8 @@ func ParseStage(s string) (Stage, error) {
 		return StageShuffle, nil
 	case "scrub":
 		return StageScrub, nil
+	case "meta":
+		return StageMeta, nil
 	}
 	return StageNone, fmt.Errorf("disk: unknown stage %q", s)
 }

@@ -73,6 +73,18 @@ const (
 	// the target node (optionally restricted to blocks of path=). Nothing
 	// notices until a checksummed read or the scrubber trips over it.
 	CorruptBlock Kind = "corrupt-block"
+	// RestartNameNode fail-stops the NameNode at At and restarts it down=
+	// later: clients stall on backoff while it is down, and the restart
+	// replays checkpoint+journal off the master's metadata disk and holds
+	// mutations in safe mode until block reports re-confirm enough replicas.
+	// Requires master recovery to be modeled (core.WithMasterRecovery, or
+	// implied by the plan). Takes no node=: the master is the target.
+	RestartNameNode Kind = "restart-namenode"
+	// RestartJobTracker fail-stops the JobTracker at At and restarts it
+	// down= later: task grants stall on backoff, membership events queue
+	// until restart, and the restart replays the job-state journal and
+	// reconciles zombie attempts via incarnation counters.
+	RestartJobTracker Kind = "restart-jobtracker"
 )
 
 // Event is one scheduled fault.
@@ -158,6 +170,9 @@ func ParsePlan(s string) (Plan, error) {
 		}
 		pl.Events = append(pl.Events, ev)
 	}
+	if err := pl.Validate(); err != nil {
+		return Plan{}, err
+	}
 	return pl, nil
 }
 
@@ -170,13 +185,14 @@ func parseEvent(s string) (Event, error) {
 	ev := Event{Kind: Kind(kindStr)}
 	switch ev.Kind {
 	case KillDataNode, KillNode, FailDisk, SlowDisk, DropShuffle,
-		RestartDataNode, RestartNode, CorruptBlock:
+		RestartDataNode, RestartNode, CorruptBlock,
+		RestartNameNode, RestartJobTracker:
 	default:
 		return Event{}, fmt.Errorf("faults: %q: unknown fault kind %q", s, kindStr)
 	}
 	at, err := time.ParseDuration(atStr)
-	if err != nil || at < 0 {
-		return Event{}, fmt.Errorf("faults: %q: bad timestamp %q", s, atStr)
+	if err != nil || at <= 0 {
+		return Event{}, fmt.Errorf("faults: %q: bad timestamp %q (want a positive duration)", s, atStr)
 	}
 	ev.At = at
 	if args != "" {
@@ -243,6 +259,69 @@ func (ev Event) validate() error {
 		if ev.Node == "" && ev.Path == "" {
 			return fmt.Errorf("faults: %s needs node= or path=", ev.Kind)
 		}
+	case RestartNameNode, RestartJobTracker:
+		if ev.Node != "" {
+			return fmt.Errorf("faults: %s takes no node= (the master is the target)", ev.Kind)
+		}
+		if ev.Down <= 0 {
+			return fmt.Errorf("faults: %s needs down > 0", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// victim names the entity an event takes down — the target node, or the
+// master process for master faults. Used to detect conflicting outage
+// windows on one victim.
+func (ev Event) victim() string {
+	switch ev.Kind {
+	case RestartNameNode:
+		return "namenode"
+	case RestartJobTracker:
+		return "jobtracker"
+	}
+	return ev.Node
+}
+
+// HasMasterFaults reports whether the plan restarts the NameNode or the
+// JobTracker — such plans require the master-recovery machinery.
+func (pl Plan) HasMasterFaults() bool {
+	for _, ev := range pl.Events {
+		if ev.Kind == RestartNameNode || ev.Kind == RestartJobTracker {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the plan's cross-event structure: every event valid on
+// its own, no exact duplicates, and no overlapping outage windows on one
+// victim (a restart's rejoin firing inside a later restart of the same
+// victim would resurrect a node that is supposed to be down).
+func (pl Plan) Validate() error {
+	type window struct{ at, until time.Duration }
+	seen := make(map[string]bool, len(pl.Events))
+	wins := make(map[string][]window)
+	for _, ev := range pl.Events {
+		if err := ev.validate(); err != nil {
+			return err
+		}
+		key := ev.String()
+		if seen[key] {
+			return fmt.Errorf("faults: duplicate event %q", key)
+		}
+		seen[key] = true
+		if ev.Down <= 0 {
+			continue
+		}
+		v := ev.victim()
+		for _, w := range wins[v] {
+			if ev.At < w.until && w.at < ev.At+ev.Down {
+				return fmt.Errorf("faults: overlapping outage windows on %s (%v-%v and %v-%v)",
+					v, w.at, w.until, ev.At, ev.At+ev.Down)
+			}
+		}
+		wins[v] = append(wins[v], window{at: ev.At, until: ev.At + ev.Down})
 	}
 	return nil
 }
@@ -255,9 +334,10 @@ func (ev Event) validate() error {
 // the only copy of running attempts). Events are sorted by time.
 func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 	rng := rand.New(rand.NewSource(seed))
-	kinds := []Kind{KillDataNode, FailDisk, SlowDisk, DropShuffle, RestartDataNode, CorruptBlock, KillNode, RestartNode}
+	kinds := []Kind{KillDataNode, FailDisk, SlowDisk, DropShuffle, RestartDataNode, CorruptBlock,
+		RestartNameNode, RestartJobTracker, KillNode, RestartNode}
 	if len(nodes) <= 1 {
-		kinds = kinds[:6]
+		kinds = kinds[:8] // master restarts cost no slave; whole-node loss does
 	}
 	pl := Plan{Seed: seed}
 	killed := 0
@@ -266,6 +346,9 @@ func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 			Kind: kinds[rng.Intn(len(kinds))],
 			At:   time.Duration(rng.Int63n(int64(window))),
 			Node: nodes[rng.Intn(len(nodes))],
+		}
+		if ev.At == 0 {
+			ev.At = 1 // a zero timestamp fails plan validation
 		}
 		if ev.Kind == KillNode || ev.Kind == RestartNode {
 			// At most half the cluster may be down at once, or quorum-less
@@ -289,16 +372,57 @@ func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 			ev.Node = ""
 			ev.Until = ev.At + time.Duration(rng.Int63n(int64(window)))
 			ev.Prob = 0.1 + 0.4*rng.Float64()
-		case RestartDataNode, RestartNode:
+		case RestartDataNode, RestartNode, RestartNameNode, RestartJobTracker:
 			// Outages between an eighth and a third of the window: long
 			// enough that the dead timeout can fire first, short enough that
 			// the rejoin lands inside the run.
 			ev.Down = window/8 + time.Duration(rng.Int63n(int64(window)/4+1))
+			if ev.Kind == RestartNameNode || ev.Kind == RestartJobTracker {
+				ev.Node = "" // the master is the target
+			}
 		}
 		pl.Events = append(pl.Events, ev)
 	}
 	sort.SliceStable(pl.Events, func(i, j int) bool { return pl.Events[i].At < pl.Events[j].At })
+	resolveConflicts(&pl)
+	if err := pl.Validate(); err != nil {
+		panic("faults: RandomPlan generated an invalid plan: " + err.Error())
+	}
 	return pl
+}
+
+// resolveConflicts nudges randomly drawn events that violate the plan's
+// cross-event rules: an outage window opening inside an earlier outage of
+// the same victim is pushed past it, and an exact duplicate event is pushed
+// 1 ms later. Deterministic, and convergent because every nudge moves an
+// event strictly forward in time.
+func resolveConflicts(pl *Plan) {
+	for pass := 0; pass < len(pl.Events)+1; pass++ {
+		changed := false
+		seen := make(map[string]bool, len(pl.Events))
+		end := make(map[string]time.Duration)
+		for i := range pl.Events {
+			ev := &pl.Events[i]
+			if ev.Down > 0 {
+				if until := end[ev.victim()]; ev.At <= until {
+					ev.At = until + time.Millisecond
+					changed = true
+				}
+				if e := ev.At + ev.Down; e > end[ev.victim()] {
+					end[ev.victim()] = e
+				}
+			}
+			for seen[ev.String()] {
+				ev.At += time.Millisecond
+				changed = true
+			}
+			seen[ev.String()] = true
+		}
+		if !changed {
+			return
+		}
+		sort.SliceStable(pl.Events, func(i, j int) bool { return pl.Events[i].At < pl.Events[j].At })
+	}
 }
 
 // Injector arms a plan against a concrete cluster. Create with New, call
@@ -364,6 +488,42 @@ func (in *Injector) Start() error {
 			// sibling events.
 			rng := rand.New(rand.NewSource(in.plan.Seed ^ int64(i+1)*0x9E3779B97F4A7C))
 			in.timers = append(in.timers, in.env.AfterFunc(ev.At, func() { in.corruptBlock(ev, rng) }))
+			continue
+		}
+		if ev.Kind == RestartNameNode || ev.Kind == RestartJobTracker {
+			if ev.Kind == RestartNameNode {
+				if in.fs == nil || !in.fs.MasterEnabled() {
+					return fmt.Errorf("faults: %s needs master recovery enabled (core.WithMasterRecovery)", ev.Kind)
+				}
+			} else if in.rt == nil || !in.rt.MasterEnabled() {
+				return fmt.Errorf("faults: %s needs master recovery enabled (core.WithMasterRecovery)", ev.Kind)
+			}
+			gen := new(int)
+			kind := ev.Kind
+			fire := func() {
+				*gen = in.bumpGen(ev.victim())
+				if kind == RestartNameNode {
+					in.fs.CrashNameNode()
+				} else {
+					in.rt.CrashJobTracker()
+				}
+				in.note(ev)
+			}
+			rejoin := func() {
+				in.env.Go("restart:"+ev.victim(), func(p *sim.Proc) {
+					if in.crashGen[ev.victim()] != *gen {
+						return
+					}
+					if kind == RestartNameNode {
+						in.fs.RestartNameNode(p)
+					} else {
+						in.rt.RestartJobTracker(p)
+					}
+					in.noteRejoin(ev)
+				})
+			}
+			in.timers = append(in.timers, in.env.AfterFunc(ev.At, fire))
+			in.timers = append(in.timers, in.env.AfterFunc(ev.At+ev.Down, rejoin))
 			continue
 		}
 		if ev.Node == "" {
@@ -575,7 +735,7 @@ func (in *Injector) corruptBlock(ev Event, rng *rand.Rand) {
 }
 
 func (in *Injector) noteRejoin(ev Event) {
-	in.fired = append(in.fired, fmt.Sprintf("t=%v rejoin %s", in.env.Now(), ev.Node))
+	in.fired = append(in.fired, fmt.Sprintf("t=%v rejoin %s", in.env.Now(), ev.victim()))
 }
 
 func (in *Injector) note(ev Event) {

@@ -86,6 +86,7 @@ type FS struct {
 	rec       *recoveryState // nil unless EnableRecovery was called
 	integrity bool           // per-chunk checksums verified on every read
 	scrub     *scrubState    // nil unless EnableScrubber was called
+	master    *masterState   // nil unless EnableMaster was called
 }
 
 // transferer is the network dependency (satisfied by *netsim.Network).
@@ -199,6 +200,8 @@ func (fs *FS) Delete(path string) error {
 		}
 	}
 	delete(fs.files, path)
+	fs.releaseLease(path)
+	fs.journalEdit(editRec{op: opDelete, path: path})
 	return nil
 }
 
@@ -286,6 +289,8 @@ func (fs *FS) CreateWith(path, clientNode string, replication int) *Writer {
 	}
 	meta := &fileMeta{name: path, open: true}
 	fs.files[path] = meta
+	fs.journalEdit(editRec{op: opCreate, path: path, repl: replication})
+	fs.grantLease(path, clientNode)
 	return &Writer{fs: fs, meta: meta, client: clientNode, replication: replication}
 }
 
@@ -318,7 +323,12 @@ func (w *Writer) Close(p *sim.Proc) error {
 		}
 		w.buf = nil
 	}
+	// Sealing is a NameNode RPC: it stalls while the master is down or
+	// holding mutations in safe mode.
+	w.fs.waitMaster(p, true)
 	w.meta.open = false
+	w.fs.journalEdit(editRec{op: opClose, path: w.meta.name})
+	w.fs.releaseLease(w.meta.name)
 	return nil
 }
 
@@ -337,12 +347,17 @@ func (w *Writer) Close(p *sim.Proc) error {
 func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 	const maxPipelineRetries = 3
 	fs := w.fs
+	// Allocating a block is a NameNode RPC: it stalls while the master is
+	// down or holding mutations in safe mode, with backoff+jitter retries.
+	fs.waitMaster(p, true)
 	id := fs.nextBlock
 	fs.nextBlock++
 	b := &blockMeta{id: id, size: int64(len(data)), want: w.replication}
 	w.meta.blocks = append(w.meta.blocks, b)
 	w.meta.size += b.size
 	fs.blockByID[id] = b
+	fs.journalEdit(editRec{op: opAddBlock, path: w.meta.name, block: id, size: b.size, repl: b.want})
+	fs.renewLease(w.meta.name, p.Now())
 
 	// data can be used in place: every pipeline hop is waited on before this
 	// function returns, and the DataNode Append copies the bytes, so nothing
@@ -376,10 +391,12 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 					// Crashed while appending: bytes are on a dead node.
 					return
 				}
-				if b.gone {
+				if b.gone || f.FS().Failed() {
 					// The file was deleted mid-append (the writer died and a
-					// re-executed attempt already replaced its output); keep
-					// the stray bytes off the DataNode.
+					// re-executed attempt already replaced its output), or the
+					// volume fail-stopped while the bytes were landing — its
+					// replica sweep cannot have seen this still-uncredited
+					// block; keep the stray bytes off the DataNode.
 					f.FS().Delete(f.Name())
 					return
 				}
@@ -393,7 +410,13 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 			h.Wait(p)
 		}
 		for i, dn := range targets {
-			if ok[i] {
+			// A hop that finished before its node crashed — or whose stored
+			// copy a volume-failure sweep has since deleted — must not be
+			// credited: the NameNode's failure handling has already run (it
+			// saw an empty replica list for this still-open block), so a
+			// credit now would stand forever and the block would close
+			// "fully replicated" with one replica on a corpse.
+			if _, stored := dn.blocks[id]; ok[i] && !dn.crashed && stored {
 				b.replicas = append(b.replicas, dn)
 			}
 		}
@@ -421,6 +444,7 @@ func (fs *FS) Load(path string, firstNode string, data []byte) {
 	}
 	meta := &fileMeta{name: path}
 	fs.files[path] = meta
+	fs.journalEdit(editRec{op: opCreate, path: path, repl: fs.cfg.Replication})
 	for off := int64(0); off < int64(len(data)); off += fs.cfg.BlockSize {
 		end := off + fs.cfg.BlockSize
 		if end > int64(len(data)) {
@@ -436,6 +460,7 @@ func (fs *FS) Load(path string, firstNode string, data []byte) {
 		meta.blocks = append(meta.blocks, b)
 		meta.size += b.size
 		fs.blockByID[id] = b
+		fs.journalEdit(editRec{op: opAddBlock, path: path, block: id, size: b.size, repl: b.want})
 		for _, dn := range replicas {
 			f := dn.node.NextHDFSVol().Create(blockFileName(id))
 			f.SetStage(disk.StageHDFS)
@@ -443,6 +468,7 @@ func (fs *FS) Load(path string, firstNode string, data []byte) {
 			dn.blocks[id] = storedBlock{file: f, vol: f.FS()}
 		}
 	}
+	fs.journalEdit(editRec{op: opClose, path: path})
 }
 
 // Reader streams a byte range of a file.
@@ -472,6 +498,9 @@ func (r *Reader) Size() int64 { return r.meta.size }
 // are clamped at EOF. It returns a *LostBlockError when every replica of
 // some covered block is unreachable.
 func (r *Reader) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
+	// Locating blocks is a NameNode RPC: reads stall only while the master
+	// is down (safe mode keeps the namespace readable).
+	r.fs.waitMaster(p, false)
 	if off < 0 || off >= r.meta.size {
 		return nil, nil
 	}

@@ -1,0 +1,667 @@
+// NameNode mortality: the master's metadata made durable and its process
+// made killable. Every namespace mutation appends a record to a write-ahead
+// edit journal on the master's metadata volume — real bytes through the
+// page-cache and disk models, so the metadata stream shows up in iostat
+// exactly as the paper's master-node traces do — and a periodic checkpoint
+// rolls the journal into an fsimage. Killing the NameNode stalls clients on
+// bounded exponential backoff; restarting it replays checkpoint+journal,
+// holds mutations in block-report safe mode until enough replicas are
+// re-confirmed, and recovers the leases of writers that died in the outage.
+//
+// None of this exists unless EnableMaster is called: a run without master
+// recovery allocates no metadata volume, journals nothing, and stays
+// byte-identical to a build without this file.
+//
+// Modeling note — logical vs physical journal. The logical journal (the
+// []editRec the replay path consumes) is appended synchronously at mutation
+// time, as HDFS's logSync-before-ack guarantees; the *bytes* of those
+// records are charged to the metadata disk asynchronously in batches by the
+// editlog daemon. Durability is therefore never lost to a crash (matching
+// the synchronous-log contract) while the disk sees the batched sequential
+// append pattern real edit logging produces.
+package hdfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"iochar/internal/disk"
+	"iochar/internal/localfs"
+	"iochar/internal/sim"
+)
+
+const (
+	editsFileName = "nn_edits"
+	imageFileName = "nn_fsimage"
+)
+
+// MasterConfig tunes NameNode durability and recovery.
+type MasterConfig struct {
+	// CheckpointInterval is how often the journal is rolled into an fsimage
+	// (fs.checkpoint.period; Hadoop's default hour compressed to experiment
+	// timescales). Expired leases are also recovered on this tick.
+	CheckpointInterval time.Duration
+	// SafeModeFrac is the fraction of pre-crash replicas that must be
+	// re-confirmed by block reports before a restarted NameNode leaves safe
+	// mode (dfs.safemode.threshold.pct). Safe mode also exits once every
+	// live DataNode has reported, so a replica lost forever cannot wedge
+	// the cluster.
+	SafeModeFrac float64
+	// LeaseTimeout is how long a writer may go without renewing its lease
+	// before the NameNode seals the file on its behalf (the hard lease
+	// limit; Hadoop's is an hour).
+	LeaseTimeout time.Duration
+	// RetryBase and RetryMax bound the exponential backoff clients sleep on
+	// while the master is down (ipc.client.connect retry policy).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed drives the jitter of client retry backoff.
+	Seed int64
+}
+
+// DefaultMasterConfig returns experiment-scale defaults; callers scale the
+// durations alongside the rest of the run's timing knobs.
+func DefaultMasterConfig() MasterConfig {
+	return MasterConfig{
+		CheckpointInterval: 30 * time.Second,
+		SafeModeFrac:       0.999,
+		LeaseTimeout:       60 * time.Second,
+		RetryBase:          200 * time.Millisecond,
+		RetryMax:           5 * time.Second,
+		Seed:               1,
+	}
+}
+
+// MasterStats counts the NameNode's durability and recovery work.
+type MasterStats struct {
+	JournalRecords  uint64        // edit records logged
+	JournalBytes    uint64        // edit bytes appended to the metadata disk
+	JournalBatches  uint64        // editlog daemon flushes
+	Checkpoints     uint64        // fsimage checkpoints written
+	CheckpointBytes uint64        // fsimage bytes written
+	Restarts        int           // times the NameNode was restarted
+	ReplayRecords   uint64        // journal records replayed across restarts
+	ReplayBytes     uint64        // fsimage+journal bytes read back at restart
+	SafeModeWait    time.Duration // total time spent in safe mode
+	LeaseGrants     uint64        // leases granted to writers
+	LeaseReleases   uint64        // leases released by a clean Close
+	LeaseRecoveries uint64        // leases the NameNode recovered (expiry or dead client)
+	ClientStalls    uint64        // client operations that found the master unavailable
+	StallTime       time.Duration // total client time spent stalled
+}
+
+// editOp enumerates the journal's record types.
+type editOp int
+
+const (
+	opCreate editOp = iota
+	opAddBlock
+	opClose
+	opDelete
+	opLeaseRecover
+)
+
+func (op editOp) String() string {
+	switch op {
+	case opCreate:
+		return "OP_ADD"
+	case opAddBlock:
+		return "OP_ADD_BLOCK"
+	case opClose:
+		return "OP_CLOSE"
+	case opDelete:
+		return "OP_DELETE"
+	case opLeaseRecover:
+		return "OP_REASSIGN_LEASE"
+	}
+	return "OP_INVALID"
+}
+
+// editRec is one journal record.
+type editRec struct {
+	op    editOp
+	path  string
+	block int64
+	size  int64
+	repl  int
+}
+
+// lease tracks one open file's writer.
+type lease struct {
+	client  string
+	renewed time.Duration
+}
+
+// masterState is the live NameNode-durability machinery hanging off an FS.
+type masterState struct {
+	cfg  MasterConfig
+	vol  *localfs.FS
+	rng  *rand.Rand
+	gen  int // incarnation; bumped per crash
+	down bool
+
+	edits      *localfs.File
+	editsBytes int64
+	pending    []editRec // records logged but not yet byte-charged
+	journal    []editRec // logical journal since the last checkpoint
+	image      NamespaceSnapshot
+	leases     map[string]*lease
+
+	safeMode         bool
+	safeModeStart    time.Duration
+	reported         map[*DataNode]bool
+	expectedReplicas int
+	reportedReplicas int
+
+	wake    *sim.Cond // signalled when pending gains records or state changes
+	ready   *sim.Cond // signalled when the master becomes serviceable
+	stopped bool
+	stats   MasterStats
+}
+
+// EnableMaster switches on NameNode metadata durability, journaling to the
+// given metadata volume. Call it once, before any files are created (so
+// experiment setup is journaled too), and only for runs modeling master
+// recovery — the machinery adds periodic events a healthy baseline must not
+// carry.
+func (fs *FS) EnableMaster(vol *localfs.FS, cfg MasterConfig) {
+	if fs.master != nil {
+		panic("hdfs: EnableMaster called twice")
+	}
+	if vol == nil {
+		panic("hdfs: EnableMaster needs a metadata volume")
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 30 * time.Second
+	}
+	if cfg.SafeModeFrac <= 0 || cfg.SafeModeFrac > 1 {
+		cfg.SafeModeFrac = 0.999
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 60 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 200 * time.Millisecond
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = cfg.RetryBase
+	}
+	ms := &masterState{
+		cfg:      cfg,
+		vol:      vol,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		image:    NamespaceSnapshot{},
+		leases:   make(map[string]*lease),
+		reported: make(map[*DataNode]bool),
+		wake:     sim.NewCond(fs.env),
+		ready:    sim.NewCond(fs.env),
+	}
+	f := vol.Create(editsFileName)
+	f.SetStage(disk.StageMeta)
+	ms.edits = f
+	fs.master = ms
+
+	fs.env.Go("namenode-editlog", func(p *sim.Proc) {
+		for {
+			for len(ms.pending) == 0 || ms.down {
+				if ms.stopped {
+					return
+				}
+				ms.wake.Wait(p)
+			}
+			fs.flushEdits(p)
+		}
+	})
+	fs.env.Go("namenode-checkpoint", func(p *sim.Proc) {
+		for {
+			p.Sleep(ms.cfg.CheckpointInterval)
+			if ms.stopped {
+				return
+			}
+			if ms.down || ms.safeMode {
+				continue
+			}
+			fs.recoverExpiredLeases(p.Now())
+			fs.checkpoint(p)
+		}
+	})
+}
+
+// MasterEnabled reports whether EnableMaster has been called.
+func (fs *FS) MasterEnabled() bool { return fs.master != nil }
+
+// MasterStats returns a copy of the NameNode durability counters (zero
+// value when the master layer is not enabled).
+func (fs *FS) MasterStats() MasterStats {
+	if fs.master == nil {
+		return MasterStats{}
+	}
+	return fs.master.stats
+}
+
+// MasterServing reports whether the NameNode is up and out of safe mode.
+func (fs *FS) MasterServing() bool {
+	ms := fs.master
+	return ms == nil || (!ms.down && !ms.safeMode)
+}
+
+// journalEdit logs one record: appended to the logical journal immediately
+// (the synchronous-durability contract) and queued for the editlog daemon
+// to charge its bytes to the metadata disk.
+func (fs *FS) journalEdit(r editRec) {
+	ms := fs.master
+	if ms == nil {
+		return
+	}
+	ms.journal = append(ms.journal, r)
+	ms.pending = append(ms.pending, r)
+	ms.stats.JournalRecords++
+	ms.wake.Broadcast()
+}
+
+// renderEdit gives a record its on-disk shape — proportional real bytes in
+// the spirit of an edit-log record, not a serialization format.
+func renderEdit(r editRec) string {
+	return fmt.Sprintf("%s %s %d %d %d\n", r.op, r.path, r.block, r.size, r.repl)
+}
+
+// flushEdits appends every pending record to the edits file and syncs it —
+// the batched sequential metadata write the paper's master traces show.
+func (fs *FS) flushEdits(p *sim.Proc) {
+	ms := fs.master
+	if ms == nil || len(ms.pending) == 0 {
+		return
+	}
+	batch := ms.pending
+	ms.pending = nil
+	var buf []byte
+	for _, r := range batch {
+		buf = append(buf, renderEdit(r)...)
+	}
+	ms.edits.Append(p, buf)
+	ms.edits.Sync(p)
+	ms.editsBytes += int64(len(buf))
+	ms.stats.JournalBytes += uint64(len(buf))
+	ms.stats.JournalBatches++
+}
+
+// MasterFlush synchronously drains the pending edit records to disk. The
+// run driver calls it before the final cache sync so a run's journal bytes
+// are fully accounted.
+func (fs *FS) MasterFlush(p *sim.Proc) {
+	if fs.master != nil {
+		fs.flushEdits(p)
+	}
+}
+
+// checkpoint rolls the journal: flush pending edits, snapshot the live
+// namespace as the new fsimage (real bytes written and synced), truncate
+// the edits file, and clear the logical journal.
+func (fs *FS) checkpoint(p *sim.Proc) {
+	ms := fs.master
+	fs.flushEdits(p)
+	ms.image = fs.LiveNamespace()
+	ms.journal = nil
+	ms.vol.Delete(editsFileName)
+	f := ms.vol.Create(editsFileName)
+	f.SetStage(disk.StageMeta)
+	ms.edits = f
+	ms.editsBytes = 0
+
+	data := renderImage(ms.image)
+	ms.vol.Delete(imageFileName)
+	img := ms.vol.Create(imageFileName)
+	img.SetStage(disk.StageMeta)
+	img.Append(p, data)
+	img.Sync(p)
+	ms.stats.Checkpoints++
+	ms.stats.CheckpointBytes += uint64(len(data))
+}
+
+// renderImage serializes a namespace snapshot deterministically.
+func renderImage(snap NamespaceSnapshot) []byte {
+	paths := make([]string, 0, len(snap))
+	for p := range snap {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var buf []byte
+	for _, p := range paths {
+		f := snap[p]
+		buf = append(buf, fmt.Sprintf("F %s %d %t\n", p, f.Size, f.Open)...)
+		for _, b := range f.Blocks {
+			buf = append(buf, fmt.Sprintf("B %d %d %d\n", b.ID, b.Size, b.Want)...)
+		}
+	}
+	return buf
+}
+
+// CrashNameNode fail-stops the NameNode process: clients stall, heartbeats
+// go unheard, and no metadata is journaled until RestartNameNode. The
+// metadata volume itself survives (the journal is already durable). Safe to
+// call from a fault injector's inline timer callback — it never blocks.
+func (fs *FS) CrashNameNode() {
+	ms := fs.master
+	if ms == nil {
+		panic("hdfs: CrashNameNode without EnableMaster")
+	}
+	if ms.down {
+		return
+	}
+	ms.down = true
+	ms.gen++
+}
+
+// NameNodeDown reports whether the NameNode is currently crashed.
+func (fs *FS) NameNodeDown() bool {
+	ms := fs.master
+	return ms != nil && ms.down
+}
+
+// RestartNameNode brings the NameNode back: it replays checkpoint+journal
+// off the metadata disk (charged as a sequential read), recovers the leases
+// of writers whose nodes died during the outage, and — when failure
+// detection is running — enters safe mode until enough replicas are
+// re-confirmed by block reports. Heartbeat timestamps are reset so the
+// outage itself cannot read as a cluster-wide dead timeout.
+func (fs *FS) RestartNameNode(p *sim.Proc) {
+	ms := fs.master
+	if ms == nil || !ms.down {
+		return
+	}
+	for _, name := range []string{imageFileName, editsFileName} {
+		sz := ms.vol.Size(name)
+		if sz <= 0 {
+			continue
+		}
+		f, err := ms.vol.Open(name)
+		if err != nil {
+			continue
+		}
+		f.SetStage(disk.StageMeta)
+		f.ReadAt(p, 0, sz)
+		ms.stats.ReplayBytes += uint64(sz)
+	}
+	ms.stats.Restarts++
+	ms.stats.ReplayRecords += uint64(len(ms.journal))
+
+	now := p.Now()
+	// Leases: a writer on a dead node can never renew — seal its file now so
+	// readers (and re-executed task attempts) are not wedged behind it. Live
+	// writers get a fresh renewal stamp; they were merely stalled.
+	for _, path := range sortedLeasePaths(ms.leases) {
+		l := ms.leases[path]
+		if dn, ok := fs.byNode[l.client]; ok && dn.crashed {
+			fs.recoverLease(path)
+			continue
+		}
+		l.renewed = now
+	}
+	if fs.rec != nil {
+		expected := 0
+		for _, b := range fs.blockByID {
+			expected += len(b.replicas)
+		}
+		if expected > 0 {
+			ms.safeMode = true
+			ms.safeModeStart = now
+			ms.expectedReplicas = expected
+			ms.reportedReplicas = 0
+			ms.reported = make(map[*DataNode]bool)
+		}
+	}
+	for _, dn := range fs.datanodes {
+		if !dn.crashed {
+			dn.lastBeat = now
+		}
+	}
+	ms.down = false
+	ms.wake.Broadcast()
+	ms.ready.Broadcast()
+	fs.maybeExitSafeMode()
+}
+
+// masterBlockReport is the NameNode processing one DataNode's safe-mode
+// block report: credit every replica the node holds that the block map
+// still expects of it.
+func (fs *FS) masterBlockReport(dn *DataNode) {
+	ms := fs.master
+	if ms == nil || !ms.safeMode || ms.reported[dn] {
+		return
+	}
+	ms.reported[dn] = true
+	if fs.rec != nil {
+		fs.rec.stats.BlockReports++
+	}
+	n := 0
+	for id := range dn.blocks {
+		if b := fs.blockByID[id]; b != nil && holdsReplica(b, dn) {
+			n++
+		}
+	}
+	ms.reportedReplicas += n
+	fs.maybeExitSafeMode()
+}
+
+// maybeExitSafeMode leaves safe mode once the replica-report threshold is
+// met, or once every live DataNode has reported (replicas lost for good
+// must not wedge the cluster — their repair starts the moment safe mode
+// lifts).
+func (fs *FS) maybeExitSafeMode() {
+	ms := fs.master
+	if ms == nil || !ms.safeMode {
+		return
+	}
+	need := int(ms.cfg.SafeModeFrac * float64(ms.expectedReplicas))
+	done := ms.reportedReplicas >= need
+	if !done {
+		done = true
+		for _, dn := range fs.datanodes {
+			if !dn.crashed && !ms.reported[dn] {
+				done = false
+				break
+			}
+		}
+	}
+	if !done {
+		return
+	}
+	ms.safeMode = false
+	ms.stats.SafeModeWait += fs.env.Now() - ms.safeModeStart
+	ms.ready.Broadcast()
+}
+
+// waitMaster stalls a client while the NameNode cannot serve it: any
+// operation waits out a crash, and mutations additionally wait out safe
+// mode. Retries follow bounded exponential backoff with jitter, so stalled
+// clients pile back onto the restarted master staggered, not as a herd.
+func (fs *FS) waitMaster(p *sim.Proc, mutating bool) {
+	ms := fs.master
+	if ms == nil || ms.stopped {
+		return
+	}
+	if !ms.down && !(mutating && ms.safeMode) {
+		return
+	}
+	ms.stats.ClientStalls++
+	start := p.Now()
+	bo := sim.NewBackoff(ms.cfg.RetryBase, ms.cfg.RetryMax, ms.rng)
+	for !ms.stopped && (ms.down || (mutating && ms.safeMode)) {
+		p.Sleep(bo.Next())
+	}
+	ms.stats.StallTime += p.Now() - start
+}
+
+// WaitMasterReady blocks p until the NameNode is up and out of safe mode —
+// the run driver's barrier before waiting on block recovery.
+func (fs *FS) WaitMasterReady(p *sim.Proc) {
+	ms := fs.master
+	if ms == nil {
+		return
+	}
+	for !ms.stopped && (ms.down || ms.safeMode) {
+		ms.ready.Wait(p)
+	}
+}
+
+// StopMaster shuts the durability machinery down; daemons exit at their
+// next tick and stalled clients unblock. Pending edit bytes are abandoned
+// unless MasterFlush ran first.
+func (fs *FS) StopMaster() {
+	ms := fs.master
+	if ms == nil || ms.stopped {
+		return
+	}
+	ms.stopped = true
+	ms.wake.Broadcast()
+	ms.ready.Broadcast()
+}
+
+// Lease bookkeeping, called from the namespace mutation paths.
+
+func (fs *FS) grantLease(path, client string) {
+	ms := fs.master
+	if ms == nil {
+		return
+	}
+	ms.leases[path] = &lease{client: client, renewed: fs.env.Now()}
+	ms.stats.LeaseGrants++
+}
+
+func (fs *FS) renewLease(path string, now time.Duration) {
+	ms := fs.master
+	if ms == nil {
+		return
+	}
+	if l, ok := ms.leases[path]; ok {
+		l.renewed = now
+	}
+}
+
+func (fs *FS) releaseLease(path string) {
+	ms := fs.master
+	if ms == nil {
+		return
+	}
+	if _, ok := ms.leases[path]; ok {
+		delete(ms.leases, path)
+		ms.stats.LeaseReleases++
+	}
+}
+
+// recoverLease is the NameNode sealing an open file whose writer is gone:
+// the file closes at its current length and the action is journaled, so a
+// replayed master agrees the file is readable.
+func (fs *FS) recoverLease(path string) {
+	ms := fs.master
+	delete(ms.leases, path)
+	f, ok := fs.files[path]
+	if !ok || !f.open {
+		return
+	}
+	f.open = false
+	fs.journalEdit(editRec{op: opLeaseRecover, path: path})
+	ms.stats.LeaseRecoveries++
+}
+
+// recoverExpiredLeases hard-expires leases that have gone LeaseTimeout
+// without renewal — the writer died without its node being declared dead
+// (or simply hung) and the file must not stay unreadable forever.
+func (fs *FS) recoverExpiredLeases(now time.Duration) {
+	ms := fs.master
+	for _, path := range sortedLeasePaths(ms.leases) {
+		if now-ms.leases[path].renewed > ms.cfg.LeaseTimeout {
+			fs.recoverLease(path)
+		}
+	}
+}
+
+// sortedLeasePaths fixes lease-scan order (map iteration is randomized and
+// the scan's journal records must be deterministic).
+func sortedLeasePaths(leases map[string]*lease) []string {
+	paths := make([]string, 0, len(leases))
+	for p := range leases {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Replay-equivalence surface: a canonical namespace snapshot buildable both
+// from the live state and from checkpoint+journal, so tests can pin that a
+// restarted master reconstructs exactly the state the live master held.
+
+// BlockRecord is one block in a namespace snapshot.
+type BlockRecord struct {
+	ID   int64
+	Size int64
+	Want int
+}
+
+// FileRecord is one file in a namespace snapshot.
+type FileRecord struct {
+	Size   int64
+	Open   bool
+	Blocks []BlockRecord
+}
+
+// NamespaceSnapshot is a canonical copy of the NameNode's namespace.
+type NamespaceSnapshot map[string]*FileRecord
+
+func cloneSnapshot(snap NamespaceSnapshot) NamespaceSnapshot {
+	out := make(NamespaceSnapshot, len(snap))
+	for p, f := range snap {
+		c := &FileRecord{Size: f.Size, Open: f.Open}
+		c.Blocks = append(c.Blocks, f.Blocks...)
+		out[p] = c
+	}
+	return out
+}
+
+// LiveNamespace snapshots the NameNode's in-memory namespace.
+func (fs *FS) LiveNamespace() NamespaceSnapshot {
+	snap := make(NamespaceSnapshot, len(fs.files))
+	for name, f := range fs.files {
+		fr := &FileRecord{Size: f.size, Open: f.open}
+		for _, b := range f.blocks {
+			fr.Blocks = append(fr.Blocks, BlockRecord{ID: b.id, Size: b.size, Want: b.want})
+		}
+		snap[name] = fr
+	}
+	return snap
+}
+
+// MasterReplayNamespace rebuilds the namespace the way a restarting
+// NameNode does: start from the last checkpoint's fsimage and apply the
+// journal. Equality with LiveNamespace is the durability invariant.
+func (fs *FS) MasterReplayNamespace() NamespaceSnapshot {
+	ms := fs.master
+	if ms == nil {
+		panic("hdfs: MasterReplayNamespace without EnableMaster")
+	}
+	snap := cloneSnapshot(ms.image)
+	for _, r := range ms.journal {
+		applyEdit(snap, r)
+	}
+	return snap
+}
+
+func applyEdit(snap NamespaceSnapshot, r editRec) {
+	switch r.op {
+	case opCreate:
+		snap[r.path] = &FileRecord{Open: true}
+	case opAddBlock:
+		if f := snap[r.path]; f != nil {
+			f.Blocks = append(f.Blocks, BlockRecord{ID: r.block, Size: r.size, Want: r.repl})
+			f.Size += r.size
+		}
+	case opClose, opLeaseRecover:
+		if f := snap[r.path]; f != nil {
+			f.Open = false
+		}
+	case opDelete:
+		delete(snap, r.path)
+	}
+}

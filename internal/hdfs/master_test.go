@@ -1,0 +1,238 @@
+package hdfs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"iochar/internal/cluster"
+	"iochar/internal/sim"
+)
+
+// masterRig is rig() plus a provisioned metadata volume and the NameNode
+// master layer.
+func masterRig(t *testing.T, nSlaves int, cfg MasterConfig) (*sim.Env, *cluster.Cluster, *FS) {
+	t.Helper()
+	env, c, fs := rig(nSlaves)
+	if err := c.ProvisionMasterMeta(1); err != nil {
+		t.Fatal(err)
+	}
+	fs.EnableMaster(c.Master.MetaVols[0], cfg)
+	return env, c, fs
+}
+
+// TestMasterReplayEquivalence pins the durability invariant at every
+// namespace transition: the state a restarting NameNode would rebuild from
+// checkpoint+journal equals the live in-memory namespace — including with a
+// file mid-write, whose allocated blocks must already be journaled.
+func TestMasterReplayEquivalence(t *testing.T) {
+	env, c, fs := masterRig(t, 4, MasterConfig{})
+	check := func(stage string) {
+		if !reflect.DeepEqual(fs.LiveNamespace(), fs.MasterReplayNamespace()) {
+			t.Errorf("%s: replayed namespace diverges from live state", stage)
+		}
+	}
+	env.Go("client", func(p *sim.Proc) {
+		defer fs.StopMaster()
+		w := fs.Create("/a", c.Slaves[0].Name)
+		w.Write(p, pattern(150_000))
+		w.Close(p)
+		check("after close")
+		w2 := fs.Create("/b", c.Slaves[1].Name)
+		w2.Write(p, pattern(60_000))
+		check("mid-write")
+		w2.Close(p)
+		check("after second close")
+		fs.Delete("/a")
+		check("after delete")
+	})
+	env.Run(0)
+	if fs.MasterStats().JournalRecords == 0 {
+		t.Error("no edit records journaled")
+	}
+}
+
+// TestMasterCheckpointRollsJournal: a checkpoint truncates the journal,
+// writes real fsimage bytes, and replay from the new image+journal still
+// reproduces the live namespace.
+func TestMasterCheckpointRollsJournal(t *testing.T) {
+	env, c, fs := masterRig(t, 4, MasterConfig{CheckpointInterval: 50 * time.Millisecond})
+	env.Go("client", func(p *sim.Proc) {
+		defer fs.StopMaster()
+		w := fs.Create("/ck", c.Slaves[0].Name)
+		w.Write(p, pattern(100_000))
+		w.Close(p)
+		p.Sleep(120 * time.Millisecond) // at least two checkpoint ticks
+		st := fs.MasterStats()
+		if st.Checkpoints == 0 || st.CheckpointBytes == 0 {
+			t.Errorf("no checkpoint ran in 120ms at a 50ms interval: %+v", st)
+		}
+		if n := len(fs.master.journal); n != 0 {
+			t.Errorf("journal holds %d records after a checkpoint, want 0", n)
+		}
+		w2 := fs.Create("/post", c.Slaves[1].Name)
+		w2.Write(p, pattern(40_000))
+		w2.Close(p)
+		if !reflect.DeepEqual(fs.LiveNamespace(), fs.MasterReplayNamespace()) {
+			t.Error("image+journal replay diverges after a checkpoint")
+		}
+	})
+	env.Run(0)
+}
+
+// TestNameNodeKillReplayDiff is the kill-replay-diff scenario: crash the
+// NameNode, restart it, and the post-restart state must be identical to the
+// pre-crash snapshot — nothing lost, nothing invented. A writer caught by
+// the outage stalls on backoff instead of failing and completes only after
+// the restart.
+func TestNameNodeKillReplayDiff(t *testing.T) {
+	env, c, fs := masterRig(t, 4, MasterConfig{})
+	var preCrash NamespaceSnapshot
+	var restartAt, closedAt time.Duration
+	env.Go("writer", func(p *sim.Proc) {
+		defer fs.StopMaster()
+		w := fs.Create("/w", c.Slaves[0].Name)
+		w.Write(p, pattern(20_000))
+		p.Sleep(5 * time.Millisecond) // the crash lands here, mid-file
+		w.Write(p, pattern(20_000))   // block allocation stalls on the outage
+		w.Close(p)
+		closedAt = p.Now()
+		if !reflect.DeepEqual(fs.LiveNamespace(), fs.MasterReplayNamespace()) {
+			t.Error("replayed namespace diverges after the bounce")
+		}
+	})
+	env.Go("chaos", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		preCrash = fs.LiveNamespace()
+		fs.CrashNameNode()
+		if !fs.NameNodeDown() {
+			t.Error("CrashNameNode left the master serving")
+		}
+		p.Sleep(20 * time.Millisecond)
+		fs.RestartNameNode(p)
+		restartAt = p.Now()
+		if diff := fs.LiveNamespace(); !reflect.DeepEqual(preCrash, diff) {
+			t.Errorf("kill-replay diff: state after restart differs from pre-crash snapshot:\n pre  %+v\n post %+v", preCrash, diff)
+		}
+	})
+	env.Run(0)
+	st := fs.MasterStats()
+	if st.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", st.Restarts)
+	}
+	if st.ClientStalls == 0 || st.StallTime == 0 {
+		t.Errorf("the writer never stalled on the outage: %+v", st)
+	}
+	if closedAt <= restartAt {
+		t.Errorf("writer closed at %v, before the restart at %v", closedAt, restartAt)
+	}
+}
+
+// TestLeaseExpirySealsAbandonedFile: a writer that stops renewing (without
+// its node dying) is hard-expired on the checkpoint tick; the file seals at
+// its flushed length and the recovery is journaled.
+func TestLeaseExpirySealsAbandonedFile(t *testing.T) {
+	env, c, fs := masterRig(t, 4, MasterConfig{
+		CheckpointInterval: 10 * time.Millisecond,
+		LeaseTimeout:       30 * time.Millisecond,
+	})
+	env.Go("client", func(p *sim.Proc) {
+		defer fs.StopMaster()
+		w := fs.Create("/abandoned", c.Slaves[0].Name)
+		w.Write(p, pattern(40_000)) // flushes blocks; never closed
+		p.Sleep(100 * time.Millisecond)
+		st := fs.MasterStats()
+		if st.LeaseRecoveries != 1 {
+			t.Errorf("LeaseRecoveries = %d, want 1", st.LeaseRecoveries)
+		}
+		if fs.files["/abandoned"].open {
+			t.Error("file still open after its lease expired")
+		}
+		if !reflect.DeepEqual(fs.LiveNamespace(), fs.MasterReplayNamespace()) {
+			t.Error("replayed namespace diverges after lease recovery")
+		}
+	})
+	env.Run(0)
+}
+
+// TestRestartRecoversDeadWritersLease: a writer whose node died during the
+// NameNode outage can never renew; the restarting master must seal its file
+// rather than leave it open forever.
+func TestRestartRecoversDeadWritersLease(t *testing.T) {
+	env, c, fs := masterRig(t, 5, MasterConfig{})
+	fs.EnableRecovery(RecoveryConfig{HeartbeatInterval: time.Millisecond, DeadTimeout: 5 * time.Millisecond})
+	env.Go("driver", func(p *sim.Proc) {
+		defer func() {
+			fs.StopMaster()
+			fs.StopRecovery()
+		}()
+		w := fs.Create("/dead-writer", c.Slaves[2].Name)
+		w.Write(p, pattern(40_000))
+		fs.CrashNameNode()
+		fs.CrashDataNode(c.Slaves[2].Name)
+		p.Sleep(10 * time.Millisecond)
+		fs.RestartNameNode(p)
+		fs.WaitMasterReady(p)
+		if fs.files["/dead-writer"].open {
+			t.Error("dead writer's file not sealed at restart")
+		}
+		if fs.MasterStats().LeaseRecoveries == 0 {
+			t.Error("no lease recovery recorded for the dead writer")
+		}
+		if !reflect.DeepEqual(fs.LiveNamespace(), fs.MasterReplayNamespace()) {
+			t.Error("replayed namespace diverges after dead-writer lease recovery")
+		}
+	})
+	env.Run(0)
+}
+
+// TestSafeModeExitThreshold pins the safe-mode exit rule: with
+// SafeModeFrac=1 every pre-crash replica must be re-confirmed, so safe mode
+// holds until the last DataNode's block report lands. Reads are served
+// throughout; mutations are not.
+func TestSafeModeExitThreshold(t *testing.T) {
+	env, c, fs := masterRig(t, 4, MasterConfig{SafeModeFrac: 1.0})
+	// Long heartbeat interval so the test drives block reports by hand.
+	fs.EnableRecovery(RecoveryConfig{HeartbeatInterval: 10 * time.Second, DeadTimeout: 100 * time.Second})
+	env.Go("driver", func(p *sim.Proc) {
+		defer func() {
+			fs.StopMaster()
+			fs.StopRecovery()
+		}()
+		w := fs.Create("/sm", c.Slaves[0].Name)
+		w.Write(p, pattern(200_000))
+		w.Close(p)
+		fs.CrashNameNode()
+		p.Sleep(time.Millisecond)
+		fs.RestartNameNode(p)
+		ms := fs.master
+		if !ms.safeMode {
+			t.Fatal("restart with live replicas did not enter safe mode")
+		}
+		if fs.MasterServing() {
+			t.Error("MasterServing true while in safe mode")
+		}
+		r, err := fs.Open("/sm", c.Slaves[1].Name)
+		if err != nil {
+			t.Fatalf("namespace read failed in safe mode: %v", err)
+		}
+		if _, err := r.ReadAt(p, 0, 1000); err != nil {
+			t.Errorf("data read failed in safe mode: %v", err)
+		}
+		for _, dn := range fs.datanodes[:len(fs.datanodes)-1] {
+			fs.masterBlockReport(dn)
+		}
+		if !ms.safeMode {
+			t.Error("safe mode exited below the full-replica threshold")
+		}
+		p.Sleep(2 * time.Millisecond) // accrue measurable safe-mode wait
+		fs.masterBlockReport(fs.datanodes[len(fs.datanodes)-1])
+		if ms.safeMode {
+			t.Error("safe mode held after every replica was re-confirmed")
+		}
+		if fs.MasterStats().SafeModeWait == 0 {
+			t.Error("SafeModeWait not accounted")
+		}
+	})
+	env.Run(0)
+}

@@ -108,6 +108,13 @@ func (fs *FS) EnableRecovery(cfg RecoveryConfig) {
 			if rec.stopped {
 				return
 			}
+			if ms := fs.master; ms != nil && (ms.down || ms.safeMode) {
+				// A dead or restarting NameNode declares nobody dead: while
+				// down it sees no clock, and in safe mode judging liveness
+				// from beats missed during its own outage would kill the
+				// whole cluster. Timestamps are reset at restart.
+				continue
+			}
 			for _, dn := range fs.datanodes {
 				if !dn.deadByNN && p.Now()-dn.lastBeat > cfg.DeadTimeout {
 					fs.declareDead(dn)
@@ -136,7 +143,13 @@ func (fs *FS) startHeartbeat(dn *DataNode) {
 			if rec.stopped || dn.crashed || dn.beatGen != gen {
 				return
 			}
+			if ms := fs.master; ms != nil && ms.down {
+				continue // nobody is listening; the beat goes unheard
+			}
 			dn.lastBeat = p.Now()
+			if ms := fs.master; ms != nil && ms.safeMode {
+				fs.masterBlockReport(dn)
+			}
 		}
 	})
 }
@@ -167,6 +180,9 @@ func (fs *FS) CrashDataNode(node string) {
 	if fs.rec != nil {
 		fs.rec.idle.Broadcast()
 	}
+	// A safe-mode master waiting on this node's block report must not wait
+	// forever: re-evaluate the exit condition against the shrunken live set.
+	fs.maybeExitSafeMode()
 }
 
 // FailVolume fail-stops one HDFS volume on the named node. Unlike a node
@@ -243,6 +259,25 @@ func (fs *FS) dropReplica(b *blockMeta, dn *DataNode) {
 	}
 }
 
+// dequeueRepair removes b from the pending-repair queue — the block got
+// back to its target factor by other means (a rejoining node re-adopting
+// the replica whose loss queued it) and the copy is no longer needed.
+func (fs *FS) dequeueRepair(b *blockMeta) {
+	rec := fs.rec
+	if rec == nil || !rec.queued[b.id] {
+		return
+	}
+	for i, q := range rec.queue {
+		if q == b {
+			rec.queue = append(rec.queue[:i], rec.queue[i+1:]...)
+			break
+		}
+	}
+	delete(rec.queued, b.id)
+	rec.stats.CancelledRepairs++
+	rec.idle.Broadcast()
+}
+
 // enqueueUnderReplicated queues b for background repair. A no-op without
 // recovery enabled (a healthy run can still create under-replicated blocks
 // when a file asks for more replicas than exist; the seed behaved the same).
@@ -268,6 +303,15 @@ func (fs *FS) replicationWorker(p *sim.Proc) {
 				return
 			}
 			rec.work.Wait(p)
+		}
+		// Repairs are NameNode-directed: pause while the master is down or
+		// in safe mode (block reports may be about to re-adopt the very
+		// replicas this queue would copy).
+		for ms := fs.master; ms != nil && !rec.stopped && (ms.down || ms.safeMode); {
+			ms.ready.Wait(p)
+		}
+		if rec.stopped {
+			return
 		}
 		b := rec.queue[0]
 		rec.queue = rec.queue[1:]
@@ -335,9 +379,13 @@ func (fs *FS) copyBlock(p *sim.Proc, b *blockMeta) (copied, retry bool) {
 	f := dst.node.NextHDFSVol().Create(blockFileName(b.id))
 	f.SetStage(disk.StageHDFS)
 	f.Append(p, content)
-	if b.gone || dst.crashed {
-		// The block was deleted — or the target died — while the copy was
-		// landing; crediting it now would leave an orphan replica.
+	if b.gone || dst.crashed || f.FS().Failed() {
+		// The block was deleted — or the target (node or volume) died —
+		// while the copy was landing; crediting it now would leave an orphan
+		// or unreadable replica. The volume check matters: FailVolume's
+		// replica sweep only sees blocks the DataNode already credits, so a
+		// copy still in flight at the failure would otherwise land dead and
+		// never re-enter the repair queue.
 		_ = f.FS().Delete(f.Name())
 		return false, !b.gone
 	}
@@ -409,6 +457,10 @@ func (fs *FS) StopRecovery() {
 	rec.stopped = true
 	rec.work.Broadcast()
 	rec.idle.Broadcast()
+	if ms := fs.master; ms != nil {
+		// Replication workers may be parked on the master-ready condition.
+		ms.ready.Broadcast()
+	}
 }
 
 // UnderReplicated returns the number of blocks currently queued or in

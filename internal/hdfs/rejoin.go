@@ -132,6 +132,15 @@ func (fs *FS) reconcileReported(dn *DataNode, vol *localfs.FS, name string, id i
 	if fs.rec != nil {
 		fs.rec.stats.ReAdoptedReplicas++
 	}
+	if len(b.replicas) >= b.want {
+		// Re-adoption restored the target factor: strike the pending
+		// re-replication queued when the node bounced inside its own
+		// dead-timeout window. Left queued, the entry keeps the recovery
+		// barrier open and a repair worker can race it against the block
+		// report, copying an excess replica the reconciliation then purges —
+		// the node's bounce double-counted in the recovering iostat group.
+		fs.dequeueRepair(b)
+	}
 }
 
 func holdsReplica(b *blockMeta, dn *DataNode) bool {

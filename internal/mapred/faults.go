@@ -16,6 +16,9 @@ import (
 // shuffle, so their tasks are re-enqueued (Hadoop's TaskTracker reports the
 // failed mapred.local.dir and the affected attempts are re-run).
 func (rt *Runtime) OnVolumeDown(vol *localfs.FS) {
+	if rt.deferMembership("vol-down", "", vol) {
+		return // the JobTracker is down; it learns of this at restart
+	}
 	for js := range rt.active {
 		for _, out := range js.outputs {
 			if out.vol == vol {
@@ -105,6 +108,7 @@ func (js *jobState) fail(err error) {
 		return
 	}
 	js.failed = err
+	js.jtRecord(jOpFail, 0, 0)
 	js.broadcastAll()
 }
 
@@ -155,6 +159,7 @@ func (js *jobState) loseOutput(out *mapOutput) {
 	i := out.taskIdx
 	if js.completed[i] {
 		js.completed[i] = false
+		js.jtRecord(jOpMapLost, i, 0)
 		js.mapsDone--
 		js.counters.ReExecutedMaps++
 	}
@@ -172,12 +177,19 @@ func (js *jobState) loseOutput(out *mapOutput) {
 // discarded. Healthy runs always win: each partition runs exactly once.
 func (js *jobState) finishReduce(part int, node string) bool {
 	if !js.faulty {
+		if js.redDone != nil && !js.redDone[part] {
+			// Master-recovery mode on a healthy run: record the completion the
+			// fault path below would have.
+			js.redDone[part] = true
+			js.jtRecord(jOpRedDone, part, 0)
+		}
 		return true
 	}
 	if js.redDone[part] || js.redOwner[part] != node {
 		return false
 	}
 	js.redDone[part] = true
+	js.jtRecord(jOpRedDone, part, 0)
 	js.redDoneCount++
 	js.redCond.Broadcast()
 	if js.redDoneCount == len(js.redDone) {

@@ -1,0 +1,515 @@
+// JobTracker mortality: job state journaled to the master's metadata
+// volume and the scheduler made killable. Every job-state transition — job
+// start, map completion, map-output loss, reduce completion, failure —
+// appends a record to a write-ahead journal whose bytes go through the
+// page-cache and disk models, with periodic checkpoints rolling the journal
+// into an image. Killing the JobTracker stalls task grants on bounded
+// exponential backoff; cluster-membership events (node deaths, rejoins,
+// volume failures) that fire during the outage are queued and only acted on
+// at restart, when the recovered JobTracker also reconciles zombie map
+// outputs via the task trackers' incarnation counters.
+//
+// None of this exists unless EnableMaster is called; a run without master
+// recovery journals nothing and schedules byte-identically to a build
+// without this file. The logical journal is appended synchronously at
+// transition time (durability is never lost to a crash) while its bytes are
+// charged to the metadata disk in batches, as in the HDFS master layer.
+package mapred
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"iochar/internal/disk"
+	"iochar/internal/localfs"
+	"iochar/internal/sim"
+)
+
+const (
+	jtJournalFileName = "jt_journal"
+	jtImageFileName   = "jt_image"
+)
+
+// MasterConfig tunes JobTracker durability and recovery.
+type MasterConfig struct {
+	// CheckpointInterval is how often the journal is rolled into an image
+	// (the mapred.jobtracker.restart.recover checkpoint cadence).
+	CheckpointInterval time.Duration
+	// RetryBase and RetryMax bound the exponential backoff task trackers
+	// sleep on while the JobTracker is down.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed drives the jitter of tracker retry backoff.
+	Seed int64
+}
+
+// DefaultMasterConfig returns experiment-scale defaults; callers scale the
+// durations alongside the rest of the run's timing knobs.
+func DefaultMasterConfig() MasterConfig {
+	return MasterConfig{
+		CheckpointInterval: 30 * time.Second,
+		RetryBase:          200 * time.Millisecond,
+		RetryMax:           5 * time.Second,
+		Seed:               2,
+	}
+}
+
+// MasterStats counts the JobTracker's durability and recovery work.
+type MasterStats struct {
+	JournalRecords  uint64        // job-state records logged
+	JournalBytes    uint64        // journal bytes appended to the metadata disk
+	JournalBatches  uint64        // journal daemon flushes
+	Checkpoints     uint64        // image checkpoints written
+	CheckpointBytes uint64        // image bytes written
+	Restarts        int           // times the JobTracker was restarted
+	ReplayRecords   uint64        // journal records replayed across restarts
+	ReplayBytes     uint64        // image+journal bytes read back at restart
+	GrantStalls     uint64        // tracker requests that found the master down
+	StallTime       time.Duration // total tracker time spent stalled
+	MissedEvents    uint64        // membership events queued during outages
+	ZombieOutputs   uint64        // map outputs reconciled away at restart
+}
+
+// jtOp enumerates the journal's record types.
+type jtOp int
+
+const (
+	jOpStart jtOp = iota
+	jOpMapDone
+	jOpMapLost
+	jOpRedDone
+	jOpFail
+	jOpEnd
+)
+
+func (op jtOp) String() string {
+	switch op {
+	case jOpStart:
+		return "JOB_START"
+	case jOpMapDone:
+		return "MAP_DONE"
+	case jOpMapLost:
+		return "MAP_LOST"
+	case jOpRedDone:
+		return "REDUCE_DONE"
+	case jOpFail:
+		return "JOB_FAIL"
+	case jOpEnd:
+		return "JOB_END"
+	}
+	return "INVALID"
+}
+
+// jtRec is one journal record. a/b carry the op's integers: task or
+// partition index, or (for JOB_START) total maps and reduces.
+type jtRec struct {
+	op   jtOp
+	job  string
+	a, b int
+}
+
+// missedEvent is a cluster-membership change that fired while the
+// JobTracker was down and must be applied at restart, in arrival order.
+type missedEvent struct {
+	kind string // "node-down" | "node-rejoin" | "vol-down"
+	name string
+	vol  *localfs.FS
+}
+
+// jtMaster is the live JobTracker-durability machinery hanging off a
+// Runtime.
+type jtMaster struct {
+	cfg  MasterConfig
+	vol  *localfs.FS
+	rng  *rand.Rand
+	down bool
+
+	journalFile *localfs.File
+	pending     []jtRec // records logged but not yet byte-charged
+	journal     []jtRec // logical journal since the last checkpoint
+	image       JobTrackerSnapshot
+	missed      []missedEvent
+
+	wake    *sim.Cond
+	ready   *sim.Cond
+	stopped bool
+	stats   MasterStats
+}
+
+// EnableMaster switches on JobTracker job-state durability, journaling to
+// the given metadata volume. Call it once, before any job runs, and only
+// for runs modeling master recovery.
+func (rt *Runtime) EnableMaster(vol *localfs.FS, cfg MasterConfig) {
+	if rt.master != nil {
+		panic("mapred: EnableMaster called twice")
+	}
+	if vol == nil {
+		panic("mapred: EnableMaster needs a metadata volume")
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 30 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 200 * time.Millisecond
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = cfg.RetryBase
+	}
+	ms := &jtMaster{
+		cfg:   cfg,
+		vol:   vol,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		image: JobTrackerSnapshot{},
+		wake:  sim.NewCond(rt.env),
+		ready: sim.NewCond(rt.env),
+	}
+	f := vol.Create(jtJournalFileName)
+	f.SetStage(disk.StageMeta)
+	ms.journalFile = f
+	rt.master = ms
+	rt.jobs = make(map[string]*jobState)
+
+	rt.env.Go("jobtracker-journal", func(p *sim.Proc) {
+		for {
+			for len(ms.pending) == 0 || ms.down {
+				if ms.stopped {
+					return
+				}
+				ms.wake.Wait(p)
+			}
+			rt.jtFlush(p)
+		}
+	})
+	rt.env.Go("jobtracker-checkpoint", func(p *sim.Proc) {
+		for {
+			p.Sleep(ms.cfg.CheckpointInterval)
+			if ms.stopped {
+				return
+			}
+			if ms.down {
+				continue
+			}
+			rt.jtCheckpoint(p)
+		}
+	})
+}
+
+// MasterEnabled reports whether EnableMaster has been called.
+func (rt *Runtime) MasterEnabled() bool { return rt.master != nil }
+
+// MasterStats returns a copy of the JobTracker durability counters (zero
+// value when the master layer is not enabled).
+func (rt *Runtime) MasterStats() MasterStats {
+	if rt.master == nil {
+		return MasterStats{}
+	}
+	return rt.master.stats
+}
+
+// JobTrackerDown reports whether the JobTracker is currently crashed.
+func (rt *Runtime) JobTrackerDown() bool {
+	ms := rt.master
+	return ms != nil && ms.down
+}
+
+// jtJournal logs one record: appended to the logical journal immediately
+// and queued for the journal daemon to charge its bytes.
+func (rt *Runtime) jtJournal(r jtRec) {
+	ms := rt.master
+	if ms == nil {
+		return
+	}
+	ms.journal = append(ms.journal, r)
+	ms.pending = append(ms.pending, r)
+	ms.stats.JournalRecords++
+	ms.wake.Broadcast()
+}
+
+// jtRecord is the jobState-side hook into the journal.
+func (js *jobState) jtRecord(op jtOp, a, b int) {
+	if js.rt == nil || js.rt.master == nil {
+		return
+	}
+	js.rt.jtJournal(jtRec{op: op, job: js.jobName, a: a, b: b})
+}
+
+func renderJTRec(r jtRec) string {
+	return fmt.Sprintf("%s %s %d %d\n", r.op, r.job, r.a, r.b)
+}
+
+// jtFlush appends every pending record to the journal file and syncs it.
+func (rt *Runtime) jtFlush(p *sim.Proc) {
+	ms := rt.master
+	if ms == nil || len(ms.pending) == 0 {
+		return
+	}
+	batch := ms.pending
+	ms.pending = nil
+	var buf []byte
+	for _, r := range batch {
+		buf = append(buf, renderJTRec(r)...)
+	}
+	ms.journalFile.Append(p, buf)
+	ms.journalFile.Sync(p)
+	ms.stats.JournalBytes += uint64(len(buf))
+	ms.stats.JournalBatches++
+}
+
+// MasterFlush synchronously drains pending journal records to disk.
+func (rt *Runtime) MasterFlush(p *sim.Proc) {
+	if rt.master != nil {
+		rt.jtFlush(p)
+	}
+}
+
+// jtCheckpoint rolls the journal into a fresh image, both written as real
+// bytes on the metadata volume.
+func (rt *Runtime) jtCheckpoint(p *sim.Proc) {
+	ms := rt.master
+	rt.jtFlush(p)
+	ms.image = rt.LiveJobs()
+	ms.journal = nil
+	ms.vol.Delete(jtJournalFileName)
+	f := ms.vol.Create(jtJournalFileName)
+	f.SetStage(disk.StageMeta)
+	ms.journalFile = f
+
+	data := renderJTImage(ms.image)
+	ms.vol.Delete(jtImageFileName)
+	img := ms.vol.Create(jtImageFileName)
+	img.SetStage(disk.StageMeta)
+	img.Append(p, data)
+	img.Sync(p)
+	ms.stats.Checkpoints++
+	ms.stats.CheckpointBytes += uint64(len(data))
+}
+
+func renderJTImage(snap JobTrackerSnapshot) []byte {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	for _, n := range names {
+		j := snap[n]
+		buf = append(buf, fmt.Sprintf("J %s %d %d %t\n", n, j.TotalMaps, j.Reduces, j.Failed)...)
+		buf = append(buf, fmt.Sprintf("M %v\nR %v\n", j.MapDone, j.RedDone)...)
+	}
+	return buf
+}
+
+// CrashJobTracker fail-stops the JobTracker: task grants stall, membership
+// events queue, and nothing is journaled until RestartJobTracker. Safe to
+// call from a fault injector's inline timer callback — it never blocks.
+func (rt *Runtime) CrashJobTracker() {
+	ms := rt.master
+	if ms == nil {
+		panic("mapred: CrashJobTracker without EnableMaster")
+	}
+	ms.down = true
+}
+
+// RestartJobTracker brings the JobTracker back: it replays image+journal
+// off the metadata disk (charged as a sequential read), applies the
+// membership events missed during the outage in arrival order, reconciles
+// zombie map outputs whose nodes died or bounced unseen (their incarnation
+// counters no longer match), and resumes scheduling.
+func (rt *Runtime) RestartJobTracker(p *sim.Proc) {
+	ms := rt.master
+	if ms == nil || !ms.down {
+		return
+	}
+	for _, name := range []string{jtImageFileName, jtJournalFileName} {
+		sz := ms.vol.Size(name)
+		if sz <= 0 {
+			continue
+		}
+		f, err := ms.vol.Open(name)
+		if err != nil {
+			continue
+		}
+		f.SetStage(disk.StageMeta)
+		f.ReadAt(p, 0, sz)
+		ms.stats.ReplayBytes += uint64(sz)
+	}
+	ms.stats.Restarts++
+	ms.stats.ReplayRecords += uint64(len(ms.journal))
+	ms.down = false
+
+	missed := ms.missed
+	ms.missed = nil
+	for _, ev := range missed {
+		switch ev.kind {
+		case "node-down":
+			rt.OnNodeDown(ev.name)
+		case "node-rejoin":
+			rt.OnNodeRejoin(ev.name)
+		case "vol-down":
+			rt.OnVolumeDown(ev.vol)
+		}
+	}
+	// Belt and braces: an output whose node bounced entirely within the
+	// outage produces no missed event pair that loses it, but its incarnation
+	// counter gives the zombie away.
+	for _, js := range rt.sortedJobs() {
+		for _, out := range js.outputs {
+			if out.lost {
+				continue
+			}
+			if !out.node.Alive() || out.node.Incarnation() != out.inc {
+				js.loseOutput(out)
+				ms.stats.ZombieOutputs++
+			}
+		}
+		js.broadcastAll()
+	}
+	ms.wake.Broadcast()
+	ms.ready.Broadcast()
+}
+
+// jtWait stalls a task tracker's grant request while the JobTracker is
+// down, with jittered exponential backoff retries.
+func (rt *Runtime) jtWait(p *sim.Proc) {
+	ms := rt.master
+	if ms == nil || ms.stopped || !ms.down {
+		return
+	}
+	ms.stats.GrantStalls++
+	start := p.Now()
+	bo := sim.NewBackoff(ms.cfg.RetryBase, ms.cfg.RetryMax, ms.rng)
+	for !ms.stopped && ms.down {
+		p.Sleep(bo.Next())
+	}
+	ms.stats.StallTime += p.Now() - start
+}
+
+// WaitMasterReady blocks p until the JobTracker is serving — the run
+// driver's barrier before waiting out recovery.
+func (rt *Runtime) WaitMasterReady(p *sim.Proc) {
+	ms := rt.master
+	if ms == nil {
+		return
+	}
+	for !ms.stopped && ms.down {
+		ms.ready.Wait(p)
+	}
+}
+
+// StopMaster shuts the durability machinery down; daemons exit at their
+// next tick and stalled trackers unblock.
+func (rt *Runtime) StopMaster() {
+	ms := rt.master
+	if ms == nil || ms.stopped {
+		return
+	}
+	ms.stopped = true
+	ms.wake.Broadcast()
+	ms.ready.Broadcast()
+}
+
+// deferMembership queues a membership event while the JobTracker is down;
+// it reports whether the event was queued (the caller then skips acting).
+func (rt *Runtime) deferMembership(kind, name string, vol *localfs.FS) bool {
+	ms := rt.master
+	if ms == nil || !ms.down {
+		return false
+	}
+	ms.missed = append(ms.missed, missedEvent{kind: kind, name: name, vol: vol})
+	ms.stats.MissedEvents++
+	return true
+}
+
+func (rt *Runtime) sortedJobs() []*jobState {
+	out := make([]*jobState, 0, len(rt.jobs))
+	for _, js := range rt.jobs {
+		out = append(out, js)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].jobName < out[j].jobName })
+	return out
+}
+
+// Replay-equivalence surface.
+
+// JobRecord is one in-flight job in a JobTracker snapshot.
+type JobRecord struct {
+	TotalMaps int
+	Reduces   int
+	MapDone   []bool
+	RedDone   []bool
+	Failed    bool
+}
+
+// JobTrackerSnapshot is a canonical copy of the JobTracker's in-flight job
+// state, keyed by job name.
+type JobTrackerSnapshot map[string]*JobRecord
+
+func cloneJTSnapshot(snap JobTrackerSnapshot) JobTrackerSnapshot {
+	out := make(JobTrackerSnapshot, len(snap))
+	for n, j := range snap {
+		c := &JobRecord{TotalMaps: j.TotalMaps, Reduces: j.Reduces, Failed: j.Failed}
+		c.MapDone = append(c.MapDone, j.MapDone...)
+		c.RedDone = append(c.RedDone, j.RedDone...)
+		out[n] = c
+	}
+	return out
+}
+
+// LiveJobs snapshots the scheduler's in-memory view of every in-flight job.
+func (rt *Runtime) LiveJobs() JobTrackerSnapshot {
+	snap := make(JobTrackerSnapshot, len(rt.jobs))
+	for name, js := range rt.jobs {
+		j := &JobRecord{TotalMaps: js.totalMaps, Reduces: len(js.redDone), Failed: js.failed != nil}
+		j.MapDone = append(j.MapDone, js.completed...)
+		j.RedDone = append(j.RedDone, js.redDone...)
+		snap[name] = j
+	}
+	return snap
+}
+
+// MasterReplayJobs rebuilds the job state the way a restarting JobTracker
+// does: last checkpoint image plus the journal. Equality with LiveJobs is
+// the durability invariant.
+func (rt *Runtime) MasterReplayJobs() JobTrackerSnapshot {
+	ms := rt.master
+	if ms == nil {
+		panic("mapred: MasterReplayJobs without EnableMaster")
+	}
+	snap := cloneJTSnapshot(ms.image)
+	for _, r := range ms.journal {
+		applyJTRec(snap, r)
+	}
+	return snap
+}
+
+func applyJTRec(snap JobTrackerSnapshot, r jtRec) {
+	switch r.op {
+	case jOpStart:
+		snap[r.job] = &JobRecord{
+			TotalMaps: r.a,
+			Reduces:   r.b,
+			MapDone:   make([]bool, r.a),
+			RedDone:   make([]bool, r.b),
+		}
+	case jOpMapDone:
+		if j := snap[r.job]; j != nil && r.a < len(j.MapDone) {
+			j.MapDone[r.a] = true
+		}
+	case jOpMapLost:
+		if j := snap[r.job]; j != nil && r.a < len(j.MapDone) {
+			j.MapDone[r.a] = false
+		}
+	case jOpRedDone:
+		if j := snap[r.job]; j != nil && r.a < len(j.RedDone) {
+			j.RedDone[r.a] = true
+		}
+	case jOpFail:
+		if j := snap[r.job]; j != nil {
+			j.Failed = true
+		}
+	case jOpEnd:
+		delete(snap, r.job)
+	}
+}

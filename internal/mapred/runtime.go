@@ -32,6 +32,10 @@ type Runtime struct {
 	faulty     bool
 	fetchFault func(now time.Duration) bool // injected shuffle-fetch drop
 	active     map[*jobState]bool           // jobs in flight, for OnNodeDown
+
+	// Master-recovery mode (see master.go); nil in runs without it.
+	master *jtMaster
+	jobs   map[string]*jobState // in-flight jobs by name, for snapshots
 }
 
 // New wires a runtime. Slaves double as DataNodes and TaskTrackers, as on
@@ -81,6 +85,9 @@ func (rt *Runtime) SetFetchFault(f func(now time.Duration) bool) {
 // declared lost (their tasks re-enqueued), and its claimed reduce
 // partitions are released for other nodes.
 func (rt *Runtime) OnNodeDown(name string) {
+	if rt.deferMembership("node-down", name, nil) {
+		return // the JobTracker is down; it learns of this at restart
+	}
 	for js := range rt.active {
 		js.onNodeDown(name)
 	}
@@ -92,6 +99,7 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 // jobState is the JobTracker's view of one running job.
 type jobState struct {
 	env      *sim.Env
+	rt       *Runtime // journal hook access; scheduling never reads it
 	cfg      *Config
 	counters Counters
 
@@ -164,6 +172,7 @@ func (js *jobState) completeMap(out *mapOutput) bool {
 		return false
 	}
 	js.completed[out.taskIdx] = true
+	js.jtRecord(jOpMapDone, out.taskIdx, 0)
 	js.durSum += js.env.Now() - js.startedAt[out.taskIdx]
 	js.durCnt++
 	js.outputs = append(js.outputs, out)
@@ -328,6 +337,7 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 	}
 	js := &jobState{
 		env:         rt.env,
+		rt:          rt,
 		cfg:         &rt.cfg,
 		splits:      splits,
 		taken:       make([]bool, len(splits)),
@@ -359,6 +369,19 @@ func (rt *Runtime) Run(p *sim.Proc, job *Job) (*Result, error) {
 	js.slowAt = int(rt.cfg.SlowstartFrac * float64(js.totalMaps))
 	if js.slowAt < 1 {
 		js.slowAt = 1
+	}
+	if rt.master != nil {
+		if js.redDone == nil {
+			// Healthy scheduling has no per-partition completion record; the
+			// journaled master needs one.
+			js.redDone = make([]bool, job.NumReduces)
+		}
+		rt.jobs[job.Name] = js
+		js.jtRecord(jOpStart, js.totalMaps, job.NumReduces)
+		defer func() {
+			js.jtRecord(jOpEnd, 0, 0)
+			delete(rt.jobs, job.Name)
+		}()
 	}
 	res := &Result{Start: p.Now()}
 
@@ -436,6 +459,9 @@ func (rt *Runtime) spawnMapWorker(job *Job, js *jobState, node *cluster.Node, s 
 func (rt *Runtime) mapWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *cluster.Node) {
 	misses := 0
 	for {
+		// Asking for a task is a JobTracker heartbeat: it stalls while the
+		// master is down, with backoff+jitter retries.
+		rt.jtWait(wp)
 		if rt.faulty && (!node.Alive() || js.blacklisted[node.Name]) {
 			return // tracker died or was blacklisted; work goes elsewhere
 		}
@@ -500,6 +526,7 @@ func (rt *Runtime) reduceWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *
 	}
 	if !rt.faulty {
 		for {
+			rt.jtWait(wp)
 			var part int
 			got := false
 			js.mu(func() {
@@ -518,6 +545,7 @@ func (rt *Runtime) reduceWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *
 	// Fault mode: claim unowned partitions until all are done; a partition
 	// whose owner died is released for re-claiming.
 	for {
+		rt.jtWait(wp)
 		if !node.Alive() || js.failed != nil || js.blacklisted[node.Name] {
 			return
 		}
@@ -560,6 +588,9 @@ func (rt *Runtime) reduceWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *
 func (rt *Runtime) OnNodeRejoin(name string) {
 	if !rt.faulty {
 		return
+	}
+	if rt.deferMembership("node-rejoin", name, nil) {
+		return // re-registration waits out the JobTracker outage
 	}
 	node := rt.cl.FindNode(name)
 	if node == nil {

@@ -180,6 +180,29 @@ func JobSummary(w io.Writer, rep *core.RunReport) {
 		fmt.Fprintf(w, "  CPU  : %.0f%% mean / %.0f%% peak cluster utilization\n",
 			rep.CPUUtil.Mean(), rep.CPUUtil.Max())
 	}
+	if rep.Masters != nil {
+		nn, jt := rep.NameNode, rep.JobTracker
+		fmt.Fprintf(w, "  meta : read %s, wrote %s, %d+%d requests (master-node disks)\n",
+			mb(int64(rep.Masters.TotalReadBytes)), mb(int64(rep.Masters.TotalWrittenBytes)),
+			rep.Masters.TotalReads, rep.Masters.TotalWrites)
+		fmt.Fprintf(w, "  NameNode   : %d edit(s) / %s journaled in %d flush(es), %d checkpoint(s) / %s, leases %d granted / %d released / %d recovered\n",
+			nn.JournalRecords, mb(int64(nn.JournalBytes)), nn.JournalBatches,
+			nn.Checkpoints, mb(int64(nn.CheckpointBytes)),
+			nn.LeaseGrants, nn.LeaseReleases, nn.LeaseRecoveries)
+		if nn.Restarts > 0 {
+			fmt.Fprintf(w, "    restarts : %d restart(s), replayed %d record(s) / %s, safe mode %v, %d client stall(s) / %v stalled\n",
+				nn.Restarts, nn.ReplayRecords, mb(int64(nn.ReplayBytes)),
+				nn.SafeModeWait, nn.ClientStalls, nn.StallTime)
+		}
+		fmt.Fprintf(w, "  JobTracker : %d record(s) / %s journaled in %d flush(es), %d checkpoint(s) / %s\n",
+			jt.JournalRecords, mb(int64(jt.JournalBytes)), jt.JournalBatches,
+			jt.Checkpoints, mb(int64(jt.CheckpointBytes)))
+		if jt.Restarts > 0 {
+			fmt.Fprintf(w, "    restarts : %d restart(s), replayed %d record(s) / %s, %d grant stall(s) / %v stalled, %d missed event(s), %d zombie output(s)\n",
+				jt.Restarts, jt.ReplayRecords, mb(int64(jt.ReplayBytes)),
+				jt.GrantStalls, jt.StallTime, jt.MissedEvents, jt.ZombieOutputs)
+		}
+	}
 	if len(rep.FaultsInjected) > 0 {
 		fmt.Fprintf(w, "  faults injected:\n")
 		for _, ev := range rep.FaultsInjected {

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces bounded exponential retry delays with deterministic
+// jitter — the client-side wait discipline for a master that is down.
+// Delays start at Base, double per call, and saturate at Max; each delay
+// is then jittered uniformly in [d/2, d) from the supplied RNG, so
+// stalled clients de-synchronize (no thundering herd on the restarted
+// master) while the whole schedule stays a pure function of the seed.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+	rng  *rand.Rand
+	cur  time.Duration
+}
+
+// NewBackoff returns a backoff over [base, max] drawing jitter from rng.
+func NewBackoff(base, max time.Duration, rng *rand.Rand) *Backoff {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{Base: base, Max: max, rng: rng}
+}
+
+// Next returns the next jittered delay and advances the exponential
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.Base
+	}
+	d := b.cur
+	if b.cur < b.Max {
+		b.cur *= 2
+		if b.cur > b.Max {
+			b.cur = b.Max
+		}
+	}
+	// Uniform in [d/2, d): full jitter halves the mean extra latency while
+	// keeping the exponential envelope.
+	return d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+}
+
+// Reset returns the schedule to its base delay — call after a successful
+// attempt.
+func (b *Backoff) Reset() { b.cur = 0 }

@@ -73,6 +73,7 @@ var (
 	WithScrubRate       = core.WithScrubRate       // background replica scrubber rate
 	WithFaults          = core.WithFaults          // deterministic fault plan
 	WithRecovery        = core.WithRecovery        // HDFS failure detection/repair tuning
+	WithMasterRecovery  = core.WithMasterRecovery  // journaled NameNode/JobTracker state + restart recovery
 	WithFaultSlowDisk   = core.WithFaultSlowDisk   // one-knob straggler disk
 	WithSharedDataDisks = core.WithSharedDataDisks // pooled instead of dedicated spindles
 	WithTraceAttach     = core.WithTraceAttach     // per-disk observer hook
