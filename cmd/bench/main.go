@@ -37,6 +37,8 @@ func main() {
 		quick      = flag.Bool("quick", false, "smoke-test configuration (small inputs, one iteration)")
 		scale      = flag.Int64("scale", 0, "override capacity divisor")
 		slaves     = flag.Int("slaves", 0, "override slave-node count")
+		racks      = flag.Int("racks", 0, "override rack count (slave i lands in rack i%racks; 0 = flat single-rack network)")
+		uplink     = flag.Int64("uplink", 0, "per-rack ToR uplink bandwidth in MB/s (0 = NIC rate; only meaningful with -racks > 1)")
 		seed       = flag.Int64("seed", 0, "override simulation seed")
 		iters      = flag.Int("iterations", 0, "override timed iterations per workload")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default TS,AGG,KM,PR,JOIN)")
@@ -55,7 +57,7 @@ func main() {
 	for _, f := range []struct {
 		name string
 		v    int64
-	}{{"-scale", *scale}, {"-slaves", int64(*slaves)}, {"-iterations", int64(*iters)}} {
+	}{{"-scale", *scale}, {"-slaves", int64(*slaves)}, {"-racks", int64(*racks)}, {"-uplink", *uplink}, {"-iterations", int64(*iters)}} {
 		if f.v < 0 {
 			fmt.Fprintf(os.Stderr, "bench: %s must be positive (0 = config default), got %d\n", f.name, f.v)
 			os.Exit(2)
@@ -88,6 +90,12 @@ func main() {
 	}
 	if *slaves > 0 {
 		cfg.Slaves = *slaves
+	}
+	if *racks > 0 {
+		cfg.Racks = *racks
+	}
+	if *uplink > 0 {
+		cfg.UplinkBPS = *uplink << 20
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed

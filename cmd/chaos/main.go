@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"iochar/internal/chaos"
+	"iochar/internal/cliutil"
 	"iochar/internal/core"
 	"iochar/internal/disk"
 )
@@ -42,6 +43,8 @@ func main() {
 		outDir    = flag.String("out", "", "directory to write failing (shrunk) schedules as JSON")
 		scale     = flag.Int64("scale", 262144, "capacity divisor vs the paper's testbed")
 		slaves    = flag.Int("slaves", 5, "number of slave nodes")
+		racks     = flag.Int("racks", 1, "rack count: slave i lands in rack i%racks behind a ToR switch (1 = flat network; recorded in generated schedules)")
+		uplink    = flag.Int64("uplink", 0, "per-rack ToR uplink bandwidth in MB/s (0 = NIC rate; only meaningful with -racks > 1)")
 		mapTasks  = flag.Int64("map-tasks", 8, "map-task target for the largest workload")
 		tier      = flag.String("tier", "hdd", "device class for intermediate-data volumes: hdd | ssd (generated schedules record it; note ssd constrains -scale)")
 		masters   = flag.Bool("master-recovery", false, "force the journaled NameNode/JobTracker layers on for every run, so slave-fault schedules also exercise them (master-fault schedules imply this; recorded in generated schedules)")
@@ -82,10 +85,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(2)
 	}
+	if err := cliutil.ValidateTopologyFlags(*racks, *uplink); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(2)
+	}
 
 	coreOpts := []core.Option{
 		core.WithScale(*scale),
 		core.WithSlaves(*slaves),
+		core.WithRacks(*racks),
+		core.WithUplink(*uplink << 20),
 		core.WithMapTaskTarget(*mapTasks),
 		core.WithIntermediateTier(tierClass),
 	}

@@ -48,6 +48,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of terminal charts")
 		scale    = flag.Int64("scale", 4096, "capacity divisor vs the paper's testbed")
 		slaves   = flag.Int("slaves", 10, "number of slave nodes")
+		racks    = flag.Int("racks", 1, "rack count: slave i lands in rack i%racks behind a ToR switch (1 = flat network)")
+		uplink   = flag.Int64("uplink", 0, "per-rack ToR uplink bandwidth in MB/s (0 = NIC rate; only meaningful with -racks > 1)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		frac     = flag.Float64("input-fraction", 1, "shrink inputs further (0,1]")
 		verify   = flag.Bool("verify", false, "end-to-end HDFS checksums on every cell (extension; timing-neutral)")
@@ -67,6 +69,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iochar:", err)
 		os.Exit(2)
 	}
+	if err := cliutil.ValidateTopologyFlags(*racks, *uplink); err != nil {
+		fmt.Fprintln(os.Stderr, "iochar:", err)
+		os.Exit(2)
+	}
 	tierClass, err := iochar.ParseTier(*tier)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iochar:", err)
@@ -78,6 +84,8 @@ func main() {
 	opts := iochar.NewOptions(
 		iochar.WithScale(*scale),
 		iochar.WithSlaves(*slaves),
+		iochar.WithRacks(*racks),
+		iochar.WithUplink(*uplink<<20),
 		iochar.WithSeed(*seed),
 		iochar.WithInputFraction(*frac),
 		iochar.WithScrubRate(*scrub),

@@ -45,6 +45,11 @@ type Config struct {
 	MapTaskTarget int64   `json:"map_task_target"`
 	Seed          int64   `json:"seed"`
 	InputFraction float64 `json:"input_fraction,omitempty"`
+	// Racks places slave i in rack i%Racks behind a ToR switch; 0 or 1
+	// keeps the flat single-rack network (byte-identical to pre-rack
+	// results). UplinkBPS caps each rack's uplink (0 = NIC rate).
+	Racks     int   `json:"racks,omitempty"`
+	UplinkBPS int64 `json:"uplink_bps,omitempty"`
 	// Iterations is how many times each workload executes; wall-clock is
 	// the minimum across iterations (the least-noise estimator), allocation
 	// counts the per-iteration mean.
@@ -105,6 +110,8 @@ func (c Config) options() core.Options {
 	return core.NewOptions(
 		core.WithScale(c.Scale),
 		core.WithSlaves(c.Slaves),
+		core.WithRacks(c.Racks),
+		core.WithUplink(c.UplinkBPS),
 		core.WithMapTaskTarget(c.MapTaskTarget),
 		core.WithSeed(c.Seed),
 		core.WithInputFraction(c.InputFraction),

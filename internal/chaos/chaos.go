@@ -141,6 +141,7 @@ func (e *GoldenError) Error() string {
 type RecoveryCounters struct {
 	ReExecutedMaps      int64 `json:"re_executed_maps"`
 	FetchRetries        int64 `json:"fetch_retries"`
+	NetFetchStalls      int64 `json:"net_fetch_stalls"`
 	FailedFetches       int64 `json:"failed_fetches"`
 	BlacklistedTrackers int64 `json:"blacklisted_trackers"`
 	SpeculativeAttempts int64 `json:"speculative_attempts"`
@@ -153,6 +154,7 @@ func sumCounters(rep *core.RunReport) RecoveryCounters {
 	for _, j := range rep.Jobs {
 		c.ReExecutedMaps += j.ReExecutedMaps
 		c.FetchRetries += j.FetchRetries
+		c.NetFetchStalls += j.NetFetchStalls
 		c.FailedFetches += j.FailedFetches
 		c.BlacklistedTrackers += j.BlacklistedTrackers
 		c.SpeculativeAttempts += j.SpeculativeAttempts

@@ -32,6 +32,11 @@ type Schedule struct {
 	Slaves        int   `json:"slaves"`
 	Seed          int64 `json:"seed"` // testbed seed (workload data, placement)
 	MapTaskTarget int64 `json:"map_task_target,omitempty"`
+	// Racks/UplinkBPS rebuild the network topology: rack-targeted faults
+	// (partition rack=, slow-link rack=) only arm on a multi-rack fabric,
+	// and placement differs across topologies (omitted = flat).
+	Racks     int   `json:"racks,omitempty"`
+	UplinkBPS int64 `json:"uplink_bps,omitempty"`
 	// Tier is the device class backing the intermediate-data volumes
 	// (omitted = hdd). Schedules that target flash devices — e.g. a
 	// fail-slow on an mr volume — need it to rebuild the same fleet.
@@ -80,6 +85,8 @@ func (h *Harness) schedule(w core.Workload, seed int64, plan faults.Plan) Schedu
 		Slaves:         h.opts.Core.Slaves,
 		Seed:           h.opts.Core.Seed,
 		MapTaskTarget:  h.opts.Core.MapTaskTarget,
+		Racks:          h.opts.Core.Racks,
+		UplinkBPS:      h.opts.Core.UplinkBPS,
 		Tier:           h.opts.Core.IntermediateTier,
 		MasterRecovery: h.opts.Core.MasterRecovery.Enabled,
 	}
@@ -123,6 +130,8 @@ func Replay(ctx context.Context, s Schedule) (*Verdict, error) {
 		Slaves:           s.Slaves,
 		Seed:             s.Seed,
 		MapTaskTarget:    s.MapTaskTarget,
+		Racks:            s.Racks,
+		UplinkBPS:        s.UplinkBPS,
 		IntermediateTier: s.Tier,
 		MasterRecovery:   core.MasterRecovery{Enabled: s.MasterRecovery},
 	}})

@@ -91,6 +91,34 @@ func narrowed(pl faults.Plan, i int) []faults.Plan {
 			e.Down = d
 			propose(e)
 		}
+	case faults.Partition:
+		if len(ev.Nodes) > 1 {
+			e := ev
+			e.Nodes = append([]string{}, ev.Nodes[:len(ev.Nodes)/2]...)
+			propose(e)
+		}
+		if d := ev.Down / 2; d > 0 {
+			e := ev
+			e.Down = d
+			propose(e)
+		}
+	case faults.SlowLink:
+		if f := ev.Factor / 2; f > 1 {
+			e := ev
+			e.Factor = f
+			propose(e)
+		}
+	case faults.DropLink:
+		if w := (ev.Until - ev.At) / 2; w > 0 {
+			e := ev
+			e.Until = ev.At + w
+			propose(e)
+		}
+		if p := ev.Prob / 2; p >= 0.05 {
+			e := ev
+			e.Prob = p
+			propose(e)
+		}
 	}
 	return cands
 }

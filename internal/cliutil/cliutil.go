@@ -41,6 +41,25 @@ func ValidateRunFlags(scale int64, slaves int, frac float64, interval time.Durat
 	return nil
 }
 
+// ValidateTopologyFlags checks the rack-topology knobs. racks must be
+// positive (1 = the flat single-rack network, byte-identical to the
+// pre-rack behaviour); uplinkMB is the per-rack ToR uplink bandwidth in
+// MB/s and must be non-negative (0 = match the NIC rate, i.e. a
+// non-blocking fabric). The racks-vs-slaves bound (every rack must hold a
+// slave) is enforced at provisioning time, where both values are known.
+func ValidateTopologyFlags(racks int, uplinkMB int64) error {
+	if racks < 1 {
+		return fmt.Errorf("-racks must be positive, got %d", racks)
+	}
+	if uplinkMB < 0 {
+		return fmt.Errorf("-uplink must be non-negative MB/s (0 = NIC rate), got %d", uplinkMB)
+	}
+	if uplinkMB > 0 && racks == 1 {
+		return fmt.Errorf("-uplink is meaningful only with -racks > 1 (a single rack has no uplinks)")
+	}
+	return nil
+}
+
 // WarnClamps subscribes to the disk package's capacity-clamp bus and prints
 // each distinct warning once to w, prefixed with the tool name — the CLI
 // surface for "your -scale is so large that capacity ratios no longer

@@ -33,6 +33,14 @@ type Hardware struct {
 	NetBPS      int64 // NIC bandwidth, bytes/second each direction
 	Scale       int64 // capacity divisor (1 = paper scale)
 
+	// Racks splits the fleet across this many top-of-rack switches (0 or 1
+	// keeps the paper's flat single-switch fabric). Slave i lands in rack
+	// i mod Racks; the master shares rack 0. UplinkBPS is the per-direction
+	// bandwidth of each rack's uplink to the aggregation layer (0 = match
+	// NetBPS, i.e. non-oversubscribed).
+	Racks     int
+	UplinkBPS int64
+
 	// MemReservedFrac is the fraction of memory unavailable to the page
 	// cache (OS, DataNode/TaskTracker daemons, task JVM heaps).
 	MemReservedFrac float64
@@ -102,6 +110,7 @@ func (h Hardware) CachePagesPerDisk() int {
 type Node struct {
 	Name string
 	HW   Hardware
+	Rack int
 	CPU  *sim.Resource
 	NIC  *netsim.NIC
 
@@ -219,15 +228,25 @@ func New(env *sim.Env, hw Hardware, nSlaves int) (*Cluster, error) {
 	if hw.MRDiskParams != nil && hw.SharedDataDisks {
 		return nil, fmt.Errorf("cluster: SharedDataDisks pools one set of spindles and cannot combine with a dedicated intermediate-tier device (MRDiskParams)")
 	}
+	racks := hw.Racks
+	if racks <= 0 {
+		racks = 1
+	}
+	if racks > nSlaves {
+		return nil, fmt.Errorf("cluster: %d racks but only %d slaves", racks, nSlaves)
+	}
 	net := netsim.New(env, hw.NetBPS, 100_000) // 100 µs
+	if racks > 1 {
+		net.SetRacks(racks, hw.UplinkBPS)
+	}
 	c := &Cluster{Env: env, Net: net}
-	master, err := newNode(env, net, "master", hw, false)
+	master, err := newNode(env, net, "master", hw, 0, false)
 	if err != nil {
 		return nil, err
 	}
 	c.Master = master
 	for i := 0; i < nSlaves; i++ {
-		s, err := newNode(env, net, fmt.Sprintf("slave-%02d", i), hw, true)
+		s, err := newNode(env, net, fmt.Sprintf("slave-%02d", i), hw, i%racks, true)
 		if err != nil {
 			return nil, err
 		}
@@ -236,12 +255,13 @@ func New(env *sim.Env, hw Hardware, nSlaves int) (*Cluster, error) {
 	return c, nil
 }
 
-func newNode(env *sim.Env, net *netsim.Network, name string, hw Hardware, dataDisks bool) (*Node, error) {
+func newNode(env *sim.Env, net *netsim.Network, name string, hw Hardware, rack int, dataDisks bool) (*Node, error) {
 	n := &Node{
 		Name: name,
 		HW:   hw,
+		Rack: rack,
 		CPU:  sim.NewResource(env, name+".cpu", hw.Cores),
-		NIC:  net.AddNode(name),
+		NIC:  net.AddNodeRack(name, rack),
 	}
 	if !dataDisks {
 		return n, nil

@@ -27,6 +27,7 @@ import (
 	"iochar/internal/hdfs"
 	"iochar/internal/iostat"
 	"iochar/internal/mapred"
+	"iochar/internal/netsim"
 	"iochar/internal/sim"
 	"iochar/internal/stats"
 	"iochar/internal/workloads"
@@ -72,6 +73,17 @@ type Options struct {
 	Slaves         int           // default 10, as in the paper
 	Seed           int64         // default 1
 	SampleInterval time.Duration // iostat interval; default 1 s of virtual time
+	// Racks splits the slaves across this many top-of-rack switches joined
+	// by per-rack uplinks: slave i lands in rack i%Racks, the master in rack
+	// 0, HDFS placement turns rack-aware (one writer-local replica, the rest
+	// on one remote rack), and cross-rack transfers traverse both uplinks.
+	// The default 1 keeps the paper's flat non-blocking fabric and is
+	// byte-identical to builds without the topology layer.
+	Racks int
+	// UplinkBPS caps each rack uplink at this many bytes/second; 0 matches
+	// the node NIC rate (non-blocking). Values below the NIC rate
+	// oversubscribe the fabric. Meaningful only with Racks > 1.
+	UplinkBPS int64
 	// MapTaskTarget bounds the map-task count of the largest workload (see
 	// the package comment); default 512.
 	MapTaskTarget int64
@@ -221,6 +233,9 @@ func (o Options) withDefaults() Options {
 	if o.Slaves <= 0 {
 		o.Slaves = 10
 	}
+	if o.Racks <= 0 {
+		o.Racks = 1
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -307,6 +322,9 @@ type RunReport struct {
 	// end — the deterministic work metric behind the benchmark harness's
 	// events/sec throughput numbers.
 	Events uint64
+	// Network is the fabric's end-of-run accounting: per-NIC and per-uplink
+	// bytes and busy time, retransmitted bytes, and failed transfers.
+	Network *netsim.Stats
 
 	// Classes holds the per-device-class iostat reports ("hdd"/"ssd") of a
 	// tiered run; nil when the fleet is homogeneous (IntermediateTier off).
@@ -375,6 +393,8 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	}
 	env := sim.New(opts.Seed)
 	hw := cluster.DefaultHardware(opts.Scale).WithMemoryGB(f.MemoryGB)
+	hw.Racks = opts.Racks
+	hw.UplinkBPS = opts.UplinkBPS
 	// Scale artifact control: data volumes scale by Options.Scale but block
 	// size only by the task-target factor, so per-stream readahead windows
 	// are proportionally larger than on the real testbed. A full 128 KiB
@@ -443,7 +463,12 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 
 	hcfg := hdfs.DefaultConfig(opts.Scale)
 	hcfg.BlockSize = opts.blockBytes()
+	// Seeds o.Seed+1/+2 belong to the master layers; +3/+4 drive the HDFS
+	// and MapReduce clients' transient-network backoff jitter (healthy runs
+	// never draw from them).
+	hcfg.Seed = opts.Seed + 3
 	fs := hdfs.New(env, hcfg, cl.Net, cl.Slaves)
+	fs.SetMasterNode(cl.Master.Name)
 	if opts.Integrity || opts.ScrubRate != 0 {
 		// Enabled before Prepare so the sums are computed from the pristine
 		// input bytes, ahead of any fault.
@@ -456,6 +481,7 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 	}
 
 	mcfg := mapred.DefaultConfig(opts.Scale)
+	mcfg.Seed = opts.Seed + 4
 	mcfg.MapSlots = f.Slots.MapSlots
 	mcfg.ReduceSlots = f.Slots.ReduceSlots
 	// Buffers follow memory, as the testbed's io.sort.mb/shuffle budget did:
@@ -604,6 +630,7 @@ func RunOneContext(ctx context.Context, w Workload, f Factors, opts Options) (*R
 		}
 	}
 	rep.CPUUtil = cpu.Util()
+	rep.Network = cl.Net.Stats()
 	if masterOn {
 		rep.Masters = mon.Report(GroupMasters)
 		rep.NameNode = fs.MasterStats()

@@ -59,6 +59,15 @@ func WithScale(scale int64) Option { return func(o *Options) { o.Scale = scale }
 // WithSlaves sets the number of slave nodes.
 func WithSlaves(n int) Option { return func(o *Options) { o.Slaves = n } }
 
+// WithRacks splits the slaves across n top-of-rack switches (slave i in
+// rack i%n): HDFS placement turns rack-aware and cross-rack transfers
+// traverse the rack uplinks. n <= 1 keeps the flat fabric.
+func WithRacks(n int) Option { return func(o *Options) { o.Racks = n } }
+
+// WithUplink caps each rack uplink at bps bytes/second; 0 matches the node
+// NIC rate (non-blocking). Meaningful only with WithRacks(n > 1).
+func WithUplink(bps int64) Option { return func(o *Options) { o.UplinkBPS = bps } }
+
 // WithSeed sets the simulation seed.
 func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
 

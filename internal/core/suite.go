@@ -16,7 +16,7 @@ import (
 // reports stale — a new counter, a renamed field, a behavioural fix that
 // shifts byte totals — so old cache entries degrade to misses instead of
 // resurfacing outdated figures.
-const SchemaVersion = 7
+const SchemaVersion = 8
 
 // RunSource says where a resolved experiment cell came from.
 type RunSource string
@@ -256,6 +256,8 @@ type runKeyMaterial struct {
 	Compress        bool
 	Scale           int64
 	Slaves          int
+	Racks           int
+	UplinkBPS       int64
 	Seed            int64
 	SampleInterval  int64 // nanoseconds
 	MapTaskTarget   int64
@@ -286,6 +288,8 @@ func keyMaterial(w Workload, f Factors, opts Options) runKeyMaterial {
 		Compress:         f.Compress,
 		Scale:            opts.Scale,
 		Slaves:           opts.Slaves,
+		Racks:            opts.Racks,
+		UplinkBPS:        opts.UplinkBPS,
 		Seed:             opts.Seed,
 		SampleInterval:   int64(opts.SampleInterval),
 		MapTaskTarget:    opts.MapTaskTarget,

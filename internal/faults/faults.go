@@ -13,10 +13,16 @@
 //	fail-disk@10s:node=slave-03,disk=hdfs1
 //	slow-disk@12s:node=slave-03,disk=mr0,factor=8
 //	drop-shuffle@8s:until=30s,prob=0.3
+//	partition@10s:nodes=slave-01+slave-02,down=20s
+//	partition@10s:rack=2,down=20s
+//	slow-link@5s:node=slave-03,factor=8
+//	slow-link@5s:rack=1,factor=4
+//	drop-link@8s:node=slave-04,until=30s,prob=0.3
 //
 // Timestamps are virtual time from the start of the run, parsed by
-// time.ParseDuration. Two runs with the same plan (and, for drop-shuffle and
-// RandomPlan, the same seed) inject byte-identical fault sequences.
+// time.ParseDuration. Two runs with the same plan (and, for drop-shuffle,
+// drop-link, and RandomPlan, the same seed) inject byte-identical fault
+// sequences.
 package faults
 
 import (
@@ -85,6 +91,23 @@ const (
 	// until restart, and the restart replays the job-state journal and
 	// reconciles zombie attempts via incarnation counters.
 	RestartJobTracker Kind = "restart-jobtracker"
+	// Partition splits a node set (nodes=a+b+c) or a whole rack (rack=N,
+	// 1-indexed) away from the rest of the cluster at At and heals the cut
+	// Down later. Nodes inside the cut reach one another; every path across
+	// it fails. Nothing reboots: processes, disks, and page caches are
+	// untouched, so the heal is instant — clients that backed off across the
+	// window resume, and a node the NameNode declared dead for missed
+	// heartbeats re-registers from its own heartbeat loop.
+	Partition Kind = "partition"
+	// SlowLink degrades a node's NIC (node=) or a rack's ToR uplink (rack=N)
+	// by a service-time multiplier — the network twin of SlowDisk. Fire-only,
+	// like SlowDisk: the link stays slow for the rest of the run.
+	SlowLink Kind = "slow-link"
+	// DropLink makes every path touching node= lossy inside [At, Until):
+	// each chunk drops (and retransmits) with probability Prob; a chunk that
+	// drops too many times in a row fails the transfer with a transient
+	// error the clients wait out.
+	DropLink Kind = "drop-link"
 )
 
 // Event is one scheduled fault.
@@ -93,11 +116,13 @@ type Event struct {
 	At     time.Duration // virtual time the fault fires
 	Node   string        // target node (all kinds except DropShuffle)
 	Disk   string        // volume selector, e.g. "hdfs0", "mr2", "data1"
-	Factor float64       // SlowDisk service-time multiplier (> 1)
-	Until  time.Duration // DropShuffle window end
-	Prob   float64       // DropShuffle per-fetch drop probability
-	Down   time.Duration // Restart* outage length; the rejoin fires at At+Down
+	Factor float64       // SlowDisk/SlowLink service-time multiplier (> 1)
+	Until  time.Duration // DropShuffle/DropLink window end
+	Prob   float64       // DropShuffle/DropLink drop probability
+	Down   time.Duration // Restart*/Partition outage length; the rejoin/heal fires at At+Down
 	Path   string        // CorruptBlock: restrict victims to this HDFS path
+	Nodes  []string      // Partition: the node set split away (syntax nodes=a+b+c)
+	Rack   int           // Partition/SlowLink rack target, 1-indexed; 0 = unset
 }
 
 // String renders the event in ParsePlan's syntax.
@@ -112,13 +137,19 @@ func (ev Event) String() string {
 	if ev.Node != "" {
 		put("node", ev.Node)
 	}
+	if len(ev.Nodes) > 0 {
+		put("nodes", strings.Join(ev.Nodes, "+"))
+	}
+	if ev.Rack != 0 {
+		put("rack", strconv.Itoa(ev.Rack))
+	}
 	if ev.Disk != "" {
 		put("disk", ev.Disk)
 	}
 	if ev.Factor != 0 {
 		put("factor", strconv.FormatFloat(ev.Factor, 'g', -1, 64))
 	}
-	if ev.Kind == DropShuffle {
+	if ev.Kind == DropShuffle || ev.Kind == DropLink {
 		put("until", ev.Until.String())
 		put("prob", strconv.FormatFloat(ev.Prob, 'g', -1, 64))
 	}
@@ -186,7 +217,8 @@ func parseEvent(s string) (Event, error) {
 	switch ev.Kind {
 	case KillDataNode, KillNode, FailDisk, SlowDisk, DropShuffle,
 		RestartDataNode, RestartNode, CorruptBlock,
-		RestartNameNode, RestartJobTracker:
+		RestartNameNode, RestartJobTracker,
+		Partition, SlowLink, DropLink:
 	default:
 		return Event{}, fmt.Errorf("faults: %q: unknown fault kind %q", s, kindStr)
 	}
@@ -204,6 +236,10 @@ func parseEvent(s string) (Event, error) {
 			switch k {
 			case "node":
 				ev.Node = v
+			case "nodes":
+				ev.Nodes = strings.Split(v, "+")
+			case "rack":
+				ev.Rack, err = strconv.Atoi(v)
 			case "disk":
 				ev.Disk = v
 			case "factor":
@@ -266,8 +302,47 @@ func (ev Event) validate() error {
 		if ev.Down <= 0 {
 			return fmt.Errorf("faults: %s needs down > 0", ev.Kind)
 		}
+	case Partition:
+		if (len(ev.Nodes) > 0) == (ev.Rack > 0) {
+			return fmt.Errorf("faults: %s needs exactly one of nodes= or rack=", ev.Kind)
+		}
+		for _, n := range ev.Nodes {
+			if n == "" {
+				return fmt.Errorf("faults: %s has an empty entry in nodes=", ev.Kind)
+			}
+		}
+		if ev.Down <= 0 {
+			return fmt.Errorf("faults: %s needs down > 0 (partitions must heal)", ev.Kind)
+		}
+	case SlowLink:
+		if (ev.Node != "") == (ev.Rack > 0) {
+			return fmt.Errorf("faults: %s needs exactly one of node= or rack=", ev.Kind)
+		}
+		if ev.Factor <= 1 {
+			return fmt.Errorf("faults: %s needs factor > 1, got %g", ev.Kind, ev.Factor)
+		}
+	case DropLink:
+		if ev.Node == "" {
+			return fmt.Errorf("faults: %s needs node=", ev.Kind)
+		}
+		if ev.Until <= ev.At {
+			return fmt.Errorf("faults: %s needs until > the start time", ev.Kind)
+		}
+		if ev.Prob <= 0 || ev.Prob > 1 {
+			return fmt.Errorf("faults: %s needs prob in (0,1], got %g", ev.Kind, ev.Prob)
+		}
 	}
 	return nil
+}
+
+// cutKeys returns the identities a partition event cuts off — its node
+// names, or an opaque rack key when the cut is a whole rack (rack
+// membership is only known once the plan is armed against a cluster).
+func (ev Event) cutKeys() []string {
+	if ev.Rack > 0 {
+		return []string{fmt.Sprintf("rack:%d", ev.Rack)}
+	}
+	return ev.Nodes
 }
 
 // victim names the entity an event takes down — the target node, or the
@@ -295,13 +370,25 @@ func (pl Plan) HasMasterFaults() bool {
 }
 
 // Validate checks the plan's cross-event structure: every event valid on
-// its own, no exact duplicates, and no overlapping outage windows on one
-// victim (a restart's rejoin firing inside a later restart of the same
-// victim would resurrect a node that is supposed to be down).
+// its own, no exact duplicates, no overlapping outage windows on one victim
+// (a restart's rejoin firing inside a later restart of the same victim
+// would resurrect a node that is supposed to be down), no overlapping lossy
+// windows on one node (the earlier window's cleanup would strip the later
+// window's drop state mid-flight), and no partition whose cut set overlaps
+// an in-flight partition window — node membership in concurrent cuts must
+// be disjoint, or the first heal would reunite nodes the second cut is
+// still supposed to isolate. A nodes= cut and a rack= cut never conflict
+// statically: rack membership is only known once the plan is armed, so that
+// pairing is checked by Injector.Start instead.
 func (pl Plan) Validate() error {
 	type window struct{ at, until time.Duration }
+	type cut struct {
+		at, until time.Duration
+		keys      []string
+	}
 	seen := make(map[string]bool, len(pl.Events))
 	wins := make(map[string][]window)
+	var cuts []cut
 	for _, ev := range pl.Events {
 		if err := ev.validate(); err != nil {
 			return err
@@ -311,19 +398,59 @@ func (pl Plan) Validate() error {
 			return fmt.Errorf("faults: duplicate event %q", key)
 		}
 		seen[key] = true
-		if ev.Down <= 0 {
+		if ev.Kind == Partition {
+			c := cut{at: ev.At, until: ev.At + ev.Down, keys: ev.cutKeys()}
+			for _, prev := range cuts {
+				if c.at < prev.until && prev.at < c.until && keysIntersect(prev.keys, c.keys) {
+					return fmt.Errorf("faults: partition at %v overlaps an in-flight partition window (%v-%v) on the same nodes",
+						ev.At, prev.at, prev.until)
+				}
+			}
+			cuts = append(cuts, c)
 			continue
 		}
-		v := ev.victim()
+		v, until, windowed := ev.window()
+		if !windowed {
+			continue
+		}
 		for _, w := range wins[v] {
-			if ev.At < w.until && w.at < ev.At+ev.Down {
+			if ev.At < w.until && w.at < until {
 				return fmt.Errorf("faults: overlapping outage windows on %s (%v-%v and %v-%v)",
-					v, w.at, w.until, ev.At, ev.At+ev.Down)
+					v, w.at, w.until, ev.At, until)
 			}
 		}
-		wins[v] = append(wins[v], window{at: ev.At, until: ev.At + ev.Down})
+		wins[v] = append(wins[v], window{at: ev.At, until: until})
 	}
 	return nil
+}
+
+// window returns the victim key and end time of the event's outage window;
+// ok is false for events that hold no window (instant faults, fire-only
+// degradations, and partitions, which Validate checks by cut set instead).
+func (ev Event) window() (victim string, until time.Duration, ok bool) {
+	switch {
+	case ev.Kind == Partition:
+		return "", 0, false
+	case ev.Kind == DropLink:
+		// Namespaced separately from restarts: a lossy window over a node
+		// outage is harmless (the path already fails), but two lossy windows
+		// on one node would tear each other's state down.
+		return "droplink:" + ev.Node, ev.Until, true
+	case ev.Down > 0:
+		return ev.victim(), ev.At + ev.Down, true
+	}
+	return "", 0, false
+}
+
+func keysIntersect(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // RandomPlan samples n fault events uniformly over [0, window) against the
@@ -335,9 +462,11 @@ func (pl Plan) Validate() error {
 func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 	rng := rand.New(rand.NewSource(seed))
 	kinds := []Kind{KillDataNode, FailDisk, SlowDisk, DropShuffle, RestartDataNode, CorruptBlock,
-		RestartNameNode, RestartJobTracker, KillNode, RestartNode}
+		RestartNameNode, RestartJobTracker, SlowLink, DropLink, KillNode, RestartNode, Partition}
 	if len(nodes) <= 1 {
-		kinds = kinds[:8] // master restarts cost no slave; whole-node loss does
+		// Master restarts and link faults cost no slave; whole-node loss
+		// does, and a partition needs a remainder to be cut off from.
+		kinds = kinds[:10]
 	}
 	pl := Plan{Seed: seed}
 	killed := 0
@@ -380,6 +509,24 @@ func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 			if ev.Kind == RestartNameNode || ev.Kind == RestartJobTracker {
 				ev.Node = "" // the master is the target
 			}
+		case Partition:
+			// Cut a minority subset away so writers always have a reachable
+			// majority; the heal (same window shape as a restart outage)
+			// reunites them well inside the clients' net-retry budgets.
+			ev.Node = ""
+			cut := 1 + rng.Intn(max(1, (len(nodes)-1)/2))
+			perm := rng.Perm(len(nodes))[:cut]
+			sort.Ints(perm)
+			for _, idx := range perm {
+				ev.Nodes = append(ev.Nodes, nodes[idx])
+			}
+			ev.Down = window/8 + time.Duration(rng.Int63n(int64(window)/4+1))
+		case SlowLink:
+			ev.Factor = float64(2 + rng.Intn(15)) // NIC target; rack= only via explicit plans
+		case DropLink:
+			// Lossy windows up to ~3/8 of the run on one node's paths.
+			ev.Until = ev.At + window/8 + time.Duration(rng.Int63n(int64(window)/4+1))
+			ev.Prob = 0.1 + 0.4*rng.Float64()
 		}
 		pl.Events = append(pl.Events, ev)
 	}
@@ -394,8 +541,10 @@ func RandomPlan(seed int64, nodes []string, window time.Duration, n int) Plan {
 // resolveConflicts nudges randomly drawn events that violate the plan's
 // cross-event rules: an outage window opening inside an earlier outage of
 // the same victim is pushed past it, and an exact duplicate event is pushed
-// 1 ms later. Deterministic, and convergent because every nudge moves an
-// event strictly forward in time.
+// 1 ms later. Partitions are all charged to one shared victim — random
+// plans simply never overlap two cuts, which satisfies Validate's cut-set
+// rule without reasoning about membership. Deterministic, and convergent
+// because every nudge moves an event strictly forward in time.
 func resolveConflicts(pl *Plan) {
 	for pass := 0; pass < len(pl.Events)+1; pass++ {
 		changed := false
@@ -403,17 +552,18 @@ func resolveConflicts(pl *Plan) {
 		end := make(map[string]time.Duration)
 		for i := range pl.Events {
 			ev := &pl.Events[i]
-			if ev.Down > 0 {
-				if until := end[ev.victim()]; ev.At <= until {
-					ev.At = until + time.Millisecond
+			if v, until, ok := conflictVictim(*ev); ok {
+				if e := end[v]; ev.At <= e {
+					ev.shift(e + time.Millisecond - ev.At)
 					changed = true
+					_, until, _ = conflictVictim(*ev)
 				}
-				if e := ev.At + ev.Down; e > end[ev.victim()] {
-					end[ev.victim()] = e
+				if until > end[v] {
+					end[v] = until
 				}
 			}
 			for seen[ev.String()] {
-				ev.At += time.Millisecond
+				ev.shift(time.Millisecond)
 				changed = true
 			}
 			seen[ev.String()] = true
@@ -422,6 +572,24 @@ func resolveConflicts(pl *Plan) {
 			return
 		}
 		sort.SliceStable(pl.Events, func(i, j int) bool { return pl.Events[i].At < pl.Events[j].At })
+	}
+}
+
+// conflictVictim is resolveConflicts's window accounting: like
+// Event.window, but all partitions share one victim (see resolveConflicts).
+func conflictVictim(ev Event) (victim string, until time.Duration, ok bool) {
+	if ev.Kind == Partition {
+		return "partition", ev.At + ev.Down, true
+	}
+	return ev.window()
+}
+
+// shift moves the event later by d, dragging a window end (drop-shuffle,
+// drop-link) along so the nudge cannot invert the window.
+func (ev *Event) shift(d time.Duration) {
+	ev.At += d
+	if ev.Until != 0 {
+		ev.Until += d
 	}
 }
 
@@ -437,9 +605,10 @@ type Injector struct {
 	plan Plan
 
 	timers   []*sim.Timer
-	victims  []string // nodes whose DataNode or whole machine was killed for good
-	restarts []string // nodes taken down by a restart event (they come back)
-	fired    []string // log of injected events, in firing order
+	victims  []string   // nodes whose DataNode or whole machine was killed for good
+	restarts []string   // nodes taken down by a restart event (they come back)
+	fired    []string   // log of injected events, in firing order
+	cuts     []armedCut // armed partition windows, for cross-form overlap checks
 
 	// crashGen counts the death events fired at each node. A restart's
 	// rejoin half captures the generation its crash created and aborts if a
@@ -524,6 +693,12 @@ func (in *Injector) Start() error {
 			}
 			in.timers = append(in.timers, in.env.AfterFunc(ev.At, fire))
 			in.timers = append(in.timers, in.env.AfterFunc(ev.At+ev.Down, rejoin))
+			continue
+		}
+		if ev.Kind == Partition || ev.Kind == SlowLink || ev.Kind == DropLink {
+			if err := in.armNetFault(i, ev); err != nil {
+				return err
+			}
 			continue
 		}
 		if ev.Node == "" {
@@ -749,7 +924,10 @@ func (in *Injector) note(ev Event) {
 func (in *Injector) LastAt() time.Duration {
 	var last time.Duration
 	for _, ev := range in.plan.Events {
-		at := ev.At + ev.Down // restarts settle at their rejoin, not their kill
+		at := ev.At + ev.Down // restarts/partitions settle at their rejoin/heal
+		if ev.Kind == DropLink && ev.Until > at {
+			at = ev.Until // lossy paths settle when the window closes
+		}
 		if at > last {
 			last = at
 		}

@@ -21,7 +21,7 @@ func TestParsePlanRoundTrip(t *testing.T) {
 		t.Fatalf("got %d events, want 5", len(pl.Events))
 	}
 	want := Event{Kind: SlowDisk, At: 12 * time.Second, Node: "slave-03", Disk: "mr0", Factor: 8}
-	if pl.Events[3] != want {
+	if !reflect.DeepEqual(pl.Events[3], want) {
 		t.Errorf("event 3 = %+v, want %+v", pl.Events[3], want)
 	}
 	if pl.Events[4].Until != 30*time.Second || pl.Events[4].Prob != 0.3 {
@@ -110,7 +110,7 @@ func TestParsePlanRestartAndCorruptRoundTrip(t *testing.T) {
 		t.Fatalf("got %d events, want 4", len(pl.Events))
 	}
 	want := Event{Kind: RestartDataNode, At: 10 * time.Second, Node: "slave-01", Down: 5 * time.Second}
-	if pl.Events[0] != want {
+	if !reflect.DeepEqual(pl.Events[0], want) {
 		t.Errorf("event 0 = %+v, want %+v", pl.Events[0], want)
 	}
 	if pl.Events[2].Node != "slave-03" || pl.Events[2].Path != "" {
@@ -166,6 +166,120 @@ func TestRandomPlanSingleNodeNeverRestartsWholeNode(t *testing.T) {
 	for seed := int64(1); seed <= 30; seed++ {
 		for _, ev := range RandomPlan(seed, []string{"slave-00"}, time.Minute, 10).Events {
 			if ev.Kind == RestartNode || ev.Kind == KillNode {
+				t.Fatalf("single-node plan contains %s", ev.Kind)
+			}
+		}
+	}
+}
+
+func TestParsePlanNetworkFaultsRoundTrip(t *testing.T) {
+	in := "partition@10s:nodes=slave-01+slave-02,down=20s;" +
+		"partition@40s:rack=2,down=5s;" +
+		"slow-link@5s:node=slave-03,factor=8;" +
+		"slow-link@6s:rack=1,factor=4;" +
+		"drop-link@8s:node=slave-04,until=30s,prob=0.3"
+	pl, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Events) != 5 {
+		t.Fatalf("got %d events, want 5", len(pl.Events))
+	}
+	want := Event{Kind: Partition, At: 10 * time.Second, Down: 20 * time.Second,
+		Nodes: []string{"slave-01", "slave-02"}}
+	if !reflect.DeepEqual(pl.Events[0], want) {
+		t.Errorf("event 0 = %+v, want %+v", pl.Events[0], want)
+	}
+	if pl.Events[1].Rack != 2 || pl.Events[1].Nodes != nil {
+		t.Errorf("rack partition parsed wrong: %+v", pl.Events[1])
+	}
+	if pl.Events[3].Rack != 1 || pl.Events[3].Factor != 4 {
+		t.Errorf("rack slow-link parsed wrong: %+v", pl.Events[3])
+	}
+	if pl.Events[4].Until != 30*time.Second || pl.Events[4].Prob != 0.3 {
+		t.Errorf("drop-link parsed wrong: %+v", pl.Events[4])
+	}
+	again, err := ParsePlan(pl.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", pl.String(), err)
+	}
+	if !reflect.DeepEqual(pl, again) {
+		t.Errorf("round trip changed the plan:\n %+v\n %+v", pl, again)
+	}
+}
+
+func TestParsePlanRejectsBadNetworkFaults(t *testing.T) {
+	for _, s := range []string{
+		"partition@10s:nodes=a+b",                                          // missing down
+		"partition@10s:down=5s",                                            // no target
+		"partition@10s:nodes=a+b,rack=1,down=5s",                           // both targets
+		"partition@10s:nodes=a++b,down=5s",                                 // empty node entry
+		"slow-link@5s:node=a",                                              // missing factor
+		"slow-link@5s:factor=8",                                            // no target
+		"slow-link@5s:node=a,rack=1,factor=8",                              // both targets
+		"slow-link@5s:rack=1,factor=1",                                     // factor must be > 1
+		"drop-link@5s:until=30s,prob=0.3",                                  // missing node
+		"drop-link@5s:node=a,until=2s,prob=0.3",                            // window ends before start
+		"drop-link@5s:node=a,until=30s,prob=0",                             // probability out of range
+		"drop-link@5s:node=a,until=30s,prob=1.5",                           // probability out of range
+		"partition@10s:nodes=a+b,down=20s;partition@15s:nodes=b+c,down=5s", // overlapping cuts share b
+		"partition@10s:rack=2,down=20s;partition@15s:rack=2,down=5s",       // overlapping cuts, same rack
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted bad input", s)
+		}
+	}
+}
+
+func TestValidatePartitionOverlap(t *testing.T) {
+	// Disjoint concurrent cuts are fine; so are back-to-back cuts of the
+	// same nodes.
+	for _, s := range []string{
+		"partition@10s:nodes=a+b,down=20s;partition@15s:nodes=c+d,down=5s",
+		"partition@10s:nodes=a+b,down=5s;partition@20s:nodes=a+b,down=5s",
+		"partition@10s:rack=1,down=20s;partition@15s:rack=2,down=5s",
+		// A nodes= cut and a rack= cut cannot be compared statically.
+		"partition@10s:nodes=a+b,down=20s;partition@15s:rack=1,down=5s",
+	} {
+		if _, err := ParsePlan(s); err != nil {
+			t.Errorf("ParsePlan(%q) rejected a valid plan: %v", s, err)
+		}
+	}
+}
+
+func TestRandomPlanGeneratesNetworkFaults(t *testing.T) {
+	nodes := []string{"slave-00", "slave-01", "slave-02", "slave-03", "slave-04"}
+	window := 2 * time.Minute
+	kinds := map[Kind]bool{}
+	for seed := int64(1); seed <= 120; seed++ {
+		pl := RandomPlan(seed, nodes, window, 6)
+		for _, ev := range pl.Events {
+			kinds[ev.Kind] = true
+			if ev.Kind != Partition {
+				continue
+			}
+			if len(ev.Nodes) < 1 || len(ev.Nodes) > (len(nodes)-1)/2 {
+				t.Fatalf("seed %d: partition cut size %d outside [1, %d]", seed, len(ev.Nodes), (len(nodes)-1)/2)
+			}
+			if ev.Down < window/8 || ev.Down > window/8+window/4 {
+				t.Fatalf("seed %d: partition down=%v outside [%v, %v]", seed, ev.Down, window/8, window/8+window/4)
+			}
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid random plan: %v", seed, err)
+		}
+	}
+	for _, k := range []Kind{Partition, SlowLink, DropLink} {
+		if !kinds[k] {
+			t.Errorf("no seed in 1..120 generated %s", k)
+		}
+	}
+}
+
+func TestRandomPlanSingleNodeNeverPartitions(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		for _, ev := range RandomPlan(seed, []string{"slave-00"}, time.Minute, 10).Events {
+			if ev.Kind == Partition {
 				t.Fatalf("single-node plan contains %s", ev.Kind)
 			}
 		}

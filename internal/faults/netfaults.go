@@ -1,0 +1,121 @@
+// Network-fabric faults: partitions that split a node set or a whole rack
+// away and heal on a schedule, fail-slow NICs and rack uplinks, and lossy
+// paths that drop chunks inside a window. These events touch only the
+// netsim layer — no process dies, no disk loses a byte — so everything the
+// cluster "loses" during one comes back at the heal, and recovery is the
+// clients' transient-retry machinery rather than re-replication.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// armedCut is one armed partition's concrete membership and window, kept so
+// Start can reject a nodes= cut overlapping a rack= cut — a pairing
+// Plan.Validate cannot see because rack membership needs a cluster.
+type armedCut struct {
+	at, until time.Duration
+	nodes     map[string]bool
+}
+
+// armNetFault validates and schedules one network-fabric event. i is the
+// event's index in the plan, which keys its partition id and its
+// deterministic per-event rng.
+func (in *Injector) armNetFault(i int, ev Event) error {
+	switch ev.Kind {
+	case Partition:
+		members, err := in.resolveCut(ev)
+		if err != nil {
+			return err
+		}
+		cut := armedCut{at: ev.At, until: ev.At + ev.Down, nodes: map[string]bool{}}
+		for _, m := range members {
+			cut.nodes[m] = true
+		}
+		for _, prev := range in.cuts {
+			if cut.at < prev.until && prev.at < cut.until && cutsIntersect(prev.nodes, cut.nodes) {
+				return fmt.Errorf("faults: %s overlaps an in-flight partition window on the same nodes", ev)
+			}
+		}
+		in.cuts = append(in.cuts, cut)
+		id := fmt.Sprintf("cut%d", i)
+		in.timers = append(in.timers, in.env.AfterFunc(ev.At, func() {
+			in.net.Partition(id, members)
+			in.note(ev)
+		}))
+		in.timers = append(in.timers, in.env.AfterFunc(ev.At+ev.Down, func() {
+			in.net.Heal(id)
+			in.fired = append(in.fired, fmt.Sprintf("t=%v heal %s", in.env.Now(), strings.Join(members, "+")))
+		}))
+	case SlowLink:
+		if ev.Rack > 0 {
+			if in.net.Racks() <= 1 {
+				return fmt.Errorf("faults: %s targets rack %d on a flat network (set racks > 1)", ev.Kind, ev.Rack)
+			}
+			if ev.Rack > in.net.Racks() {
+				return fmt.Errorf("faults: %s: rack %d out of range (cluster has %d)", ev.Kind, ev.Rack, in.net.Racks())
+			}
+			rack := ev.Rack - 1 // 1-indexed in the plan syntax
+			in.timers = append(in.timers, in.env.AfterFunc(ev.At, func() {
+				in.net.SetUplinkSlow(rack, ev.Factor)
+				in.note(ev)
+			}))
+			break
+		}
+		if in.cl.FindNode(ev.Node) == nil {
+			return fmt.Errorf("faults: %s: unknown node %q", ev.Kind, ev.Node)
+		}
+		in.timers = append(in.timers, in.env.AfterFunc(ev.At, func() {
+			in.net.SetNICSlow(ev.Node, ev.Factor)
+			in.note(ev)
+		}))
+	case DropLink:
+		if in.cl.FindNode(ev.Node) == nil {
+			return fmt.Errorf("faults: %s: unknown node %q", ev.Kind, ev.Node)
+		}
+		// One rng per event, seeded like corrupt-block's: deterministic and
+		// independent of sibling events.
+		rng := rand.New(rand.NewSource(in.plan.Seed ^ int64(i+1)*0x9E3779B97F4A7C))
+		in.timers = append(in.timers, in.env.AfterFunc(ev.At, func() {
+			in.net.SetDrop(ev.Node, ev.Prob, rng)
+			in.note(ev)
+		}))
+		in.timers = append(in.timers, in.env.AfterFunc(ev.Until, func() {
+			in.net.ClearDrop(ev.Node)
+			in.fired = append(in.fired, fmt.Sprintf("t=%v clear drop-link %s", in.env.Now(), ev.Node))
+		}))
+	}
+	return nil
+}
+
+// resolveCut expands a partition event to its concrete node list: the nodes=
+// set verbatim, or the registered members of rack=N.
+func (in *Injector) resolveCut(ev Event) ([]string, error) {
+	if ev.Rack > 0 {
+		if in.net.Racks() <= 1 {
+			return nil, fmt.Errorf("faults: %s targets rack %d on a flat network (set racks > 1)", ev.Kind, ev.Rack)
+		}
+		if ev.Rack > in.net.Racks() {
+			return nil, fmt.Errorf("faults: %s: rack %d out of range (cluster has %d)", ev.Kind, ev.Rack, in.net.Racks())
+		}
+		return in.net.RackNodes(ev.Rack - 1), nil
+	}
+	for _, name := range ev.Nodes {
+		if in.cl.FindNode(name) == nil {
+			return nil, fmt.Errorf("faults: %s: unknown node %q", ev.Kind, name)
+		}
+	}
+	return ev.Nodes, nil
+}
+
+func cutsIntersect(a, b map[string]bool) bool {
+	for n := range a {
+		if b[n] {
+			return true
+		}
+	}
+	return false
+}

@@ -12,13 +12,16 @@
 package hdfs
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
 	"iochar/internal/cluster"
 	"iochar/internal/disk"
 	"iochar/internal/localfs"
+	"iochar/internal/netsim"
 	"iochar/internal/sim"
 )
 
@@ -32,6 +35,17 @@ type Config struct {
 	// (io.bytes.per.checksum; Hadoop's default 512 B is modeled coarser, at
 	// 16 KiB, to keep sum arrays proportional to scaled block sizes).
 	ChecksumChunk int64
+
+	// NetRetryBase and NetRetryMax bound the exponential backoff clients
+	// sleep on when the network fails transiently (a partition or a lossy
+	// link), and NetRetries caps how many such stalls one operation takes
+	// before giving up. Transient failures heal on a schedule, so the budget
+	// is generous — unlike crash handling, patience is the correct response.
+	NetRetryBase time.Duration
+	NetRetryMax  time.Duration
+	NetRetries   int
+	// Seed feeds the backoff jitter rng; healthy runs never draw from it.
+	Seed int64
 }
 
 // DefaultConfig returns Hadoop 1.0.4 defaults scaled by the divisor.
@@ -43,7 +57,10 @@ func DefaultConfig(scale int64) Config {
 	if bs < 16<<10 {
 		bs = 16 << 10
 	}
-	return Config{BlockSize: bs, Replication: 3, PacketSize: 64 << 10, ChecksumChunk: 16 << 10}
+	return Config{
+		BlockSize: bs, Replication: 3, PacketSize: 64 << 10, ChecksumChunk: 16 << 10,
+		NetRetryBase: 200 * time.Millisecond, NetRetryMax: 5 * time.Second, NetRetries: 64,
+	}
 }
 
 // blockMeta is the NameNode's view of one block.
@@ -74,25 +91,37 @@ type fileMeta struct {
 
 // FS is the filesystem: NameNode state plus its DataNodes.
 type FS struct {
-	env       *sim.Env
-	cfg       Config
-	net       transferer
-	files     map[string]*fileMeta
-	datanodes []*DataNode
-	byNode    map[string]*DataNode
-	blockByID map[int64]*blockMeta
-	nextBlock int64
-	place     int            // round-robin placement cursor
-	rec       *recoveryState // nil unless EnableRecovery was called
-	integrity bool           // per-chunk checksums verified on every read
-	scrub     *scrubState    // nil unless EnableScrubber was called
-	master    *masterState   // nil unless EnableMaster was called
+	env        *sim.Env
+	cfg        Config
+	net        transferer
+	topo       topology // fs.net's topology view, nil for topology-blind fakes
+	masterNode string   // node hosting the NameNode ("" = topology-blind RPCs)
+	netRng     *rand.Rand
+	files      map[string]*fileMeta
+	datanodes  []*DataNode
+	byNode     map[string]*DataNode
+	blockByID  map[int64]*blockMeta
+	nextBlock  int64
+	place      int            // round-robin placement cursor
+	rec        *recoveryState // nil unless EnableRecovery was called
+	integrity  bool           // per-chunk checksums verified on every read
+	scrub      *scrubState    // nil unless EnableScrubber was called
+	master     *masterState   // nil unless EnableMaster was called
 }
 
 // transferer is the network dependency (satisfied by *netsim.Network).
 type transferer interface {
 	Transfer(p *sim.Proc, src, dst string, bytes int64)
 	TryTransfer(p *sim.Proc, src, dst string, bytes int64) error
+}
+
+// topology is the optional rack/reachability view of the network, satisfied
+// by *netsim.Network. Test fakes that only implement transferer keep
+// working: without it every node is reachable and the fabric is one rack.
+type topology interface {
+	Reachable(a, b string) bool
+	RackOf(name string) int
+	Racks() int
 }
 
 // storedBlock is one replica as held by a DataNode: the block file plus the
@@ -129,13 +158,26 @@ func New(env *sim.Env, cfg Config, net transferer, nodes []*cluster.Node) *FS {
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = 64 << 10
 	}
+	if cfg.NetRetryBase <= 0 {
+		cfg.NetRetryBase = 200 * time.Millisecond
+	}
+	if cfg.NetRetryMax < cfg.NetRetryBase {
+		cfg.NetRetryMax = cfg.NetRetryBase
+	}
+	if cfg.NetRetries <= 0 {
+		cfg.NetRetries = 64
+	}
 	fs := &FS{
 		env:       env,
 		cfg:       cfg,
 		net:       net,
+		netRng:    rand.New(rand.NewSource(cfg.Seed ^ 0x4e455453)),
 		files:     make(map[string]*fileMeta),
 		byNode:    make(map[string]*DataNode),
 		blockByID: make(map[int64]*blockMeta),
+	}
+	if t, ok := net.(topology); ok {
+		fs.topo = t
 	}
 	for _, n := range nodes {
 		if len(n.HDFSVols) == 0 {
@@ -153,6 +195,67 @@ func New(env *sim.Env, cfg Config, net transferer, nodes []*cluster.Node) *FS {
 
 // Config returns the filesystem configuration.
 func (fs *FS) Config() Config { return fs.cfg }
+
+// SetMasterNode names the node hosting the NameNode, so client RPCs and
+// DataNode heartbeats become partition-aware: a client cut off from the
+// master stalls with backoff like a client of a crashed master, and a
+// DataNode cut off stops being heard. Empty (the default) keeps RPCs
+// topology-blind, as does a network without a topology view.
+func (fs *FS) SetMasterNode(name string) { fs.masterNode = name }
+
+// reachable reports whether a and b can exchange bytes right now. Always
+// true for topology-blind networks.
+func (fs *FS) reachable(a, b string) bool {
+	if fs.topo == nil {
+		return true
+	}
+	return fs.topo.Reachable(a, b)
+}
+
+// netBlocked reports whether any live DataNode is currently unreachable
+// from the client — the signal that an empty placement is a transient
+// topology problem worth waiting out rather than a dead cluster.
+func (fs *FS) netBlocked(client string) bool {
+	if fs.topo == nil {
+		return false
+	}
+	for _, dn := range fs.datanodes {
+		if !dn.crashed && !fs.reachable(client, dn.node.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// netStall sleeps one backoff step for a transient network failure,
+// charging the recovery stats. bo is created lazily by the caller.
+func (fs *FS) netStall(p *sim.Proc, bo *sim.Backoff) {
+	d := bo.Next()
+	p.Sleep(d)
+	if fs.rec != nil {
+		fs.rec.stats.NetStalls++
+		fs.rec.stats.NetStallTime += d
+	}
+}
+
+// waitMasterFrom is waitMaster for a client on a known node: after the
+// usual crash/safe-mode stall it also waits out a partition separating the
+// client from the master's node, with the same backoff discipline — a
+// partitioned-off client behaves like a client of a bounced master. The
+// stall is bounded by the net-retry budget so a client on a permanently
+// dead node cannot spin the simulation forever.
+func (fs *FS) waitMasterFrom(p *sim.Proc, mutating bool, node string) {
+	fs.waitMaster(p, mutating)
+	if node == "" || fs.masterNode == "" || fs.reachable(node, fs.masterNode) {
+		return
+	}
+	bo := sim.NewBackoff(fs.cfg.NetRetryBase, fs.cfg.NetRetryMax, fs.netRng)
+	for i := 0; i < fs.cfg.NetRetries && !fs.reachable(node, fs.masterNode); i++ {
+		fs.netStall(p, bo)
+	}
+	// The master may have bounced while we were cut off.
+	fs.waitMaster(p, mutating)
+}
 
 // Exists reports whether the path exists.
 func (fs *FS) Exists(path string) bool {
@@ -221,16 +324,21 @@ func (fs *FS) BlockLocations(path string) ([][]string, error) {
 	return out, nil
 }
 
-// choose picks replication replica targets: the writer's own DataNode
-// first (if it has one), then round-robin across the rest — Hadoop's
-// default placement with rack-awareness flattened, faithful to the paper's
-// single-rack testbed. Crashed DataNodes are skipped; if fewer live nodes
-// exist than the requested factor, every live node is returned (nil when
-// none are left).
+// choose picks replication replica targets. On the paper's flat single-rack
+// fabric: the writer's own DataNode first (if it has one), then round-robin
+// across the rest — Hadoop's default placement with rack-awareness
+// flattened. With racks > 1 the rack-aware policy applies instead (one
+// local replica, the rest on a single remote rack). Crashed and — under
+// network faults — unreachable DataNodes are excluded at allocation; if
+// fewer eligible nodes exist than the requested factor, every eligible node
+// is returned (nil when none are left).
 func (fs *FS) choose(writer string, replication int) []*DataNode {
+	if fs.topo != nil && fs.topo.Racks() > 1 {
+		return fs.chooseRackAware(writer, replication)
+	}
 	live := 0
 	for _, dn := range fs.datanodes {
-		if !dn.crashed {
+		if !dn.crashed && fs.reachable(writer, dn.node.Name) {
 			live++
 		}
 	}
@@ -244,7 +352,7 @@ func (fs *FS) choose(writer string, replication int) []*DataNode {
 	for len(out) < replication {
 		dn := fs.datanodes[fs.place%len(fs.datanodes)]
 		fs.place++
-		if dn.crashed {
+		if dn.crashed || !fs.reachable(writer, dn.node.Name) {
 			continue
 		}
 		dup := false
@@ -257,6 +365,71 @@ func (fs *FS) choose(writer string, replication int) []*DataNode {
 		if !dup {
 			out = append(out, dn)
 		}
+	}
+	return out
+}
+
+// chooseRackAware is Hadoop's default multi-rack placement: first replica
+// on the writer's node (or its rack), the second and third on one common
+// remote rack, spilling anywhere eligible when a rack runs short. The same
+// round-robin cursor as flat placement keeps the choice deterministic.
+func (fs *FS) chooseRackAware(writer string, replication int) []*DataNode {
+	elig := func(dn *DataNode) bool {
+		return !dn.crashed && fs.reachable(writer, dn.node.Name)
+	}
+	live := 0
+	for _, dn := range fs.datanodes {
+		if elig(dn) {
+			live++
+		}
+	}
+	if replication > live {
+		replication = live
+	}
+	var out []*DataNode
+	has := func(dn *DataNode) bool {
+		for _, have := range out {
+			if have == dn {
+				return true
+			}
+		}
+		return false
+	}
+	pick := func(want func(*DataNode) bool) *DataNode {
+		for range fs.datanodes {
+			dn := fs.datanodes[fs.place%len(fs.datanodes)]
+			fs.place++
+			if !elig(dn) || has(dn) || !want(dn) {
+				continue
+			}
+			return dn
+		}
+		return nil
+	}
+	localRack := -1
+	if dn, ok := fs.byNode[writer]; ok && elig(dn) {
+		out = append(out, dn)
+		localRack = dn.node.Rack
+	} else if fs.topo != nil {
+		localRack = fs.topo.RackOf(writer)
+	}
+	remoteRack := -1
+	for len(out) < replication {
+		var dn *DataNode
+		if remoteRack < 0 {
+			if dn = pick(func(d *DataNode) bool { return d.node.Rack != localRack }); dn != nil {
+				remoteRack = dn.node.Rack
+			}
+		} else {
+			dn = pick(func(d *DataNode) bool { return d.node.Rack == remoteRack })
+		}
+		if dn == nil {
+			dn = pick(func(*DataNode) bool { return true })
+		}
+		if dn == nil {
+			break
+		}
+		out = append(out, dn)
 	}
 	return out
 }
@@ -324,8 +497,9 @@ func (w *Writer) Close(p *sim.Proc) error {
 		w.buf = nil
 	}
 	// Sealing is a NameNode RPC: it stalls while the master is down or
-	// holding mutations in safe mode.
-	w.fs.waitMaster(p, true)
+	// holding mutations in safe mode — or while the client is partitioned
+	// away from it.
+	w.fs.waitMasterFrom(p, true, w.client)
 	w.meta.open = false
 	w.fs.journalEdit(editRec{op: opClose, path: w.meta.name})
 	w.fs.releaseLease(w.meta.name)
@@ -343,13 +517,16 @@ func (w *Writer) Close(p *sim.Proc) error {
 // survives on whichever replicas completed — the under-replication is
 // queued for background repair. Only when *no* replica lands does the
 // client retry the whole block against a fresh pipeline, and after
-// maxPipelineRetries such attempts the write fails for good.
+// maxPipelineRetries such attempts the write fails for good. Transient
+// network failures (a partition, a lossy link) are different: they heal on
+// a schedule, so the client stalls with backoff under the generous
+// net-retry budget instead of burning pipeline attempts.
 func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 	const maxPipelineRetries = 3
 	fs := w.fs
 	// Allocating a block is a NameNode RPC: it stalls while the master is
 	// down or holding mutations in safe mode, with backoff+jitter retries.
-	fs.waitMaster(p, true)
+	fs.waitMasterFrom(p, true, w.client)
 	id := fs.nextBlock
 	fs.nextBlock++
 	b := &blockMeta{id: id, size: int64(len(data)), want: w.replication}
@@ -366,12 +543,31 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 	if fs.integrity {
 		b.sums = chunkSums(content, fs.cfg.ChecksumChunk)
 	}
-	for attempt := 0; attempt < maxPipelineRetries; attempt++ {
+	var bo *sim.Backoff
+	netStalls := 0
+	stall := func() bool {
+		if netStalls >= fs.cfg.NetRetries {
+			return false
+		}
+		netStalls++
+		if bo == nil {
+			bo = sim.NewBackoff(fs.cfg.NetRetryBase, fs.cfg.NetRetryMax, fs.netRng)
+		}
+		fs.netStall(p, bo)
+		return true
+	}
+	for attempt := 0; attempt < maxPipelineRetries; {
 		targets := fs.choose(w.client, w.replication)
 		if len(targets) == 0 {
+			// No eligible target. If live DataNodes exist on the far side of
+			// a partition, this is transient: wait out the heal.
+			if fs.netBlocked(w.client) && stall() {
+				continue
+			}
 			return fmt.Errorf("hdfs: write %s block %d: no live datanodes", w.meta.name, id)
 		}
 		ok := make([]bool, len(targets))
+		errs := make([]error, len(targets))
 		var hops []*sim.Handle
 		prev := w.client
 		for i, dn := range targets {
@@ -379,6 +575,7 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 			src := prev
 			hops = append(hops, fs.env.Go("pipeline", func(hp *sim.Proc) {
 				if err := fs.net.TryTransfer(hp, src, dn.node.Name, b.size); err != nil {
+					errs[i] = err
 					return
 				}
 				if dn.crashed {
@@ -429,6 +626,20 @@ func (w *Writer) flushBlock(p *sim.Proc, data []byte) error {
 			}
 			return nil
 		}
+		// Nothing landed. A hop severed by a transient fault is worth a
+		// backoff stall that does not consume a pipeline attempt; anything
+		// else (crashed targets, failed volumes) burns one.
+		transient := false
+		for _, err := range errs {
+			if err != nil && errors.Is(err, netsim.ErrTransient) {
+				transient = true
+				break
+			}
+		}
+		if transient && stall() {
+			continue
+		}
+		attempt++
 	}
 	return fmt.Errorf("hdfs: write %s block %d: pipeline failed %d times", w.meta.name, id, maxPipelineRetries)
 }
@@ -499,8 +710,9 @@ func (r *Reader) Size() int64 { return r.meta.size }
 // some covered block is unreachable.
 func (r *Reader) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
 	// Locating blocks is a NameNode RPC: reads stall only while the master
-	// is down (safe mode keeps the namespace readable).
-	r.fs.waitMaster(p, false)
+	// is down (safe mode keeps the namespace readable) or while the client
+	// is partitioned away from it.
+	r.fs.waitMasterFrom(p, false, r.client)
 	if off < 0 || off >= r.meta.size {
 		return nil, nil
 	}
@@ -592,8 +804,30 @@ func (e *LostBlockError) Error() string {
 // first remote (disk at the remote node + network transfer). Replicas on
 // crashed DataNodes are skipped, and a remote transfer that collapses
 // mid-stream (source crashed) fails the client over to the next replica —
-// HDFS's DFSInputStream retry.
+// HDFS's DFSInputStream retry. When every failure was transient (replicas
+// exist but are partitioned away, or a lossy link exhausted its
+// retransmits) the client stalls with backoff and retries the candidate
+// scan: the reachable-side replica policy means a heal — not a repair — is
+// what brings the data back.
 func (r *Reader) readBlockRange(p *sim.Proc, b *blockMeta, off, length int64) ([]byte, error) {
+	fs := r.fs
+	var bo *sim.Backoff
+	for tries := 0; ; tries++ {
+		data, transient, err := r.readBlockOnce(p, b, off, length)
+		if err == nil || !transient || tries >= fs.cfg.NetRetries {
+			return data, err
+		}
+		if bo == nil {
+			bo = sim.NewBackoff(fs.cfg.NetRetryBase, fs.cfg.NetRetryMax, fs.netRng)
+		}
+		fs.netStall(p, bo)
+	}
+}
+
+// readBlockOnce makes one pass over the replica candidates. transient
+// reports that at least one candidate failed for a reason that heals
+// (partition, lossy link), so the caller may retry.
+func (r *Reader) readBlockOnce(p *sim.Proc, b *blockMeta, off, length int64) (data []byte, transient bool, err error) {
 	// Candidate order: local replica first, then placement order.
 	cands := make([]*DataNode, 0, len(b.replicas))
 	for _, dn := range b.replicas {
@@ -611,6 +845,11 @@ func (r *Reader) readBlockRange(p *sim.Proc, b *blockMeta, off, length int64) ([
 		if dn.crashed {
 			continue
 		}
+		if dn.node.Name != r.client && !r.fs.reachable(r.client, dn.node.Name) {
+			// Partitioned away: don't even charge the remote disk read.
+			transient = true
+			continue
+		}
 		sb, ok := dn.blocks[b.id]
 		if !ok || sb.vol.Failed() {
 			continue
@@ -624,17 +863,20 @@ func (r *Reader) readBlockRange(p *sim.Proc, b *blockMeta, off, length int64) ([
 			continue
 		}
 		if dn.node.Name == r.client {
-			return data, nil
+			return data, false, nil
 		}
 		if err := r.fs.net.TryTransfer(p, dn.node.Name, r.client, length); err != nil {
+			if errors.Is(err, netsim.ErrTransient) {
+				transient = true
+			}
 			if r.fs.rec != nil {
 				r.fs.rec.stats.ReadFailovers++
 			}
 			continue
 		}
-		return data, nil
+		return data, false, nil
 	}
-	return nil, &LostBlockError{Path: r.meta.name, Block: b.id}
+	return nil, transient, &LostBlockError{Path: r.meta.name, Block: b.id}
 }
 
 func maxI(a, b int64) int64 {

@@ -59,6 +59,10 @@ type RecoveryStats struct {
 	ReAdoptedReplicas   int    // replicas re-credited intact from a rejoining node
 	StaleReplicasPurged int    // rejoin-scanned files deleted as stale or excess
 	CancelledRepairs    int    // queued repairs dequeued as no longer needed
+
+	// Network-fault accounting (zero unless the fabric was faulted).
+	NetStalls    uint64        // backoff sleeps waiting out transient network faults
+	NetStallTime time.Duration // total time spent in those stalls
 }
 
 // recoveryState is the live recovery machinery hanging off an FS.
@@ -146,7 +150,21 @@ func (fs *FS) startHeartbeat(dn *DataNode) {
 			if ms := fs.master; ms != nil && ms.down {
 				continue // nobody is listening; the beat goes unheard
 			}
+			if fs.masterNode != "" && !fs.reachable(dn.node.Name, fs.masterNode) {
+				continue // partitioned away from the NameNode; the beat is lost
+			}
 			dn.lastBeat = p.Now()
+			if dn.deadByNN {
+				// The NameNode declared this node dead while it was cut off
+				// (a partition long enough to miss the dead timeout). The
+				// first beat that gets through re-registers with a block
+				// report, exactly as a restarted DataNode would.
+				fs.reregister(p, dn)
+				if rec.stopped || dn.crashed || dn.beatGen != gen {
+					return
+				}
+				continue
+			}
 			if ms := fs.master; ms != nil && ms.safeMode {
 				fs.masterBlockReport(dn)
 			}
@@ -313,6 +331,11 @@ func (fs *FS) replicationWorker(p *sim.Proc) {
 		if rec.stopped {
 			return
 		}
+		if len(rec.queue) == 0 {
+			// Drained while we waited out the master: a block report
+			// re-adopted the queued replicas and cancelled the repairs.
+			continue
+		}
 		b := rec.queue[0]
 		rec.queue = rec.queue[1:]
 		delete(rec.queued, b.id)
@@ -345,23 +368,36 @@ func (fs *FS) replicationWorker(p *sim.Proc) {
 // retry reports a mid-copy failure (source or target died after virtual
 // time was spent) worth another attempt from the survivors.
 func (fs *FS) copyBlock(p *sim.Proc, b *blockMeta) (copied, retry bool) {
-	var src *DataNode
+	var src, dst *DataNode
 	var sb storedBlock
+	topoBlocked := false
 	for _, dn := range b.replicas {
 		if dn.crashed {
 			continue
 		}
-		if s, ok := dn.blocks[b.id]; ok && !s.vol.Failed() {
-			src, sb = dn, s
+		s, ok := dn.blocks[b.id]
+		if !ok || s.vol.Failed() {
+			continue
+		}
+		d, blocked := fs.chooseTarget(b, dn.node.Name)
+		if d != nil {
+			src, sb, dst = dn, s, d
 			break
 		}
+		if blocked {
+			topoBlocked = true
+		}
 	}
-	if src == nil {
-		return false, false // nothing live to copy from
-	}
-	dst := fs.chooseTarget(b)
-	if dst == nil {
-		return false, false // fewer live nodes than the target factor
+	if src == nil || dst == nil {
+		if topoBlocked {
+			// Live sources exist but every eligible target is across a
+			// partition. Partitions heal on a schedule: sleep one beat and
+			// retry instead of dropping the block from the queue — and
+			// instead of spinning at zero virtual time.
+			p.Sleep(fs.rec.cfg.HeartbeatInterval)
+			return false, true
+		}
+		return false, false // nothing live to copy from, or no eligible target
 	}
 	content := sb.file.ReadAt(p, 0, b.size)
 	if fs.integrity && !fs.verifyRange(b, sb, 0, b.size) {
@@ -396,9 +432,11 @@ func (fs *FS) copyBlock(p *sim.Proc, b *blockMeta) (copied, retry bool) {
 	return true, false
 }
 
-// chooseTarget picks a live DataNode that does not already hold b, using
-// the same round-robin cursor as initial placement.
-func (fs *FS) chooseTarget(b *blockMeta) *DataNode {
+// chooseTarget picks a live DataNode that does not already hold b and is
+// reachable from the copy source, using the same round-robin cursor as
+// initial placement. blocked reports that a target exists but only across
+// a partition — the caller's cue to wait for the heal rather than give up.
+func (fs *FS) chooseTarget(b *blockMeta, src string) (dst *DataNode, blocked bool) {
 	for range fs.datanodes {
 		dn := fs.datanodes[fs.place%len(fs.datanodes)]
 		fs.place++
@@ -412,11 +450,16 @@ func (fs *FS) chooseTarget(b *blockMeta) *DataNode {
 				break
 			}
 		}
-		if !holds {
-			return dn
+		if holds {
+			continue
 		}
+		if !fs.reachable(src, dn.node.Name) {
+			blocked = true
+			continue
+		}
+		return dn, false
 	}
-	return nil
+	return nil, blocked
 }
 
 // pendingDetection counts crashed DataNodes the NameNode has not yet

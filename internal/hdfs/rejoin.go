@@ -30,11 +30,24 @@ func (fs *FS) RejoinDataNode(p *sim.Proc, node string) {
 		return
 	}
 	dn.crashed = false
+	if fs.rec != nil {
+		fs.startHeartbeat(dn)
+	}
+	fs.reregister(p, dn)
+}
+
+// reregister sends a DataNode's re-registration block report to the
+// NameNode and reconciles it. Shared by the crash-restart path
+// (RejoinDataNode) and the partition-heal path: a node the NameNode
+// declared dead for missed heartbeats during a partition re-registers from
+// its heartbeat loop once a beat gets through, with exactly the same
+// reconciliation — intact replicas re-adopted, stale and excess files
+// purged, unconfirmed credits struck.
+func (fs *FS) reregister(p *sim.Proc, dn *DataNode) {
 	dn.deadByNN = false
 	dn.lastBeat = p.Now()
 	if fs.rec != nil {
 		fs.rec.stats.BlockReports++
-		fs.startHeartbeat(dn)
 	}
 
 	old := dn.blocks

@@ -6,8 +6,11 @@
 package mapred
 
 import (
+	"errors"
+
 	"iochar/internal/cluster"
 	"iochar/internal/localfs"
+	"iochar/internal/netsim"
 	"iochar/internal/sim"
 )
 
@@ -32,6 +35,14 @@ func (rt *Runtime) OnVolumeDown(vol *localfs.FS) {
 // (the map-side node died mid-transfer, or the injected fetch fault dropped
 // it) is retried with exponential backoff up to MaxFetchRetries times, and
 // past that the map output is declared lost, which re-enqueues its task.
+//
+// Transient network failures take a different path: a map-side node that is
+// merely partitioned away (or a path whose loss rate exhausted the
+// retransmit budget) heals on a schedule, so the fetcher waits it out under
+// the much larger MaxNetFetchRetries budget — and never charges the
+// tracker's blacklist account, because the fabric, not the tracker, is at
+// fault. Losing the output (and re-executing the map) happens only when the
+// net-retry budget is exhausted too.
 func (rt *Runtime) fetchOneFaulty(fp *sim.Proc, js *jobState, st *fetchState, out *mapOutput, node *cluster.Node, part int, ingest func(*sim.Proc, []byte, segment)) {
 	seg := out.segs[part]
 	mark := func() {
@@ -45,7 +56,27 @@ func (rt *Runtime) fetchOneFaulty(fp *sim.Proc, js *jobState, st *fetchState, ou
 		mark()
 		return
 	}
-	retries := 0
+	retries, netRetries := 0, 0
+	var nbo *sim.Backoff
+	// netStall backs off across a transient network fault; false means the
+	// budget ran out and the output was declared lost.
+	netStall := func() bool {
+		netRetries++
+		js.mu(func() {
+			js.counters.FetchRetries++
+			js.counters.NetFetchStalls++
+		})
+		if netRetries > js.cfg.MaxNetFetchRetries {
+			js.mu(func() { js.counters.FailedFetches++ })
+			js.loseOutput(out)
+			return false
+		}
+		if nbo == nil {
+			nbo = sim.NewBackoff(js.cfg.NetRetryBase, js.cfg.NetRetryMax, rt.netRng)
+		}
+		fp.Sleep(nbo.Next())
+		return true
+	}
 	for {
 		if !node.Alive() || js.failed != nil || js.done {
 			return // zombie fetcher; this attempt is being discarded
@@ -59,15 +90,30 @@ func (rt *Runtime) fetchOneFaulty(fp *sim.Proc, js *jobState, st *fetchState, ou
 		}
 		dropped := rt.fetchFault != nil && rt.fetchFault(fp.Now())
 		if !dropped {
+			if !rt.reachable(out.node.Name, node.Name) {
+				// Partitioned away from the map side: don't charge the
+				// remote disk read, just wait for the heal.
+				if !netStall() {
+					return
+				}
+				continue
+			}
 			enc := out.file.ReadAt(fp, seg.off, seg.clen) // map-side disk read
 			if out.lost || out.node.Incarnation() != out.inc {
 				return // the owner died (or bounced) while the read slept;
 				// enc may be crash-truncated and a replacement will appear
 			}
-			if err := rt.net.TryTransfer(fp, out.node.Name, node.Name, seg.clen); err == nil {
+			err := rt.net.TryTransfer(fp, out.node.Name, node.Name, seg.clen)
+			if err == nil {
 				ingest(fp, enc, seg)
 				mark()
 				return
+			}
+			if errors.Is(err, netsim.ErrTransient) {
+				if !netStall() {
+					return
+				}
+				continue
 			}
 		}
 		retries++

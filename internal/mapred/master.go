@@ -371,8 +371,33 @@ func (rt *Runtime) RestartJobTracker(p *sim.Proc) {
 }
 
 // jtWait stalls a task tracker's grant request while the JobTracker is
-// down, with jittered exponential backoff retries.
-func (rt *Runtime) jtWait(p *sim.Proc) {
+// down, with jittered exponential backoff retries — and, symmetrically,
+// while the tracker's node is partitioned away from the JobTracker's: a
+// cut-off tracker behaves exactly like the client of a bounced master. The
+// partition stall is bounded by the net-retry budget so a tracker on a
+// permanently dead node cannot spin the simulation.
+func (rt *Runtime) jtWait(p *sim.Proc, node string) {
+	rt.jtDownStall(p)
+	if rt.topo == nil || node == "" {
+		return
+	}
+	jt := rt.cl.Master.Name
+	if rt.reachable(node, jt) {
+		return
+	}
+	bo := sim.NewBackoff(rt.cfg.NetRetryBase, rt.cfg.NetRetryMax, rt.netRng)
+	for i := 0; i < rt.cfg.MaxNetFetchRetries; i++ {
+		if rt.reachable(node, jt) || rt.topo.Down(node) {
+			break
+		}
+		p.Sleep(bo.Next())
+	}
+	// The JobTracker may have bounced while this tracker was cut off.
+	rt.jtDownStall(p)
+}
+
+// jtDownStall waits out a JobTracker crash with jittered backoff.
+func (rt *Runtime) jtDownStall(p *sim.Proc) {
 	ms := rt.master
 	if ms == nil || ms.stopped || !ms.down {
 		return

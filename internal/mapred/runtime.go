@@ -2,6 +2,7 @@ package mapred
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -16,6 +17,14 @@ type transferer interface {
 	TryTransfer(p *sim.Proc, src, dst string, bytes int64) error
 }
 
+// topology is the optional reachability view of the network, satisfied by
+// *netsim.Network. Topology-blind fakes keep working: without it every
+// node is always reachable.
+type topology interface {
+	Reachable(a, b string) bool
+	Down(name string) bool
+}
+
 // Runtime is the MapReduce service for one cluster: the JobTracker plus a
 // TaskTracker per slave, each offering Config.MapSlots and
 // Config.ReduceSlots concurrent task slots.
@@ -23,8 +32,10 @@ type Runtime struct {
 	env *sim.Env
 	cl  *cluster.Cluster
 	fs  *hdfs.FS
-	net transferer
-	cfg Config
+	net    transferer
+	topo   topology // rt.net's topology view, nil for topology-blind fakes
+	netRng *rand.Rand
+	cfg    Config
 
 	// Fault mode: nil/false in healthy runs, so every recovery branch below
 	// is dead code and the scheduler is byte-identical to a build without
@@ -62,7 +73,31 @@ func New(env *sim.Env, cl *cluster.Cluster, fs *hdfs.FS, net transferer, cfg Con
 	if cfg.MaxTrackerFailures <= 0 {
 		cfg.MaxTrackerFailures = 3
 	}
-	return &Runtime{env: env, cl: cl, fs: fs, net: net, cfg: cfg, active: make(map[*jobState]bool)}, nil
+	if cfg.NetRetryBase <= 0 {
+		cfg.NetRetryBase = 200 * time.Millisecond
+	}
+	if cfg.NetRetryMax < cfg.NetRetryBase {
+		cfg.NetRetryMax = cfg.NetRetryBase
+	}
+	if cfg.MaxNetFetchRetries <= 0 {
+		cfg.MaxNetFetchRetries = 64
+	}
+	rt := &Runtime{env: env, cl: cl, fs: fs, net: net, cfg: cfg,
+		netRng: rand.New(rand.NewSource(cfg.Seed ^ 0x6d725f6e)),
+		active: make(map[*jobState]bool)}
+	if t, ok := net.(topology); ok {
+		rt.topo = t
+	}
+	return rt, nil
+}
+
+// reachable reports whether two nodes can exchange bytes right now; always
+// true for topology-blind networks.
+func (rt *Runtime) reachable(a, b string) bool {
+	if rt.topo == nil {
+		return true
+	}
+	return rt.topo.Reachable(a, b)
 }
 
 // EnableFaults switches the runtime's recovery machinery on: lingering map
@@ -461,7 +496,7 @@ func (rt *Runtime) mapWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *clu
 	for {
 		// Asking for a task is a JobTracker heartbeat: it stalls while the
 		// master is down, with backoff+jitter retries.
-		rt.jtWait(wp)
+		rt.jtWait(wp, node.Name)
 		if rt.faulty && (!node.Alive() || js.blacklisted[node.Name]) {
 			return // tracker died or was blacklisted; work goes elsewhere
 		}
@@ -526,7 +561,7 @@ func (rt *Runtime) reduceWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *
 	}
 	if !rt.faulty {
 		for {
-			rt.jtWait(wp)
+			rt.jtWait(wp, node.Name)
 			var part int
 			got := false
 			js.mu(func() {
@@ -545,7 +580,7 @@ func (rt *Runtime) reduceWorkerLoop(wp *sim.Proc, job *Job, js *jobState, node *
 	// Fault mode: claim unowned partitions until all are done; a partition
 	// whose owner died is released for re-claiming.
 	for {
-		rt.jtWait(wp)
+		rt.jtWait(wp, node.Name)
 		if !node.Alive() || js.failed != nil || js.blacklisted[node.Name] {
 			return
 		}

@@ -182,6 +182,19 @@ type Config struct {
 	MaxTaskAttempts    int
 	MaxTrackerFailures int
 
+	// Transient-network-fault knobs: a shuffle fetch that fails because the
+	// map-side node is partitioned away (or the path is lossy) retries with
+	// exponential backoff between NetRetryBase and NetRetryMax for up to
+	// MaxNetFetchRetries attempts before the output is declared lost. The
+	// budget is generous and such failures never charge the tracker
+	// blacklist: a partition is the fabric's fault, not the tracker's.
+	NetRetryBase       time.Duration
+	NetRetryMax        time.Duration
+	MaxNetFetchRetries int
+	// Seed feeds the net-retry backoff jitter rng; healthy runs never draw
+	// from it.
+	Seed int64
+
 	// Framework CPU costs (virtual) — defaults mirror a 2010s JVM stack.
 	ParseNsPerRecord   float64
 	ParseNsPerByte     float64
@@ -213,6 +226,9 @@ func DefaultConfig(scale int64) Config {
 		FetchRetryDelay:     time.Duration(int64(time.Second) * 64 / scale),
 		MaxTaskAttempts:     4,
 		MaxTrackerFailures:  3,
+		NetRetryBase:        200 * time.Millisecond,
+		NetRetryMax:         5 * time.Second,
+		MaxNetFetchRetries:  64,
 		ParseNsPerRecord:    120,
 		ParseNsPerByte:      0.4,
 		SortNsPerCompare:    25,
@@ -251,6 +267,7 @@ type Counters struct {
 	ReExecutedMaps      int64 // map tasks re-run because their output was lost
 	FetchRetries        int64 // reduce fetch attempts that were retried
 	FailedFetches       int64 // fetches abandoned after MaxFetchRetries
+	NetFetchStalls      int64 // fetch retries spent waiting out transient network faults
 	BlacklistedTrackers int64 // trackers excluded after MaxTrackerFailures
 	TrackerRejoins      int64 // restarted trackers that re-registered mid-job
 	DoubleRegistrations int64 // rejoins that would have over-filled a node's slots (must stay 0)

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"time"
 
 	"iochar/internal/core"
 	"iochar/internal/iostat"
@@ -180,6 +181,7 @@ func JobSummary(w io.Writer, rep *core.RunReport) {
 		fmt.Fprintf(w, "  CPU  : %.0f%% mean / %.0f%% peak cluster utilization\n",
 			rep.CPUUtil.Mean(), rep.CPUUtil.Max())
 	}
+	writeNetwork(w, rep)
 	if rep.Masters != nil {
 		nn, jt := rep.NameNode, rep.JobTracker
 		fmt.Fprintf(w, "  meta : read %s, wrote %s, %d+%d requests (master-node disks)\n",
@@ -228,6 +230,55 @@ func JobSummary(w io.Writer, rep *core.RunReport) {
 		}
 		fmt.Fprintf(w, "  MR recovery  : %d re-executed map(s), %d fetch retries, %d failed fetches\n",
 			reexec, retries, failed)
+	}
+}
+
+// writeNetwork renders the fabric's traffic accounting inside JobSummary:
+// aggregate NIC traffic, per-uplink bytes and utilization on multi-rack
+// runs, and the retransmission/stall counters network faults leave behind.
+func writeNetwork(w io.Writer, rep *core.RunReport) {
+	ns := rep.Network
+	if ns == nil || len(ns.NICs) == 0 {
+		return
+	}
+	var sent, retrans uint64
+	var busiestTx time.Duration
+	for _, nic := range ns.NICs {
+		sent += nic.BytesSent
+		retrans += nic.RetransBytes
+		if nic.TxBusy > busiestTx {
+			busiestTx = nic.TxBusy
+		}
+	}
+	util := func(busy time.Duration) float64 {
+		if rep.Wall <= 0 {
+			return 0
+		}
+		return 100 * float64(busy) / float64(rep.Wall)
+	}
+	fmt.Fprintf(w, "  net  : %s over %d NIC(s), busiest tx %.0f%% utilized",
+		mb(int64(sent)), len(ns.NICs), util(busiestTx))
+	if ns.Racks > 1 {
+		fmt.Fprintf(w, ", %d rack(s)", ns.Racks)
+	}
+	fmt.Fprintln(w)
+	for _, u := range ns.Uplinks {
+		fmt.Fprintf(w, "    uplink rack%02d: up %s (%.0f%% util), down %s (%.0f%% util) @ %s/s\n",
+			u.Rack, mb(int64(u.BytesUp)), util(u.UpBusy),
+			mb(int64(u.BytesDown)), util(u.DownBusy), mb(u.BPS))
+	}
+	if retrans > 0 || ns.FailedTransfers > 0 || ns.DroppedChunks > 0 {
+		fmt.Fprintf(w, "    faults: %s retransmitted (%d dropped chunk(s)), %d failed transfer(s)\n",
+			mb(int64(retrans)), ns.DroppedChunks, ns.FailedTransfers)
+	}
+	var netFetchStalls int64
+	for _, j := range rep.Jobs {
+		netFetchStalls += j.NetFetchStalls
+	}
+	rs := rep.Recovery
+	if rs.NetStalls > 0 || netFetchStalls > 0 {
+		fmt.Fprintf(w, "    stalls: HDFS clients %d / %v waiting out partitions, shuffle %d net fetch retries\n",
+			rs.NetStalls, rs.NetStallTime, netFetchStalls)
 	}
 }
 

@@ -63,6 +63,8 @@ func NewOptions(opts ...Option) Options { return core.NewOptions(opts...) }
 var (
 	WithScale           = core.WithScale           // capacity divisor vs the paper's testbed
 	WithSlaves          = core.WithSlaves          // number of slave nodes
+	WithRacks           = core.WithRacks           // top-of-rack topology (1 = flat fabric)
+	WithUplink          = core.WithUplink          // rack uplink bytes/sec (0 = NIC rate)
 	WithSeed            = core.WithSeed            // simulation seed
 	WithSampleInterval  = core.WithSampleInterval  // iostat sampling interval
 	WithMapTaskTarget   = core.WithMapTaskTarget   // map-task bound for the largest workload
